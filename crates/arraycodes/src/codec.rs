@@ -1,0 +1,412 @@
+//! A generic two-parity array codec over the SLP pipeline.
+
+use crate::{evenodd_parity_bitmatrix, next_prime, rdp_parity_bitmatrix};
+use bitmatrix::BitMatrix;
+use slp::{binary_slp_from_bitmatrix, Slp};
+use slp_optimizer::{optimize, OptConfig};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use xor_runtime::{ExecProgram, Kernel};
+
+/// Errors of the array codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArrayCodecError {
+    /// Wrong shard count/length.
+    Shards(String),
+    /// More than two disks lost.
+    TooManyErasures { missing: usize },
+    /// Surviving symbols do not determine the data (would indicate a bug
+    /// in the code construction).
+    Unsolvable { lost: Vec<usize> },
+}
+
+impl fmt::Display for ArrayCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayCodecError::Shards(m) => write!(f, "bad shards: {m}"),
+            ArrayCodecError::TooManyErasures { missing } => {
+                write!(f, "{missing} disks missing but only 2 tolerated")
+            }
+            ArrayCodecError::Unsolvable { lost } => {
+                write!(f, "surviving symbols do not determine the data (lost {lost:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayCodecError {}
+
+/// Which array code a codec implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    EvenOdd,
+    Rdp,
+}
+
+/// A two-parity array codec (`k` data disks + 2 parity disks), encoded and
+/// decoded by optimized straight-line XOR programs.
+///
+/// Shards are striped into `w = p − 1` packets (the code's symbol count),
+/// so shard lengths must be multiples of `w`; the convenience
+/// [`ArrayCodec::encode`] pads as needed.
+pub struct ArrayCodec {
+    kind: Kind,
+    k: usize,
+    p: usize,
+    w: usize,
+    /// Full generator: data symbols (identity) then the 2w parity symbols.
+    generator: BitMatrix,
+    enc_prog: ExecProgram,
+    enc_slp: Slp,
+    blocksize: usize,
+    kernel: Kernel,
+    opt: OptConfig,
+    dec_cache: Mutex<HashMap<Vec<usize>, DecEntry>>,
+}
+
+struct DecEntry {
+    prog: Option<ExecProgram>,
+    /// (disk, symbol) feeding each program input, in order.
+    inputs: Vec<(usize, usize)>,
+    lost_data: Vec<usize>,
+}
+
+impl ArrayCodec {
+    /// EVENODD with `k` data disks; `p` is the smallest prime ≥ max(k, 3).
+    pub fn evenodd(k: usize) -> ArrayCodec {
+        let p = next_prime(k.max(3));
+        ArrayCodec::build(Kind::EvenOdd, k, p)
+    }
+
+    /// RDP with `k` data disks; `p` is the smallest prime ≥ max(k+1, 3).
+    pub fn rdp(k: usize) -> ArrayCodec {
+        let p = next_prime((k + 1).max(3));
+        ArrayCodec::build(Kind::Rdp, k, p)
+    }
+
+    fn build(kind: Kind, k: usize, p: usize) -> ArrayCodec {
+        assert!(k >= 1, "need at least one data disk");
+        let w = p - 1;
+        let parity = match kind {
+            Kind::EvenOdd => evenodd_parity_bitmatrix(k, p),
+            Kind::Rdp => rdp_parity_bitmatrix(k, p),
+        };
+        // Generator: identity for the k·w data symbols, then parity rows.
+        let mut generator = BitMatrix::zero((k + 2) * w, k * w);
+        for t in 0..k * w {
+            generator.set(t, t, true);
+        }
+        for r in 0..2 * w {
+            for c in parity.ones_in_row(r).collect::<Vec<_>>() {
+                generator.set(k * w + r, c, true);
+            }
+        }
+        let opt = OptConfig::FULL_DFS;
+        let blocksize = 1024;
+        let kernel = Kernel::Auto;
+        let enc_slp = optimize(&binary_slp_from_bitmatrix(&parity), opt);
+        let enc_prog = ExecProgram::compile(&enc_slp, blocksize, kernel);
+        ArrayCodec {
+            kind,
+            k,
+            p,
+            w,
+            generator,
+            enc_prog,
+            enc_slp,
+            blocksize,
+            kernel,
+            opt,
+            dec_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of data disks.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Total disks (`k + 2`).
+    pub fn total_shards(&self) -> usize {
+        self.k + 2
+    }
+
+    /// Symbols (packets) per disk, `w = p − 1`.
+    pub fn symbols_per_shard(&self) -> usize {
+        self.w
+    }
+
+    /// The prime parameter.
+    pub fn prime(&self) -> usize {
+        self.p
+    }
+
+    /// The optimized encoding SLP (for metrics).
+    pub fn encode_slp(&self) -> &Slp {
+        &self.enc_slp
+    }
+
+    /// Human-readable code name.
+    pub fn name(&self) -> String {
+        match self.kind {
+            Kind::EvenOdd => format!("EVENODD(k={}, p={})", self.k, self.p),
+            Kind::Rdp => format!("RDP(k={}, p={})", self.k, self.p),
+        }
+    }
+
+    fn packets<'a>(&self, shard: &'a [u8]) -> Vec<&'a [u8]> {
+        let pl = shard.len() / self.w;
+        shard.chunks_exact(pl.max(1)).take(self.w).collect()
+    }
+
+    /// Encode a byte buffer into `k + 2` shards (zero-padded so the shard
+    /// length is a multiple of `w`).
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, ArrayCodecError> {
+        let shard_len = data.len().div_ceil(self.k).div_ceil(self.w) * self.w;
+        let mut shards = vec![vec![0u8; shard_len]; self.k + 2];
+        for (j, shard) in shards.iter_mut().take(self.k).enumerate() {
+            let lo = (j * shard_len).min(data.len());
+            let hi = ((j + 1) * shard_len).min(data.len());
+            shard[..hi - lo].copy_from_slice(&data[lo..hi]);
+        }
+        if shard_len > 0 {
+            let (d, q) = shards.split_at_mut(self.k);
+            let inputs: Vec<&[u8]> = d.iter().flat_map(|s| self.packets(s)).collect();
+            let pl = shard_len / self.w;
+            let mut outputs: Vec<&mut [u8]> = q
+                .iter_mut()
+                .flat_map(|s| s.chunks_exact_mut(pl))
+                .collect();
+            self.enc_prog
+                .run(&inputs, &mut outputs)
+                .expect("encode program shapes are fixed at construction");
+        }
+        Ok(shards)
+    }
+
+    /// Build (or fetch) the decode program for a set of lost disks.
+    fn decode_entry(
+        &self,
+        lost: &[usize],
+        f: impl FnOnce(&DecEntry) -> Result<(), ArrayCodecError>,
+    ) -> Result<(), ArrayCodecError> {
+        let mut key: Vec<usize> = lost.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        let mut cache = self.dec_cache.lock().expect("cache lock");
+        if let Some(e) = cache.get(&key) {
+            return f(e);
+        }
+
+        let (k, w) = (self.k, self.w);
+        let lost_data: Vec<usize> = key.iter().copied().filter(|&d| d < k).collect();
+        let entry = if lost_data.is_empty() {
+            DecEntry { prog: None, inputs: Vec::new(), lost_data }
+        } else {
+            // Surviving symbol rows of the generator.
+            let surv_rows: Vec<usize> = (0..(k + 2) * w)
+                .filter(|&r| !key.contains(&(r / w)))
+                .collect();
+            let m = BitMatrix::from_fn(surv_rows.len(), k * w, |i, j| {
+                self.generator.get(surv_rows[i], j)
+            });
+            let chosen = m.select_independent_rows();
+            if chosen.len() < k * w {
+                return Err(ArrayCodecError::Unsolvable { lost: key.clone() });
+            }
+            let square = BitMatrix::from_fn(k * w, k * w, |i, j| m.get(chosen[i], j));
+            let inv = square
+                .invert()
+                .expect("independent row selection yields an invertible square");
+            // Recovery rows for the lost data symbols.
+            let lost_syms: Vec<usize> = lost_data
+                .iter()
+                .flat_map(|&d| (0..w).map(move |i| d * w + i))
+                .collect();
+            let rec = BitMatrix::from_fn(lost_syms.len(), k * w, |i, j| {
+                inv.get(lost_syms[i], j)
+            });
+            let slp = optimize(&binary_slp_from_bitmatrix(&rec), self.opt);
+            let prog = ExecProgram::compile(&slp, self.blocksize, self.kernel);
+            let inputs: Vec<(usize, usize)> = chosen
+                .iter()
+                .map(|&i| {
+                    let r = surv_rows[i];
+                    (r / w, r % w)
+                })
+                .collect();
+            DecEntry { prog: Some(prog), inputs, lost_data }
+        };
+        let result = f(&entry);
+        cache.insert(key, entry);
+        result
+    }
+
+    /// Recover the original buffer from surviving shards (at most two
+    /// disks may be `None`).
+    pub fn decode(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        data_len: usize,
+    ) -> Result<Vec<u8>, ArrayCodecError> {
+        let total = self.k + 2;
+        if shards.len() != total {
+            return Err(ArrayCodecError::Shards(format!("expected {total} shards")));
+        }
+        let missing: Vec<usize> = (0..total).filter(|&d| shards[d].is_none()).collect();
+        if missing.len() > 2 {
+            return Err(ArrayCodecError::TooManyErasures { missing: missing.len() });
+        }
+        let Some(shard_len) = shards.iter().flatten().map(Vec::len).next() else {
+            return Err(ArrayCodecError::Shards("no shards present".into()));
+        };
+        if shards.iter().flatten().any(|s| s.len() != shard_len)
+            || shard_len % self.w != 0
+        {
+            return Err(ArrayCodecError::Shards(
+                "inconsistent or misaligned shard lengths".into(),
+            ));
+        }
+        let pl = shard_len / self.w;
+
+        let mut rebuilt: Vec<Vec<u8>> = Vec::new();
+        let mut lost_data: Vec<usize> = Vec::new();
+        self.decode_entry(&missing, |entry| {
+            lost_data = entry.lost_data.clone();
+            if let Some(prog) = &entry.prog {
+                if pl > 0 {
+                    let inputs: Vec<&[u8]> = entry
+                        .inputs
+                        .iter()
+                        .map(|&(d, s)| {
+                            let shard = shards[d].as_deref().expect("survivor present");
+                            &shard[s * pl..(s + 1) * pl]
+                        })
+                        .collect();
+                    rebuilt = vec![vec![0u8; shard_len]; entry.lost_data.len()];
+                    let mut outputs: Vec<&mut [u8]> = rebuilt
+                        .iter_mut()
+                        .flat_map(|s| s.chunks_exact_mut(pl))
+                        .collect();
+                    prog.run(&inputs, &mut outputs)
+                        .expect("decode program shapes are fixed at construction");
+                } else {
+                    rebuilt = vec![Vec::new(); entry.lost_data.len()];
+                }
+            }
+            Ok(())
+        })?;
+
+        let mut out = Vec::with_capacity(self.k * shard_len);
+        let mut it = rebuilt.into_iter();
+        for (d, shard) in shards.iter().take(self.k).enumerate() {
+            match shard {
+                Some(s) => out.extend_from_slice(s),
+                None => {
+                    debug_assert!(lost_data.contains(&d));
+                    out.extend_from_slice(&it.next().expect("rebuilt per lost disk"));
+                }
+            }
+        }
+        out.truncate(data_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 151 + 17) as u8).collect()
+    }
+
+    #[test]
+    fn evenodd_roundtrip_every_double_erasure() {
+        let codec = ArrayCodec::evenodd(5); // p = 5, w = 4
+        assert_eq!(codec.prime(), 5);
+        let data = sample(5 * 4 * 9 + 3);
+        let shards = codec.encode(&data).unwrap();
+        let total = codec.total_shards();
+        for d1 in 0..total {
+            for d2 in d1..total {
+                let mut rx: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+                rx[d1] = None;
+                rx[d2] = None;
+                assert_eq!(
+                    codec.decode(&rx, data.len()).unwrap(),
+                    data,
+                    "EVENODD lost {d1},{d2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rdp_roundtrip_every_double_erasure() {
+        let codec = ArrayCodec::rdp(4); // p = 5, w = 4
+        assert_eq!(codec.prime(), 5);
+        let data = sample(4 * 4 * 11);
+        let shards = codec.encode(&data).unwrap();
+        let total = codec.total_shards();
+        for d1 in 0..total {
+            for d2 in d1..total {
+                let mut rx: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+                rx[d1] = None;
+                rx[d2] = None;
+                assert_eq!(
+                    codec.decode(&rx, data.len()).unwrap(),
+                    data,
+                    "RDP lost {d1},{d2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padded_lengths_roundtrip() {
+        for len in [0usize, 1, 7, 40, 41] {
+            let codec = ArrayCodec::evenodd(3);
+            let data = sample(len);
+            let shards = codec.encode(&data).unwrap();
+            let rx: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+            assert_eq!(codec.decode(&rx, len).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn three_erasures_rejected() {
+        let codec = ArrayCodec::rdp(4);
+        let data = sample(64);
+        let shards = codec.encode(&data).unwrap();
+        let mut rx: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        rx[0] = None;
+        rx[1] = None;
+        rx[2] = None;
+        assert!(matches!(
+            codec.decode(&rx, data.len()),
+            Err(ArrayCodecError::TooManyErasures { missing: 3 })
+        ));
+    }
+
+    #[test]
+    fn encode_slp_is_pure_xor_and_optimized() {
+        let codec = ArrayCodec::evenodd(8); // p = 11, w = 10
+        let slp = codec.encode_slp();
+        // fused, scheduled program: far fewer instructions than raw rows
+        assert!(slp.instrs.len() < 2 * 10 * 8);
+        assert!(slp.xor_count() > 0);
+    }
+
+    #[test]
+    fn larger_parameters_roundtrip() {
+        let codec = ArrayCodec::rdp(8); // p = 11, w = 10
+        let data = sample(8 * 10 * 5 + 9);
+        let shards = codec.encode(&data).unwrap();
+        let mut rx: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        rx[3] = None;
+        rx[9] = None; // diagonal parity disk
+        assert_eq!(codec.decode(&rx, data.len()).unwrap(), data);
+    }
+}

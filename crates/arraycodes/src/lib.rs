@@ -1,0 +1,65 @@
+//! EVENODD and RDP — the classical two-parity *array codes* the paper's
+//! §7.6 comparison table quotes (the `·E` and `·R` entries from Zhou &
+//! Tian's study) — implemented as parity bit-matrices and executed through
+//! the same SLP optimization pipeline as the Reed–Solomon codec.
+//!
+//! This demonstrates a point the paper makes implicitly: once a code is
+//! expressed as XOR programs, *any* XOR-based erasure code rides the same
+//! compressor/fuser/scheduler and SIMD runtime — the codes below need no
+//! GF(2^8) arithmetic at all.
+//!
+//! * **EVENODD** (Blaum–Brady–Bruck–Menon 1995): `p` prime, up to `p`
+//!   data disks of `p−1` symbols; parity disk `P` holds row parities,
+//!   disk `Q` holds diagonal parities adjusted by the common term `S`
+//!   (the "missing diagonal").
+//! * **RDP** (Corbett et al., FAST '04): `p` prime, up to `p−1` data
+//!   disks of `p−1` symbols; row parity at column `p−1`, and diagonal
+//!   parity over data *and* row parity.
+//!
+//! Both tolerate any two disk erasures. Decoding here is deliberately
+//! generic rather than code-specific: surviving symbols form an F2 linear
+//! system over the data symbols; we select an invertible square
+//! subsystem, invert it over F2 ([`bitmatrix::BitMatrix::invert`]), and
+//! compile the resulting recovery rows into an optimized SLP, exactly as
+//! the RS decoder does over GF(2^8).
+
+mod codec;
+mod evenodd;
+mod rdp;
+
+pub use codec::{ArrayCodec, ArrayCodecError};
+pub use evenodd::evenodd_parity_bitmatrix;
+pub use rdp::rdp_parity_bitmatrix;
+
+/// Smallest prime `≥ n` (array-code parameter helper).
+pub fn next_prime(n: usize) -> usize {
+    fn is_prime(x: usize) -> bool {
+        if x < 2 {
+            return false;
+        }
+        let mut d = 2;
+        while d * d <= x {
+            if x % d == 0 {
+                return false;
+            }
+            d += 1;
+        }
+        true
+    }
+    (n.max(2)..).find(|&x| is_prime(x)).expect("primes are unbounded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(10), 11);
+        assert_eq!(next_prime(12), 13);
+    }
+}

@@ -1,0 +1,24 @@
+//! `gf-baseline` — a table-driven GF(2^8) Reed–Solomon codec in the style
+//! of Intel's ISA-L, used as the comparison baseline of the paper's §7.6.
+//!
+//! Where the main library (`ec-core`) converts the coding matrix to XOR
+//! programs, this crate multiplies bytes directly in the field:
+//!
+//! * the **scalar** path indexes the 64 KiB product table per byte (the
+//!   classical Jerasure/ISA-L reference approach);
+//! * the **AVX2** path is ISA-L's split-nibble algorithm: for each
+//!   coefficient `c`, two 16-entry tables hold `c · x` for the low and
+//!   high nibble of `x`, and `_mm256_shuffle_epi8` evaluates 32 products
+//!   per instruction (`gf_vect_dot_prod` in ISA-L's assembly).
+//!
+//! The byte layout differs from `ec-core`: this codec is *byte-oriented*
+//! (symbol `t` of a shard is byte `t`), whereas XOR-based EC stripes each
+//! shard into 8 packets. Both are valid RS codes over the same matrix;
+//! their parity bytes are a fixed bit-permutation apart. Throughput
+//! comparisons (Table 7.6) are unaffected.
+
+mod codec;
+mod mul;
+
+pub use codec::{BaselineError, GfRsCodec};
+pub use mul::{dot_product, mul_slice, mul_slice_acc, DotTables, GfBackend, NibbleTables};

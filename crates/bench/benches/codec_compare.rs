@@ -1,0 +1,71 @@
+//! Criterion benchmark comparing the full codecs end-to-end (the
+//! statistical companion of `--bin table_7_6_compare`): our XOR-SLP codec
+//! vs the table-driven baseline, encode and decode, RS(10,4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ec_core::{RsCodec, RsConfig};
+use gf_baseline::GfRsCodec;
+
+fn codec_compare(c: &mut Criterion) {
+    let n = 10;
+    let p = 4;
+    let data_len = 4 * 1_000_000;
+    let data: Vec<u8> = (0..data_len).map(|i| ((i * 193) % 256) as u8).collect();
+
+    let ours = RsCodec::with_config(RsConfig::new(n, p).blocksize(1024)).unwrap();
+    let baseline = GfRsCodec::new(n, p).unwrap();
+
+    let shards = ours.encode(&data).unwrap();
+    let shard_len = shards[0].len();
+    let data_refs: Vec<&[u8]> = shards[..n].iter().map(|s| s.as_slice()).collect();
+
+    let mut group = c.benchmark_group("rs10_4_codec");
+    group.throughput(Throughput::Bytes(data_len as u64));
+
+    group.bench_function("ours/encode", |b| {
+        let mut parity = vec![vec![0u8; shard_len]; p];
+        b.iter(|| {
+            let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+            ours.encode_parity(&data_refs, &mut refs).unwrap();
+        });
+    });
+    group.bench_function("baseline/encode", |b| {
+        let mut parity = vec![vec![0u8; shard_len]; p];
+        b.iter(|| {
+            let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+            baseline.encode_parity(&data_refs, &mut refs).unwrap();
+        });
+    });
+
+    let mut received: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+    for i in [2, 4, 5, 6] {
+        received[i] = None;
+    }
+    group.bench_function("ours/decode", |b| {
+        b.iter(|| ours.decode(&received, data.len()).unwrap());
+    });
+
+    let bshards = baseline.encode(&data).unwrap();
+    let mut breceived: Vec<Option<Vec<u8>>> = bshards.into_iter().map(Some).collect();
+    for i in [2, 4, 5, 6] {
+        breceived[i] = None;
+    }
+    group.bench_function("baseline/decode", |b| {
+        b.iter(|| baseline.decode(&breceived, data.len()).unwrap());
+    });
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = codec_compare
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark of RS(10,4) encoding throughput per optimization
+//! stage — the statistical companion of `--bin table_7_5_stages`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ec_bench::{enc_base_slp, BenchRunner};
+use slp_optimizer::{fuse, schedule_dfs, xor_repair};
+use xor_runtime::Kernel;
+
+fn encode_stages(c: &mut Criterion) {
+    let mb = 4 * 1_000_000; // smaller than the table runs: criterion repeats a lot
+    let base = enc_base_slp(10, 4);
+    let co = xor_repair(&base).0;
+    let fu = fuse(&co);
+    let dfs = schedule_dfs(&fu);
+
+    let mut group = c.benchmark_group("rs10_4_encode");
+    group.throughput(Throughput::Bytes(mb as u64));
+    for (name, slp) in [
+        ("base", &base),
+        ("compress", &co),
+        ("fuse", &fu),
+        ("schedule", &dfs),
+    ] {
+        let mut runner = BenchRunner::new(slp, 1024, Kernel::Auto, mb);
+        group.bench_function(name, |b| b.iter(|| runner.run_once()));
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = encode_stages
+}
+criterion_main!(benches);

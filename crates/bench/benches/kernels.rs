@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the XOR kernels (§7.2's xor1 vs xor32 at
+//! the single-operation level) and the baseline's GF multiply kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gf256::Gf;
+use gf_baseline::{mul_slice, GfBackend};
+use xor_runtime::{xor_slices, Kernel};
+
+fn xor_kernels(c: &mut Criterion) {
+    let len = 64 * 1024;
+    let srcs: Vec<Vec<u8>> = (0..8)
+        .map(|k| (0..len).map(|i| ((i * 7 + k * 13) % 256) as u8).collect())
+        .collect();
+    let mut group = c.benchmark_group("xor_kernel");
+    group.throughput(Throughput::Bytes(len as u64));
+    for arity in [2usize, 4, 8] {
+        let refs: Vec<&[u8]> = srcs[..arity].iter().map(Vec::as_slice).collect();
+        for kernel in [Kernel::Scalar, Kernel::Wide64, Kernel::Auto.resolve()] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-way", arity), kernel.name()),
+                &refs,
+                |b, refs| {
+                    let mut dst = vec![0u8; len];
+                    b.iter(|| xor_slices(kernel, &mut dst, refs));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn gf_mul_kernels(c: &mut Criterion) {
+    let len = 64 * 1024;
+    let src: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+    let mut group = c.benchmark_group("gf_mul_kernel");
+    group.throughput(Throughput::Bytes(len as u64));
+    let mut backends = vec![GfBackend::Table];
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        backends.push(GfBackend::Avx2);
+    }
+    for backend in backends {
+        group.bench_function(backend.name(), |b| {
+            let mut dst = vec![0u8; len];
+            b.iter(|| mul_slice(backend, Gf(0xC3), &src, &mut dst));
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = xor_kernels, gf_mul_kernels
+}
+criterion_main!(benches);

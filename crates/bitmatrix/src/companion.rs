@@ -1,0 +1,110 @@
+//! The companion map `~· : GF(2^8) → F2^{8×8}` and the bit isomorphism `𝔅`.
+
+use crate::BitMatrix;
+use gf256::Gf;
+
+/// `𝔅`: the bits of a byte as a column vector, least-significant bit first
+/// (bit `i` is the coefficient of `x^i` in the residue polynomial).
+#[inline]
+pub fn byte_to_bits(b: u8) -> [bool; 8] {
+    std::array::from_fn(|i| b >> i & 1 == 1)
+}
+
+/// `𝔅⁻¹`: reassemble a byte from its bit column.
+#[inline]
+pub fn bits_to_byte(bits: &[bool]) -> u8 {
+    assert_eq!(bits.len(), 8, "a GF(2^8) element has exactly 8 bits");
+    bits.iter()
+        .enumerate()
+        .fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << i))
+}
+
+/// The companion (multiplication) matrix of `x`: the 8×8 bit-matrix whose
+/// column `j` is `𝔅(x ×_GF α^j)` — i.e. the image of the `j`-th basis
+/// element under "multiply by `x`".
+///
+/// This is the `~·` map of the paper's §1; it is a ring homomorphism:
+/// `companion(a·b) = companion(a)·companion(b)` and
+/// `companion(a+b) = companion(a) ⊕ companion(b)`.
+pub fn companion(x: Gf) -> BitMatrix {
+    let mut m = BitMatrix::zero(8, 8);
+    for j in 0..8u8 {
+        let col = (x * Gf(1 << j)).0;
+        for i in 0..8 {
+            if col >> i & 1 == 1 {
+                m.set(i, j as usize, true);
+            }
+        }
+    }
+    m
+}
+
+/// Apply an 8×8 bit-matrix to a byte through `𝔅` (test helper; slow).
+pub fn apply_to_byte(m: &BitMatrix, y: u8) -> u8 {
+    assert_eq!((m.rows(), m.cols()), (8, 8));
+    let v = byte_to_bits(y);
+    bits_to_byte(&m.mul_vec(&v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_iso_roundtrip() {
+        for b in 0..=255u8 {
+            assert_eq!(bits_to_byte(&byte_to_bits(b)), b);
+        }
+    }
+
+    #[test]
+    fn companion_of_one_is_identity() {
+        assert_eq!(companion(Gf::ONE), BitMatrix::identity(8));
+    }
+
+    #[test]
+    fn companion_of_zero_is_zero() {
+        assert_eq!(companion(Gf::ZERO), BitMatrix::zero(8, 8));
+    }
+
+    #[test]
+    fn companion_realizes_field_multiplication() {
+        // The defining property (paper §1, property (ii)):
+        // x ×_GF y = 𝔅⁻¹( x̃ · 𝔅(y) ), checked exhaustively on a grid.
+        for x in (0..=255u8).step_by(7) {
+            let cx = companion(Gf(x));
+            for y in (0..=255u8).step_by(5) {
+                assert_eq!(apply_to_byte(&cx, y), (Gf(x) * Gf(y)).0, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn companion_is_additive() {
+        for (a, b) in [(3u8, 200u8), (17, 17), (255, 1), (0x1D, 0x80)] {
+            let lhs = companion(Gf(a) + Gf(b));
+            let rhs = companion(Gf(a)).xor(&companion(Gf(b)));
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn companion_is_multiplicative() {
+        for (a, b) in [(3u8, 200u8), (2, 2), (255, 254), (0x53, 0xCA)] {
+            let lhs = companion(Gf(a) * Gf(b));
+            let rhs = companion(Gf(a)).mul(&companion(Gf(b)));
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn companion_of_alpha_is_shift_plus_feedback() {
+        // Multiplying by α shifts bits up by one and feeds the top bit back
+        // through the polynomial 0x1D.
+        let c = companion(Gf::ALPHA);
+        for y in 0..=255u8 {
+            let expected = (y << 1) ^ (if y & 0x80 != 0 { 0x1D } else { 0 });
+            assert_eq!(apply_to_byte(&c, y), expected);
+        }
+    }
+}

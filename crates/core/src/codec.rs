@@ -1,0 +1,698 @@
+//! The [`RsCodec`]: systematic RS(n, p) erasure coding over optimized XOR
+//! programs.
+
+use crate::config::RsConfig;
+use crate::error::EcError;
+use crate::layout::{self, PACKETS_PER_SHARD};
+use gf256::{encoding_matrix, GfMatrix};
+use parking_lot::Mutex;
+use slp::Slp;
+use slp_optimizer::optimize;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xor_runtime::{ExecProgram, VarArena};
+
+/// A compiled decode pipeline for one erasure pattern.
+struct DecProgram {
+    /// The optimized SLP and its compiled form; `None` when no data shard
+    /// is lost (parity-only erasures need no inverse).
+    compiled: Option<(Slp, ExecProgram)>,
+    /// Indices (< n) of the data shards this program reconstructs.
+    lost_data: Vec<usize>,
+    /// The n surviving shard indices whose packets feed the program,
+    /// in input order.
+    survivors: Vec<usize>,
+}
+
+/// A systematic Reed–Solomon erasure codec computed entirely with XORs.
+///
+/// Construction compiles the optimized encode program once; decode
+/// programs are compiled lazily per erasure pattern and cached. All
+/// methods take `&self` and the codec is `Send + Sync`.
+pub struct RsCodec {
+    cfg: RsConfig,
+    /// The full `(n+p) × n` systematic coding matrix.
+    matrix: GfMatrix,
+    enc_slp: Slp,
+    enc_prog: ExecProgram,
+    enc_arena: Mutex<VarArena>,
+    dec_cache: Mutex<HashMap<Vec<usize>, Arc<DecProgram>>>,
+    dec_arena: Mutex<VarArena>,
+}
+
+impl RsCodec {
+    /// Create an RS(n, p) codec with the paper's default configuration.
+    pub fn new(data_shards: usize, parity_shards: usize) -> Result<RsCodec, EcError> {
+        RsCodec::with_config(RsConfig::new(data_shards, parity_shards))
+    }
+
+    /// Create a codec from an explicit configuration.
+    pub fn with_config(cfg: RsConfig) -> Result<RsCodec, EcError> {
+        let (n, p) = (cfg.data_shards, cfg.parity_shards);
+        if n == 0 || p == 0 {
+            return Err(EcError::InvalidParams(
+                "need at least one data and one parity shard".into(),
+            ));
+        }
+        if n + p > 255 {
+            return Err(EcError::InvalidParams(format!(
+                "n + p = {} exceeds the GF(2^8) limit of 255",
+                n + p
+            )));
+        }
+        if cfg.blocksize == 0 {
+            return Err(EcError::InvalidParams("blocksize must be positive".into()));
+        }
+        let matrix = encoding_matrix(cfg.matrix, n, p);
+        let parity_rows: Vec<usize> = (n..n + p).collect();
+        let parity_bits = bitmatrix::BitMatrix::expand_gf_matrix(&matrix.select_rows(&parity_rows));
+        let base = slp::binary_slp_from_bitmatrix(&parity_bits);
+        let enc_slp = optimize(&base, cfg.opt);
+        let enc_prog = ExecProgram::compile(&enc_slp, cfg.blocksize, cfg.kernel);
+        Ok(RsCodec {
+            cfg,
+            matrix,
+            enc_slp,
+            enc_prog,
+            enc_arena: Mutex::new(VarArena::new(1, 1, cfg.blocksize)),
+            dec_cache: Mutex::new(HashMap::new()),
+            dec_arena: Mutex::new(VarArena::new(1, 1, cfg.blocksize)),
+        })
+    }
+
+    /// Number of data shards `n`.
+    pub fn data_shards(&self) -> usize {
+        self.cfg.data_shards
+    }
+
+    /// Number of parity shards `p`.
+    pub fn parity_shards(&self) -> usize {
+        self.cfg.parity_shards
+    }
+
+    /// Total shards `n + p`.
+    pub fn total_shards(&self) -> usize {
+        self.cfg.data_shards + self.cfg.parity_shards
+    }
+
+    /// The configuration this codec was built with.
+    pub fn config(&self) -> &RsConfig {
+        &self.cfg
+    }
+
+    /// The systematic coding matrix (`(n+p) × n`).
+    pub fn encode_matrix(&self) -> &GfMatrix {
+        &self.matrix
+    }
+
+    /// The optimized encoding SLP (for inspection and metrics; §7.5).
+    pub fn encode_slp(&self) -> &Slp {
+        &self.enc_slp
+    }
+
+    /// The optimized decoding SLP for an erasure pattern (for metrics;
+    /// Figure 1). `lost` lists missing shard indices (data or parity);
+    /// at least one data shard must be lost, otherwise decoding is a
+    /// no-op with no program to return.
+    pub fn decode_slp(&self, lost: &[usize]) -> Result<Slp, EcError> {
+        let dec = self.decode_program(lost)?;
+        match &dec.compiled {
+            Some((slp, _)) => Ok(slp.clone()),
+            None => Err(EcError::InvalidParams(
+                "no data shards lost; decoding is a no-op".into(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Encoding
+    // ------------------------------------------------------------------
+
+    /// Compute all parity shards from data shards, zero-copy.
+    ///
+    /// Every shard (input and output) must have the same length, a
+    /// multiple of 8.
+    pub fn encode_parity(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        if data.len() != n {
+            return Err(EcError::ShardCount { expected: n, got: data.len() });
+        }
+        if parity.len() != p {
+            return Err(EcError::ShardCount { expected: p, got: parity.len() });
+        }
+        let len = layout::common_shard_len(
+            data.iter().copied().chain(parity.iter().map(|s| &**s)),
+        )?;
+        if len == 0 {
+            return Ok(());
+        }
+
+        let inputs: Vec<&[u8]> = data.iter().flat_map(|s| layout::packets(s)).collect();
+        let mut outputs: Vec<&mut [u8]> = parity
+            .iter_mut()
+            .flat_map(|s| layout::packets_mut(s))
+            .collect();
+        let mut arena = self.enc_arena.lock();
+        self.enc_prog
+            .run_with_arena(&inputs, &mut outputs, &mut arena)?;
+        Ok(())
+    }
+
+    /// Encode a byte buffer into `n + p` shards (convenience allocation
+    /// path). The data is split across `n` shards, zero-padding the tail;
+    /// use the original length with [`RsCodec::decode`] to strip padding.
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        let shard_len = layout::shard_len_for(data.len(), n);
+        let mut shards = vec![vec![0u8; shard_len]; n + p];
+        for (i, shard) in shards.iter_mut().take(n).enumerate() {
+            let lo = (i * shard_len).min(data.len());
+            let hi = ((i + 1) * shard_len).min(data.len());
+            shard[..hi - lo].copy_from_slice(&data[lo..hi]);
+        }
+        let (data_part, parity_part) = shards.split_at_mut(n);
+        let data_refs: Vec<&[u8]> = data_part.iter().map(Vec::as_slice).collect();
+        let mut parity_refs: Vec<&mut [u8]> =
+            parity_part.iter_mut().map(Vec::as_mut_slice).collect();
+        self.encode_parity(&data_refs, &mut parity_refs)?;
+        Ok(shards)
+    }
+
+    /// Multi-threaded [`RsCodec::encode_parity`]: the packet range is
+    /// split into `threads` contiguous slices processed independently
+    /// (XOR is position-wise, so any split is exact).
+    pub fn encode_parity_mt(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        threads: usize,
+    ) -> Result<(), EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        if data.len() != n {
+            return Err(EcError::ShardCount { expected: n, got: data.len() });
+        }
+        if parity.len() != p {
+            return Err(EcError::ShardCount { expected: p, got: parity.len() });
+        }
+        let len = layout::common_shard_len(
+            data.iter().copied().chain(parity.iter().map(|s| &**s)),
+        )?;
+        let packet_len = len / PACKETS_PER_SHARD;
+        let threads = threads.max(1).min(packet_len.max(1));
+        if threads == 1 || packet_len == 0 {
+            return self.encode_parity(data, parity);
+        }
+
+        let inputs: Vec<&[u8]> = data.iter().flat_map(|s| layout::packets(s)).collect();
+        let mut outputs: Vec<&mut [u8]> = parity
+            .iter_mut()
+            .flat_map(|s| layout::packets_mut(s))
+            .collect();
+
+        // Partition every packet at the same offsets.
+        let chunk = packet_len.div_ceil(threads);
+        type Job<'a> = (Vec<&'a [u8]>, Vec<&'a mut [u8]>);
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(threads);
+        {
+            let mut outs: Vec<&mut [u8]> = outputs.iter_mut().map(|s| &mut **s).collect();
+            let mut lo = 0;
+            while lo < packet_len {
+                let hi = (lo + chunk).min(packet_len);
+                let ins: Vec<&[u8]> = inputs.iter().map(|s| &s[lo..hi]).collect();
+                let mut rest = Vec::with_capacity(outs.len());
+                let mut part = Vec::with_capacity(outs.len());
+                for o in outs {
+                    let (head, tail) = o.split_at_mut(hi - lo);
+                    part.push(head);
+                    rest.push(tail);
+                }
+                outs = rest;
+                jobs.push((ins, part));
+                lo = hi;
+            }
+        }
+
+        let prog = &self.enc_prog;
+        let mut result = Ok(());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ins, mut part) in jobs {
+                handles.push(scope.spawn(move || {
+                    let mut arena = prog.make_arena(ins.first().map_or(1, |s| s.len().max(1)));
+                    prog.run_with_arena(&ins, &mut part, &mut arena)
+                }));
+            }
+            for h in handles {
+                if let Err(e) = h.join().expect("encode worker panicked") {
+                    result = Err(EcError::from(e));
+                }
+            }
+        });
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Decoding
+    // ------------------------------------------------------------------
+
+    /// Compile (or fetch from cache) the decode program for an erasure
+    /// pattern.
+    fn decode_program(&self, lost: &[usize]) -> Result<Arc<DecProgram>, EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        let mut lost: Vec<usize> = lost.to_vec();
+        lost.sort_unstable();
+        lost.dedup();
+        if lost.iter().any(|&i| i >= n + p) {
+            return Err(EcError::InvalidParams(format!(
+                "erased shard index out of range (total {})",
+                n + p
+            )));
+        }
+        if lost.len() > p {
+            return Err(EcError::TooManyErasures { missing: lost.len(), parity: p });
+        }
+        if let Some(hit) = self.dec_cache.lock().get(&lost) {
+            return Ok(hit.clone());
+        }
+
+        let survivors: Vec<usize> = (0..n + p).filter(|i| !lost.contains(i)).take(n).collect();
+        let lost_data: Vec<usize> = lost.iter().copied().filter(|&i| i < n).collect();
+        let compiled = if lost_data.is_empty() {
+            None
+        } else {
+            let sub = self.matrix.select_rows(&survivors);
+            let inv = sub
+                .invert()
+                .ok_or_else(|| EcError::SingularPattern { lost: lost.clone() })?;
+            // Rows of the inverse for the lost data blocks express them as
+            // combinations of the gathered survivor blocks.
+            let rec = inv.select_rows(&lost_data);
+            let bits = bitmatrix::BitMatrix::expand_gf_matrix(&rec);
+            let base = slp::binary_slp_from_bitmatrix(&bits);
+            let slp = optimize(&base, self.cfg.opt);
+            let prog = ExecProgram::compile(&slp, self.cfg.blocksize, self.cfg.kernel);
+            Some((slp, prog))
+        };
+        let dec = Arc::new(DecProgram { compiled, lost_data, survivors });
+        self.dec_cache.lock().insert(lost, dec.clone());
+        Ok(dec)
+    }
+
+    /// Rebuild every missing shard in place (data via the decode program,
+    /// parity by re-encoding).
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        if shards.len() != n + p {
+            return Err(EcError::ShardCount { expected: n + p, got: shards.len() });
+        }
+        let missing: Vec<usize> = (0..n + p).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() > p {
+            return Err(EcError::TooManyErasures { missing: missing.len(), parity: p });
+        }
+        let len =
+            layout::common_shard_len(shards.iter().flatten().map(Vec::as_slice))?;
+
+        // Phase 1: reconstruct lost data shards from any n survivors.
+        let dec = self.decode_program(&missing)?;
+        match &dec.compiled {
+            Some((_, prog)) if len > 0 => {
+                let inputs: Vec<&[u8]> = dec
+                    .survivors
+                    .iter()
+                    .flat_map(|&i| {
+                        layout::packets(shards[i].as_deref().expect("survivor present"))
+                    })
+                    .collect();
+                let mut rebuilt: Vec<Vec<u8>> = vec![vec![0u8; len]; dec.lost_data.len()];
+                {
+                    let mut outputs: Vec<&mut [u8]> = rebuilt
+                        .iter_mut()
+                        .flat_map(|s| layout::packets_mut(s))
+                        .collect();
+                    let mut arena = self.dec_arena.lock();
+                    prog.run_with_arena(&inputs, &mut outputs, &mut arena)?;
+                }
+                for (&i, shard) in dec.lost_data.iter().zip(rebuilt) {
+                    shards[i] = Some(shard);
+                }
+            }
+            _ => {
+                for &i in &dec.lost_data {
+                    shards[i] = Some(vec![0u8; len]);
+                }
+            }
+        }
+
+        // Phase 2: re-encode missing parity shards (data is complete now).
+        let missing_parity: Vec<usize> = missing.iter().copied().filter(|&i| i >= n).collect();
+        if !missing_parity.is_empty() {
+            let data_refs: Vec<&[u8]> = shards[..n]
+                .iter()
+                .map(|s| s.as_deref().expect("data complete after phase 1"))
+                .collect();
+            let mut parity: Vec<Vec<u8>> = vec![vec![0u8; len]; p];
+            {
+                let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+                self.encode_parity(&data_refs, &mut refs)?;
+            }
+            for (j, shard) in parity.into_iter().enumerate() {
+                if shards[n + j].is_none() {
+                    shards[n + j] = Some(shard);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recover the original byte buffer from surviving shards.
+    ///
+    /// `data_len` is the length passed to [`RsCodec::encode`] (padding is
+    /// stripped). Only lost *data* shards are reconstructed; missing
+    /// parity is ignored.
+    pub fn decode(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        data_len: usize,
+    ) -> Result<Vec<u8>, EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        if shards.len() != n + p {
+            return Err(EcError::ShardCount { expected: n + p, got: shards.len() });
+        }
+        let missing: Vec<usize> = (0..n + p).filter(|&i| shards[i].is_none()).collect();
+        if missing.len() > p {
+            return Err(EcError::TooManyErasures { missing: missing.len(), parity: p });
+        }
+        let len = layout::common_shard_len(shards.iter().flatten().map(Vec::as_slice))?;
+        if layout::shard_len_for(data_len, n) > len {
+            return Err(EcError::ShardLength(format!(
+                "shards of {len} bytes cannot hold {data_len} bytes of data"
+            )));
+        }
+
+        let dec = self.decode_program(&missing)?;
+        let mut rebuilt: Vec<Vec<u8>> = vec![vec![0u8; len]; dec.lost_data.len()];
+        if let Some((_, prog)) = &dec.compiled {
+            if len > 0 {
+                let inputs: Vec<&[u8]> = dec
+                    .survivors
+                    .iter()
+                    .flat_map(|&i| {
+                        layout::packets(shards[i].as_deref().expect("survivor present"))
+                    })
+                    .collect();
+                let mut outputs: Vec<&mut [u8]> = rebuilt
+                    .iter_mut()
+                    .flat_map(|s| layout::packets_mut(s))
+                    .collect();
+                let mut arena = self.dec_arena.lock();
+                prog.run_with_arena(&inputs, &mut outputs, &mut arena)?;
+            }
+        }
+
+        // Stitch data shards back together and strip the padding.
+        let mut out = Vec::with_capacity(n * len);
+        let mut rebuilt_iter = rebuilt.into_iter();
+        for shard in &shards[..n] {
+            match shard {
+                Some(s) => out.extend_from_slice(s),
+                None => out.extend_from_slice(
+                    &rebuilt_iter.next().expect("one rebuilt shard per lost data"),
+                ),
+            }
+        }
+        out.truncate(data_len);
+        Ok(out)
+    }
+
+    /// Verify that parity shards are consistent with the data shards.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        if shards.len() != n + p {
+            return Err(EcError::ShardCount { expected: n + p, got: shards.len() });
+        }
+        let len = layout::common_shard_len(shards.iter().map(Vec::as_slice))?;
+        let data_refs: Vec<&[u8]> = shards[..n].iter().map(Vec::as_slice).collect();
+        let mut parity: Vec<Vec<u8>> = vec![vec![0u8; len]; p];
+        {
+            let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+            self.encode_parity(&data_refs, &mut refs)?;
+        }
+        Ok(parity.iter().zip(&shards[n..]).all(|(a, b)| a == b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compression, MatrixKind, OptConfig, Scheduling};
+
+    fn sample_data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 131 + i / 7) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_no_erasures() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data = sample_data(4 * 64);
+        let shards = codec.encode(&data).unwrap();
+        assert_eq!(shards.len(), 6);
+        assert!(codec.verify(&shards).unwrap());
+        let received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert_eq!(codec.decode(&received, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_all_single_erasures() {
+        let codec = RsCodec::new(5, 3).unwrap();
+        let data = sample_data(5 * 40);
+        let shards = codec.encode(&data).unwrap();
+        for lost in 0..8 {
+            let mut received: Vec<Option<Vec<u8>>> =
+                shards.iter().cloned().map(Some).collect();
+            received[lost] = None;
+            assert_eq!(codec.decode(&received, data.len()).unwrap(), data, "lost {lost}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_max_erasures_every_pattern() {
+        // RS(4,2): all C(6,2)=15 double-erasure patterns.
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data = sample_data(4 * 24);
+        let shards = codec.encode(&data).unwrap();
+        for a in 0..6 {
+            for b in a + 1..6 {
+                let mut received: Vec<Option<Vec<u8>>> =
+                    shards.iter().cloned().map(Some).collect();
+                received[a] = None;
+                received[b] = None;
+                assert_eq!(
+                    codec.decode(&received, data.len()).unwrap(),
+                    data,
+                    "lost {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_pattern_rs_10_4() {
+        // The paper's P_dec pattern: data shards {2,4,5,6} lost.
+        let codec = RsCodec::new(10, 4).unwrap();
+        let data = sample_data(10 * 80 + 13); // padding exercised
+        let shards = codec.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        for i in [2, 4, 5, 6] {
+            received[i] = None;
+        }
+        assert_eq!(codec.decode(&received, data.len()).unwrap(), data);
+        // and the decode SLP has exactly the paper's XOR count before
+        // optimization; after Full-DFS it is much smaller.
+        let slp = codec.decode_slp(&[2, 4, 5, 6]).unwrap();
+        assert!(slp.xor_count() < 1368);
+    }
+
+    #[test]
+    fn reconstruct_rebuilds_data_and_parity() {
+        let codec = RsCodec::new(6, 3).unwrap();
+        let data = sample_data(6 * 32);
+        let shards = codec.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> =
+            shards.iter().cloned().map(Some).collect();
+        received[1] = None; // data
+        received[7] = None; // parity
+        received[8] = None; // parity
+        codec.reconstruct(&mut received).unwrap();
+        for (i, s) in received.iter().enumerate() {
+            assert_eq!(s.as_ref().unwrap(), &shards[i], "shard {i}");
+        }
+    }
+
+    #[test]
+    fn parity_only_erasures_skip_the_inverse() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data = sample_data(4 * 16);
+        let shards = codec.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> =
+            shards.iter().cloned().map(Some).collect();
+        received[4] = None;
+        received[5] = None;
+        // decode ignores parity loss entirely
+        assert_eq!(codec.decode(&received, data.len()).unwrap(), data);
+        // reconstruct rebuilds them
+        codec.reconstruct(&mut received).unwrap();
+        assert_eq!(received[4].as_ref().unwrap(), &shards[4]);
+        assert_eq!(received[5].as_ref().unwrap(), &shards[5]);
+    }
+
+    #[test]
+    fn too_many_erasures_rejected() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data = sample_data(64);
+        let shards = codec.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        received[0] = None;
+        received[1] = None;
+        received[2] = None;
+        assert!(matches!(
+            codec.decode(&received, data.len()),
+            Err(EcError::TooManyErasures { missing: 3, parity: 2 })
+        ));
+    }
+
+    #[test]
+    fn shard_shape_errors() {
+        let codec = RsCodec::new(3, 2).unwrap();
+        assert!(matches!(
+            codec.decode(&[None, None], 0),
+            Err(EcError::ShardCount { expected: 5, got: 2 })
+        ));
+        let bad: Vec<Option<Vec<u8>>> = vec![
+            Some(vec![0; 16]),
+            Some(vec![0; 8]), // inconsistent
+            Some(vec![0; 16]),
+            Some(vec![0; 16]),
+            Some(vec![0; 16]),
+        ];
+        assert!(matches!(codec.decode(&bad, 0), Err(EcError::ShardLength(_))));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(RsCodec::new(0, 2).is_err());
+        assert!(RsCodec::new(2, 0).is_err());
+        assert!(RsCodec::new(200, 100).is_err());
+        assert!(RsCodec::with_config(RsConfig::new(4, 2).blocksize(0)).is_err());
+    }
+
+    #[test]
+    fn empty_data_roundtrip() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let shards = codec.encode(&[]).unwrap();
+        assert!(shards.iter().all(Vec::is_empty));
+        let received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert_eq!(codec.decode(&received, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn every_config_roundtrips() {
+        let data = sample_data(6 * 48);
+        for matrix in [
+            MatrixKind::IsalPower,
+            MatrixKind::ReducedVandermonde,
+            MatrixKind::Cauchy,
+        ] {
+            for opt in [
+                OptConfig::BASE,
+                OptConfig::COMPRESS,
+                OptConfig::FUSE,
+                OptConfig::FULL_DFS,
+                OptConfig {
+                    compression: Compression::RePair,
+                    fuse: true,
+                    schedule: Scheduling::Greedy { cache_blocks: 32 },
+                },
+            ] {
+                let codec = RsCodec::with_config(
+                    RsConfig::new(6, 2).matrix(matrix).opt(opt).blocksize(64),
+                )
+                .unwrap();
+                let shards = codec.encode(&data).unwrap();
+                let mut received: Vec<Option<Vec<u8>>> =
+                    shards.into_iter().map(Some).collect();
+                received[0] = None;
+                received[6] = None;
+                assert_eq!(
+                    codec.decode(&received, data.len()).unwrap(),
+                    data,
+                    "{matrix:?} {opt:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn configs_agree_on_parity_bytes() {
+        // Optimization level must not change the produced parity.
+        let data = sample_data(10 * 160);
+        let mk = |opt| {
+            RsCodec::with_config(RsConfig::new(10, 4).opt(opt).blocksize(256)).unwrap()
+        };
+        let reference = mk(OptConfig::BASE).encode(&data).unwrap();
+        for opt in [OptConfig::COMPRESS, OptConfig::FUSE, OptConfig::FULL_DFS] {
+            assert_eq!(mk(opt).encode(&data).unwrap(), reference, "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn multithreaded_encode_matches_single() {
+        let codec = RsCodec::new(8, 3).unwrap();
+        let data = sample_data(8 * 1024 + 3);
+        let single = codec.encode(&data).unwrap();
+
+        let shard_len = single[0].len();
+        let data_refs: Vec<&[u8]> = single[..8].iter().map(Vec::as_slice).collect();
+        let mut parity = vec![vec![0u8; shard_len]; 3];
+        {
+            let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+            codec.encode_parity_mt(&data_refs, &mut refs, 4).unwrap();
+        }
+        assert_eq!(&parity[..], &single[8..]);
+    }
+
+    #[test]
+    fn decode_cache_is_reused() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let p1 = codec.decode_program(&[0]).unwrap();
+        let p2 = codec.decode_program(&[0]).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // different order, same pattern
+        let p3 = codec.decode_program(&[1, 0]).unwrap();
+        let p4 = codec.decode_program(&[0, 1]).unwrap();
+        assert!(Arc::ptr_eq(&p3, &p4));
+    }
+
+    #[test]
+    fn paper_headline_slp_sizes() {
+        // The deterministic anchor of the whole reproduction: the
+        // unoptimized RS(10,4) programs have exactly the paper's sizes.
+        let codec = RsCodec::with_config(
+            RsConfig::new(10, 4).opt(OptConfig::BASE),
+        )
+        .unwrap();
+        let enc = codec.encode_slp();
+        assert_eq!(enc.xor_count(), 755, "#⊕(P_enc) from §7.5");
+        assert_eq!(enc.mem_accesses(), 2265, "#M(P_enc) = 3·755");
+        assert_eq!(enc.nvar(), 32, "NVar(P_enc)");
+        let dec = codec.decode_slp(&[2, 4, 5, 6]).unwrap();
+        assert_eq!(dec.xor_count(), 1368, "#⊕(P_dec) from §7.5");
+        assert_eq!(dec.nvar(), 32, "NVar(P_dec)");
+    }
+}

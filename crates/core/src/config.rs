@@ -1,0 +1,92 @@
+//! Codec configuration.
+
+use gf256::MatrixKind;
+use slp_optimizer::OptConfig;
+use xor_runtime::Kernel;
+
+/// Full configuration of an [`crate::RsCodec`].
+///
+/// The defaults reproduce the paper's best setting on its Intel testbed:
+/// ISA-L's power coding matrix, `Dfs(Fu(XorRePair(P)))` optimization,
+/// 1 KiB blocks (§7.4 picks `B = 1K` on Intel, `B = 2K` on AMD), and the
+/// fastest XOR kernel the CPU offers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RsConfig {
+    /// Number of data shards `n`.
+    pub data_shards: usize,
+    /// Number of parity shards `p`.
+    pub parity_shards: usize,
+    /// Coding-matrix construction (§7.1).
+    pub matrix: MatrixKind,
+    /// SLP optimization pipeline (§4–§6).
+    pub opt: OptConfig,
+    /// Blocking parameter `B` in bytes (§6.1, §7.4).
+    pub blocksize: usize,
+    /// XOR kernel (§7.2's `xor1` vs `xor32`).
+    pub kernel: Kernel,
+}
+
+impl RsConfig {
+    /// The paper's default configuration for an RS(n, p) codec.
+    pub fn new(data_shards: usize, parity_shards: usize) -> RsConfig {
+        RsConfig {
+            data_shards,
+            parity_shards,
+            matrix: MatrixKind::IsalPower,
+            opt: OptConfig::default(),
+            blocksize: 1024,
+            kernel: Kernel::Auto,
+        }
+    }
+
+    /// Builder-style matrix override.
+    pub fn matrix(mut self, kind: MatrixKind) -> Self {
+        self.matrix = kind;
+        self
+    }
+
+    /// Builder-style optimization override.
+    pub fn opt(mut self, opt: OptConfig) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Builder-style blocksize override.
+    pub fn blocksize(mut self, blocksize: usize) -> Self {
+        self.blocksize = blocksize;
+        self
+    }
+
+    /// Builder-style kernel override.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = RsConfig::new(10, 4);
+        assert_eq!(c.matrix, MatrixKind::IsalPower);
+        assert_eq!(c.blocksize, 1024);
+        assert_eq!(c.opt, OptConfig::FULL_DFS);
+        assert_eq!(c.kernel, Kernel::Auto);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = RsConfig::new(6, 3)
+            .matrix(MatrixKind::Cauchy)
+            .blocksize(2048)
+            .kernel(Kernel::Scalar)
+            .opt(OptConfig::BASE);
+        assert_eq!(c.matrix, MatrixKind::Cauchy);
+        assert_eq!(c.blocksize, 2048);
+        assert_eq!(c.kernel, Kernel::Scalar);
+        assert_eq!(c.opt, OptConfig::BASE);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type of the codec.
+
+use std::fmt;
+use xor_runtime::ExecError;
+
+/// Everything that can go wrong when constructing or using a codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EcError {
+    /// Invalid `(n, p)` parameters.
+    InvalidParams(String),
+    /// Wrong number of shards passed to an operation.
+    ShardCount { expected: usize, got: usize },
+    /// Shards have inconsistent or invalid lengths.
+    ShardLength(String),
+    /// More shards are missing than the parity count can repair.
+    TooManyErasures { missing: usize, parity: usize },
+    /// The survivor submatrix is singular — the chosen coding matrix is
+    /// not MDS for this erasure pattern (switch to `MatrixKind::Cauchy`).
+    SingularPattern { lost: Vec<usize> },
+    /// Executor-level failure (bubbled up; indicates a bug if it ever
+    /// escapes this crate).
+    Exec(ExecError),
+}
+
+impl fmt::Display for EcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcError::InvalidParams(msg) => write!(f, "invalid codec parameters: {msg}"),
+            EcError::ShardCount { expected, got } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            EcError::ShardLength(msg) => write!(f, "bad shard length: {msg}"),
+            EcError::TooManyErasures { missing, parity } => write!(
+                f,
+                "{missing} shards missing but only {parity} parity shards available"
+            ),
+            EcError::SingularPattern { lost } => write!(
+                f,
+                "coding matrix is singular for erasure pattern {lost:?}; \
+                 use MatrixKind::Cauchy for a guaranteed-MDS matrix"
+            ),
+            EcError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+impl From<ExecError> for EcError {
+    fn from(e: ExecError) -> Self {
+        EcError::Exec(e)
+    }
+}

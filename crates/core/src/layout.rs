@@ -1,0 +1,124 @@
+//! Shard ↔ packet layout (the `w = 8` striping of XOR-based EC).
+//!
+//! A shard of `L` bytes is eight packets of `L/8` bytes. The expanded
+//! bit-matrix column `8·i + b` addresses packet `b` of shard `i`, so the
+//! executor consumes/produces flat packet lists.
+
+use crate::error::EcError;
+
+/// Number of packets per shard (`w`, the symbol width in bits).
+pub const PACKETS_PER_SHARD: usize = 8;
+
+/// Split one shard into its 8 packets.
+///
+/// # Panics
+/// Panics if the length is not a multiple of 8 (callers validate first).
+pub fn packets(shard: &[u8]) -> Vec<&[u8]> {
+    assert_eq!(shard.len() % PACKETS_PER_SHARD, 0, "shard not packet-aligned");
+    let pl = shard.len() / PACKETS_PER_SHARD;
+    if pl == 0 {
+        return vec![&shard[0..0]; PACKETS_PER_SHARD];
+    }
+    shard.chunks_exact(pl).collect()
+}
+
+/// Split one mutable shard into its 8 packets.
+pub fn packets_mut(shard: &mut [u8]) -> Vec<&mut [u8]> {
+    assert_eq!(shard.len() % PACKETS_PER_SHARD, 0, "shard not packet-aligned");
+    let pl = shard.len() / PACKETS_PER_SHARD;
+    if pl == 0 {
+        // eight empty slices
+        let mut out: Vec<&mut [u8]> = Vec::with_capacity(PACKETS_PER_SHARD);
+        let mut rest = shard;
+        for _ in 0..PACKETS_PER_SHARD {
+            let (a, b) = rest.split_at_mut(0);
+            out.push(a);
+            rest = b;
+        }
+        return out;
+    }
+    shard.chunks_exact_mut(pl).collect()
+}
+
+/// Validate a set of equally sized, packet-aligned shards and return the
+/// common shard length.
+pub fn common_shard_len<'a>(
+    mut shards: impl Iterator<Item = &'a [u8]>,
+) -> Result<usize, EcError> {
+    let Some(first) = shards.next() else {
+        return Err(EcError::ShardLength("no shards given".into()));
+    };
+    let len = first.len();
+    if len % PACKETS_PER_SHARD != 0 {
+        return Err(EcError::ShardLength(format!(
+            "shard length {len} is not a multiple of {PACKETS_PER_SHARD}"
+        )));
+    }
+    for s in shards {
+        if s.len() != len {
+            return Err(EcError::ShardLength(format!(
+                "shard lengths differ: {len} vs {}",
+                s.len()
+            )));
+        }
+    }
+    Ok(len)
+}
+
+/// Shard length used by [`crate::RsCodec::encode`] for a given data length:
+/// the smallest packet-aligned length with `n` shards covering the data.
+pub fn shard_len_for(data_len: usize, n: usize) -> usize {
+    data_len.div_ceil(n).div_ceil(PACKETS_PER_SHARD) * PACKETS_PER_SHARD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_split_evenly() {
+        let shard: Vec<u8> = (0..64u8).collect();
+        let ps = packets(&shard);
+        assert_eq!(ps.len(), 8);
+        assert_eq!(ps[0], &shard[0..8]);
+        assert_eq!(ps[7], &shard[56..64]);
+    }
+
+    #[test]
+    fn packets_mut_are_disjoint_and_cover() {
+        let mut shard = vec![0u8; 32];
+        {
+            let mut ps = packets_mut(&mut shard);
+            for (i, p) in ps.iter_mut().enumerate() {
+                p.fill(i as u8);
+            }
+        }
+        assert_eq!(&shard[0..4], &[0, 0, 0, 0]);
+        assert_eq!(&shard[28..32], &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn zero_length_shards() {
+        let shard: [u8; 0] = [];
+        assert_eq!(packets(&shard).len(), 8);
+    }
+
+    #[test]
+    fn common_len_checks() {
+        let a = vec![0u8; 16];
+        let b = vec![0u8; 16];
+        assert_eq!(common_shard_len([a.as_slice(), b.as_slice()].into_iter()), Ok(16));
+        let c = vec![0u8; 24];
+        assert!(common_shard_len([a.as_slice(), c.as_slice()].into_iter()).is_err());
+        let odd = vec![0u8; 10];
+        assert!(common_shard_len([odd.as_slice()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn shard_len_rounding() {
+        assert_eq!(shard_len_for(80, 10), 8);
+        assert_eq!(shard_len_for(81, 10), 16);
+        assert_eq!(shard_len_for(0, 10), 0);
+        assert_eq!(shard_len_for(1, 10), 8);
+    }
+}

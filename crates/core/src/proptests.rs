@@ -1,0 +1,85 @@
+//! Property tests of the codec: roundtrips under random data, lengths and
+//! erasure patterns.
+
+use crate::{OptConfig, RsCodec, RsConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip_random_erasures(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        lost_seed in proptest::collection::hash_set(0usize..14, 0..=4),
+    ) {
+        // Codec construction is expensive; share one per process.
+        use std::sync::OnceLock;
+        static CODEC: OnceLock<RsCodec> = OnceLock::new();
+        let codec = CODEC.get_or_init(|| RsCodec::new(10, 4).unwrap());
+
+        let shards = codec.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        for &i in &lost_seed {
+            received[i] = None;
+        }
+        let restored = codec.decode(&received, data.len()).unwrap();
+        prop_assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn reconstruct_restores_every_shard(
+        data in proptest::collection::vec(any::<u8>(), 1..600),
+        lost_seed in proptest::collection::hash_set(0usize..8, 0..=3),
+    ) {
+        use std::sync::OnceLock;
+        static CODEC: OnceLock<RsCodec> = OnceLock::new();
+        let codec = CODEC.get_or_init(|| {
+            RsCodec::with_config(RsConfig::new(5, 3).blocksize(128)).unwrap()
+        });
+
+        let shards = codec.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> =
+            shards.iter().cloned().map(Some).collect();
+        for &i in &lost_seed {
+            received[i] = None;
+        }
+        codec.reconstruct(&mut received).unwrap();
+        for (i, s) in received.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &shards[i], "shard {}", i);
+        }
+    }
+
+    #[test]
+    fn base_and_optimized_parity_agree(
+        data in proptest::collection::vec(any::<u8>(), 1..800),
+    ) {
+        use std::sync::OnceLock;
+        static BASE: OnceLock<RsCodec> = OnceLock::new();
+        static FULL: OnceLock<RsCodec> = OnceLock::new();
+        let base = BASE.get_or_init(|| {
+            RsCodec::with_config(RsConfig::new(6, 3).opt(OptConfig::BASE).blocksize(64))
+                .unwrap()
+        });
+        let full = FULL.get_or_init(|| {
+            RsCodec::with_config(RsConfig::new(6, 3).opt(OptConfig::FULL_DFS).blocksize(64))
+                .unwrap()
+        });
+        prop_assert_eq!(base.encode(&data).unwrap(), full.encode(&data).unwrap());
+    }
+
+    #[test]
+    fn any_n_shards_suffice(
+        data in proptest::collection::vec(any::<u8>(), 64..256),
+        keep in proptest::sample::subsequence((0..9usize).collect::<Vec<_>>(), 6),
+    ) {
+        // RS(6,3): keep exactly 6 of 9 shards, drop the rest.
+        use std::sync::OnceLock;
+        static CODEC: OnceLock<RsCodec> = OnceLock::new();
+        let codec = CODEC.get_or_init(|| RsCodec::new(6, 3).unwrap());
+        let shards = codec.encode(&data).unwrap();
+        let received: Vec<Option<Vec<u8>>> = (0..9)
+            .map(|i| keep.contains(&i).then(|| shards[i].clone()))
+            .collect();
+        prop_assert_eq!(codec.decode(&received, data.len()).unwrap(), data);
+    }
+}

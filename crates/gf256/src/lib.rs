@@ -1,0 +1,40 @@
+//! Arithmetic over the finite field GF(2^8) and dense matrix algebra on top
+//! of it, as needed by Reed–Solomon erasure coding.
+//!
+//! The field is constructed from the primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`), the polynomial used by Intel's
+//! ISA-L and by the paper this workspace reproduces (Uezato, SC'21, §7.1).
+//! The generator `α = 0x02` is primitive for this polynomial, so
+//! `α^0 .. α^254` enumerate all non-zero elements.
+//!
+//! All lookup tables are built at *compile time* by `const fn`s, so the crate
+//! has no runtime initialization and no interior mutability.
+//!
+//! # Quick example
+//!
+//! ```
+//! use gf256::{Gf, GfMatrix};
+//!
+//! let a = Gf(0x53);
+//! let b = Gf(0xCA);
+//! assert_eq!(a * b * b.inv(), a);          // field inverse
+//! assert_eq!(a + a, Gf(0));                // characteristic 2
+//!
+//! let v = gf256::paper_encoding_matrix(4, 2); // systematic RS(4,2) matrix
+//! assert!(v.top_is_identity(4));
+//! ```
+
+mod field;
+mod matrix;
+mod tables;
+mod vandermonde;
+
+pub use field::{Gf, GF_ORDER, GF_PRIMITIVE_POLY};
+pub use matrix::GfMatrix;
+pub use vandermonde::{
+    cauchy_matrix, encoding_matrix, isal_power_matrix, paper_encoding_matrix, vandermonde,
+    MatrixKind,
+};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,367 @@
+//! Dense matrices over GF(2^8) with the operations erasure coding needs:
+//! multiplication, row-subset extraction, and Gauss–Jordan inversion.
+
+use crate::field::Gf;
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+
+/// A dense row-major matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct GfMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf>,
+}
+
+impl GfMatrix {
+    /// All-zero matrix of the given shape.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        GfMatrix {
+            rows,
+            cols,
+            data: vec![Gf::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = GfMatrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = Gf::ONE;
+        }
+        m
+    }
+
+    /// Build from a row-major byte slice.
+    ///
+    /// # Panics
+    /// Panics when `bytes.len() != rows * cols`.
+    pub fn from_bytes(rows: usize, cols: usize, bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            rows * cols,
+            "byte slice does not match matrix shape"
+        );
+        GfMatrix {
+            rows,
+            cols,
+            data: bytes.iter().copied().map(Gf).collect(),
+        }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Gf) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        GfMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow a row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Gf] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow a row.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [Gf] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Raw row-major bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.data.iter().map(|g| g.0).collect()
+    }
+
+    /// New matrix consisting of the given rows of `self`, in the given order.
+    ///
+    /// This is the decode-side "gather the surviving rows" operation.
+    pub fn select_rows(&self, indices: &[usize]) -> GfMatrix {
+        let mut m = GfMatrix::zero(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row index {src} out of bounds");
+            m.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        m
+    }
+
+    /// Vertical concatenation: `self` on top of `other`.
+    ///
+    /// # Panics
+    /// Panics when column counts differ.
+    pub fn vstack(&self, other: &GfMatrix) -> GfMatrix {
+        assert_eq!(self.cols, other.cols, "vstack requires equal column counts");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        GfMatrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    /// Panics when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Gf]) -> Vec<Gf> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(Gf::ZERO, |acc, (&a, &b)| acc + a * b)
+            })
+            .collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> GfMatrix {
+        GfMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// True iff the first `n` rows form the `n × n` identity (systematic
+    /// coding matrices have this shape).
+    pub fn top_is_identity(&self, n: usize) -> bool {
+        if self.rows < n || self.cols != n {
+            return false;
+        }
+        (0..n).all(|i| {
+            self.row(i)
+                .iter()
+                .enumerate()
+                .all(|(j, &x)| x == if i == j { Gf::ONE } else { Gf::ZERO })
+        })
+    }
+
+    /// Rank via Gaussian elimination (non-destructive).
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut rank = 0;
+        for col in 0..m.cols {
+            let Some(pivot) = (rank..m.rows).find(|&r| !m[(r, col)].is_zero()) else {
+                continue;
+            };
+            m.swap_rows(rank, pivot);
+            let inv = m[(rank, col)].inv();
+            for x in m.row_mut(rank) {
+                *x *= inv;
+            }
+            for r in 0..m.rows {
+                if r != rank && !m[(r, col)].is_zero() {
+                    let factor = m[(r, col)];
+                    for c in 0..m.cols {
+                        let v = m[(rank, c)];
+                        m[(r, c)] += factor * v;
+                    }
+                }
+            }
+            rank += 1;
+            if rank == m.rows {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Swap two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (top, bottom) = self.data.split_at_mut(b * self.cols);
+        top[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut bottom[..self.cols]);
+    }
+
+    /// Inverse by Gauss–Jordan elimination, or `None` if singular.
+    pub fn invert(&self) -> Option<GfMatrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = GfMatrix::identity(n);
+
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| !a[(r, col)].is_zero())?;
+            a.swap_rows(col, pivot);
+            inv.swap_rows(col, pivot);
+
+            let scale = a[(col, col)].inv();
+            for x in a.row_mut(col) {
+                *x *= scale;
+            }
+            for x in inv.row_mut(col) {
+                *x *= scale;
+            }
+
+            for r in 0..n {
+                if r == col || a[(r, col)].is_zero() {
+                    continue;
+                }
+                let factor = a[(r, col)];
+                for c in 0..n {
+                    let v = a[(col, c)];
+                    a[(r, c)] += factor * v;
+                    let w = inv[(col, c)];
+                    inv[(r, c)] += factor * w;
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+impl Index<(usize, usize)> for GfMatrix {
+    type Output = Gf;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Gf {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for GfMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Gf {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &GfMatrix {
+    type Output = GfMatrix;
+
+    fn mul(self, rhs: &GfMatrix) -> GfMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = GfMatrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = a * rhs[(k, j)];
+                    out[(i, j)] += prod;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for GfMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "GfMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = GfMatrix::from_fn(3, 3, |i, j| Gf((i * 7 + j * 13 + 1) as u8));
+        let id = GfMatrix::identity(3);
+        assert_eq!(&m * &id, m);
+        assert_eq!(&id * &m, m);
+    }
+
+    #[test]
+    fn invert_identity() {
+        let id = GfMatrix::identity(5);
+        assert_eq!(id.invert().unwrap(), id);
+    }
+
+    #[test]
+    fn invert_roundtrip_small() {
+        // A Vandermonde block is invertible; check M * M^-1 = I.
+        let m = GfMatrix::from_fn(4, 4, |i, j| Gf::alpha_pow(i + 1).pow(j as u32));
+        let inv = m.invert().expect("vandermonde square block is invertible");
+        assert_eq!(&m * &inv, GfMatrix::identity(4));
+        assert_eq!(&inv * &m, GfMatrix::identity(4));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let mut m = GfMatrix::identity(3);
+        // duplicate a row -> singular
+        let r0: Vec<Gf> = m.row(0).to_vec();
+        m.row_mut(2).copy_from_slice(&r0);
+        assert!(m.invert().is_none());
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rank_of_full_rank_matrix() {
+        let m = GfMatrix::from_fn(4, 6, |i, j| Gf::alpha_pow(i + 2).pow(j as u32));
+        assert_eq!(m.rank(), 4);
+    }
+
+    #[test]
+    fn select_rows_and_vstack() {
+        let m = GfMatrix::from_fn(4, 2, |i, j| Gf((10 * i + j) as u8));
+        let s = m.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), m.row(3));
+        assert_eq!(s.row(1), m.row(1));
+        let v = m.vstack(&s);
+        assert_eq!(v.rows(), 6);
+        assert_eq!(v.row(4), m.row(3));
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_mul() {
+        let m = GfMatrix::from_fn(3, 4, |i, j| Gf((i + 2 * j + 1) as u8));
+        let v = [Gf(9), Gf(8), Gf(7), Gf(6)];
+        let col = GfMatrix::from_fn(4, 1, |i, _| v[i]);
+        let prod = &m * &col;
+        let mv = m.mul_vec(&v);
+        for i in 0..3 {
+            assert_eq!(prod[(i, 0)], mv[i]);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = GfMatrix::from_fn(3, 5, |i, j| Gf((i * 5 + j) as u8));
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn product_shape_mismatch_panics() {
+        let a = GfMatrix::zero(2, 3);
+        let b = GfMatrix::zero(2, 3);
+        let _ = &a * &b;
+    }
+}

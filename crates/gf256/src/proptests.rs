@@ -1,0 +1,113 @@
+//! Property-based tests: field axioms and matrix-algebra invariants.
+
+use crate::{Gf, GfMatrix};
+use proptest::prelude::*;
+
+fn gf() -> impl Strategy<Value = Gf> {
+    any::<u8>().prop_map(Gf)
+}
+
+fn gf_nonzero() -> impl Strategy<Value = Gf> {
+    (1..=255u8).prop_map(Gf)
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in gf(), b in gf_nonzero()) {
+        prop_assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn pow_is_homomorphic(a in gf_nonzero(), e in 0u32..2000, f in 0u32..2000) {
+        prop_assert_eq!(a.pow(e) * a.pow(f), a.pow(e + f));
+    }
+
+    #[test]
+    fn mul_bytes_matches_operator(a in any::<u8>(), b in any::<u8>()) {
+        prop_assert_eq!(Gf::mul_bytes(a, b), (Gf(a) * Gf(b)).0);
+    }
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = GfMatrix> {
+    proptest::collection::vec(any::<u8>(), rows * cols)
+        .prop_map(move |bytes| GfMatrix::from_bytes(rows, cols, &bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_mul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn matrix_mul_vec_agrees(a in matrix(4, 4), v in proptest::collection::vec(any::<u8>(), 4)) {
+        let vg: Vec<Gf> = v.iter().copied().map(Gf).collect();
+        let col = GfMatrix::from_fn(4, 1, |i, _| vg[i]);
+        let prod = &a * &col;
+        let mv = a.mul_vec(&vg);
+        for i in 0..4 {
+            prop_assert_eq!(prod[(i, 0)], mv[i]);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_when_invertible(a in matrix(4, 4)) {
+        if let Some(inv) = a.invert() {
+            prop_assert_eq!(&a * &inv, GfMatrix::identity(4));
+            prop_assert_eq!(&inv * &a, GfMatrix::identity(4));
+            prop_assert_eq!(a.rank(), 4);
+        } else {
+            prop_assert!(a.rank() < 4);
+        }
+    }
+
+    #[test]
+    fn transpose_of_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        prop_assert_eq!((&a * &b).transpose(), &b.transpose() * &a.transpose());
+    }
+
+    #[test]
+    fn decode_simulation_recovers_data(
+        data in proptest::collection::vec(any::<u8>(), 6),
+        // choose 3 of 9 rows to drop, as row-index seeds
+        drop in proptest::collection::hash_set(0usize..9, 3),
+    ) {
+        // RS(6,3): encode a symbol vector, drop 3 rows, invert, recover.
+        let v = crate::paper_encoding_matrix(6, 3);
+        let d: Vec<Gf> = data.iter().copied().map(Gf).collect();
+        let code = v.mul_vec(&d);
+        let survivors: Vec<usize> = (0..9).filter(|i| !drop.contains(i)).collect();
+        let m = v.select_rows(&survivors);
+        let minv = m.invert().expect("MDS submatrix must be invertible");
+        let gathered: Vec<Gf> = survivors.iter().map(|&i| code[i]).collect();
+        let recovered = minv.mul_vec(&gathered);
+        prop_assert_eq!(recovered, d);
+    }
+}

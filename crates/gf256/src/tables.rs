@@ -1,0 +1,136 @@
+//! Compile-time lookup tables for GF(2^8) with primitive polynomial `0x11D`.
+//!
+//! Three tables are produced by const evaluation:
+//!
+//! * `EXP[i] = α^i` for `i ∈ [0, 510)` — doubled so that
+//!   `EXP[log a + log b]` never needs a modular reduction;
+//! * `LOG[x] = log_α x` for `x ∈ [1, 256)` (`LOG[0]` is a sentinel);
+//! * `MUL[a][b] = a ×_GF b`, the full 64 KiB product table used by the
+//!   table-driven baseline codec and by matrix code.
+
+/// The irreducible (and primitive) polynomial `x^8 + x^4 + x^3 + x^2 + 1`.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// Carry-less "Russian peasant" multiplication modulo [`PRIMITIVE_POLY`].
+///
+/// Only used at compile time to seed the tables and in tests as an
+/// independent oracle for the table contents.
+pub const fn mul_slow(mut a: u8, mut b: u8) -> u8 {
+    let mut acc: u8 = 0;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let carry = a & 0x80 != 0;
+        a <<= 1;
+        if carry {
+            a ^= (PRIMITIVE_POLY & 0xFF) as u8;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+const fn build_exp() -> [u8; 510] {
+    let mut exp = [0u8; 510];
+    let mut x: u8 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x;
+        exp[i + 255] = x;
+        x = mul_slow(x, 2);
+        i += 1;
+    }
+    exp
+}
+
+const fn build_log(exp: &[u8; 510]) -> [u8; 256] {
+    // LOG[0] is never consulted by correct code; keep it 0.
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+const fn build_mul(exp: &[u8; 510], log: &[u8; 256]) -> [[u8; 256]; 256] {
+    let mut mul = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let la = log[a] as usize;
+        let mut b = 1usize;
+        while b < 256 {
+            mul[a][b] = exp[la + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    mul
+}
+
+/// `EXP[i] = α^i` (doubled range, see module docs).
+pub const EXP: [u8; 510] = build_exp();
+
+/// `LOG[x] = log_α x` for non-zero `x`.
+pub const LOG: [u8; 256] = build_log(&EXP);
+
+/// Full 256×256 product table (64 KiB; deliberately a `const` so it
+/// lives in rodata with zero runtime initialization).
+#[allow(clippy::large_const_arrays)]
+pub const MUL: [[u8; 256]; 256] = build_mul(&EXP, &LOG);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_is_primitive() {
+        // α = 2 generates all 255 non-zero elements, i.e. the EXP table has
+        // no repeats in its first period.
+        let mut seen = [false; 256];
+        for &e in EXP.iter().take(255) {
+            assert!(e != 0, "α^i must be non-zero");
+            assert!(!seen[e as usize], "α repeats before period 255");
+            seen[e as usize] = true;
+        }
+        assert_eq!(EXP[0], 1);
+        // the period closes: α^255 = α^0.
+        assert_eq!(mul_slow(EXP[254], 2), 1);
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for x in 1..=255u8 {
+            assert_eq!(EXP[LOG[x as usize] as usize], x);
+        }
+        for i in 0..255usize {
+            assert_eq!(LOG[EXP[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_slow_multiplication() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(MUL[a as usize][b as usize], mul_slow(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn doubled_exp_avoids_modular_reduction() {
+        for i in 0..255usize {
+            assert_eq!(EXP[i], EXP[i + 255]);
+        }
+    }
+
+    #[test]
+    fn known_products() {
+        // Hand-checked values for poly 0x11D.
+        assert_eq!(mul_slow(2, 0x80), 0x1D);
+        assert_eq!(mul_slow(0xFF, 0xFF), 0xE2);
+        assert_eq!(mul_slow(0x53, 0xCA), 0x8F);
+    }
+}

@@ -1,0 +1,161 @@
+//! Computation graphs (§6.4): the arenas of the pebble game.
+//!
+//! A computation graph is a DAG whose leaves are the program's constants
+//! and whose inner nodes are its variables; an inner node's value is the
+//! XOR of its children, and *goal* nodes are the returned values.
+
+use slp::{Slp, Term};
+
+/// The computation graph of an SSA `SLP®⊕`.
+#[derive(Clone, Debug)]
+pub struct CompGraph {
+    /// Number of constants (leaves).
+    pub n_consts: usize,
+    /// `children[v]` — the argument terms of inner node `v`, in ≺ order.
+    pub children: Vec<Vec<Term>>,
+    /// `parent_count[v]` — how many inner nodes consume `v`.
+    pub parent_count: Vec<usize>,
+    /// Goal terms, positionally matching the program's outputs.
+    pub goals: Vec<Term>,
+    /// `is_goal[v]` for inner nodes.
+    pub is_goal: Vec<bool>,
+    /// Inner nodes reachable from some goal (everything worth computing).
+    pub needed: Vec<bool>,
+}
+
+impl CompGraph {
+    /// Build from an SSA program with duplicate-free argument lists (the
+    /// shape produced by compression and fusion).
+    ///
+    /// # Panics
+    /// Panics if the program is not SSA or an instruction repeats a term.
+    pub fn build(slp: &Slp) -> CompGraph {
+        assert!(slp.is_ssa(), "computation graphs require SSA form");
+        let n = slp.n_vars();
+        let mut children: Vec<Vec<Term>> = vec![Vec::new(); n];
+        let mut parent_count = vec![0usize; n];
+        for instr in &slp.instrs {
+            let mut args = instr.args.clone();
+            args.sort_unstable();
+            let before = args.len();
+            args.dedup();
+            assert_eq!(
+                before,
+                args.len(),
+                "instruction for v{} repeats an argument; fuse first",
+                instr.dst
+            );
+            for &t in &args {
+                if let Term::Var(v) = t {
+                    parent_count[v as usize] += 1;
+                }
+            }
+            children[instr.dst as usize] = args;
+        }
+
+        let mut is_goal = vec![false; n];
+        for &t in &slp.outputs {
+            if let Term::Var(v) = t {
+                is_goal[v as usize] = true;
+            }
+        }
+
+        // Mark nodes reachable from the goals (downward).
+        let mut needed = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&v| is_goal[v]).collect();
+        while let Some(v) = stack.pop() {
+            if std::mem::replace(&mut needed[v], true) {
+                continue;
+            }
+            for &t in &children[v] {
+                if let Term::Var(c) = t {
+                    if !needed[c as usize] {
+                        stack.push(c as usize);
+                    }
+                }
+            }
+        }
+
+        CompGraph {
+            n_consts: slp.n_consts,
+            children,
+            parent_count,
+            goals: slp.outputs.clone(),
+            is_goal,
+            needed,
+        }
+    }
+
+    /// Number of inner nodes.
+    pub fn n_inner(&self) -> usize {
+        self.children.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::Instr;
+    use slp::Term::{Const, Var};
+
+    /// The fused example P_eg whose graph is drawn in §6.4 (G_eg).
+    fn p_eg() -> Slp {
+        Slp::new(
+            7,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Const(2), Const(3)]),
+                Instr::new(2, vec![Var(0), Const(4), Const(5)]),
+                Instr::new(3, vec![Var(2), Const(6), Const(0)]),
+                Instr::new(4, vec![Var(0), Var(2), Var(3)]),
+            ],
+            vec![Var(1), Var(3), Var(4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn g_eg_structure() {
+        let g = CompGraph::build(&p_eg());
+        assert_eq!(g.n_inner(), 5);
+        // v1 feeds v3 and v5; v3 feeds v4 and v5; v4 feeds v5.
+        assert_eq!(g.parent_count[0], 2);
+        assert_eq!(g.parent_count[2], 2);
+        assert_eq!(g.parent_count[3], 1);
+        assert_eq!(g.parent_count[1], 0); // v2 is a root
+        assert_eq!(g.parent_count[4], 0); // v5 is a root
+        assert!(g.is_goal[1] && g.is_goal[3] && g.is_goal[4]);
+        assert!(!g.is_goal[0] && !g.is_goal[2]);
+        assert!(g.needed.iter().all(|&b| b));
+        // children are stored in ≺ order: variables before constants.
+        assert_eq!(g.children[3], vec![Var(2), Const(0), Const(6)]);
+    }
+
+    #[test]
+    fn dead_roots_are_not_needed() {
+        let p = Slp::new(
+            3,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Const(1), Const(2)]), // dead
+            ],
+            vec![Var(0)],
+        )
+        .unwrap();
+        let g = CompGraph::build(&p);
+        assert!(g.needed[0]);
+        assert!(!g.needed[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats an argument")]
+    fn duplicate_args_rejected() {
+        let p = Slp::new(
+            2,
+            vec![Instr::new(0, vec![Const(0), Const(0), Const(1)])],
+            vec![Var(0)],
+        )
+        .unwrap();
+        let _ = CompGraph::build(&p);
+    }
+}

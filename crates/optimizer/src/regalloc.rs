@@ -1,0 +1,150 @@
+//! Register assignment on SSA SLPs (§6.3) — kept as an ablation.
+//!
+//! Because an SLP is branch-free, its SSA live ranges are intervals, and
+//! interval graphs are colored optimally by a linear scan (this is the
+//! "register assignment for SSA programs is tractable" observation of
+//! §6.3). The pass renames variables *without reordering instructions*;
+//! the paper shows — and our Table 7.5 ablation confirms — that renaming
+//! alone shrinks `NVar` and a little of `IOcost` but cannot improve
+//! `CCap`, which is why scheduling (§6.6) goes beyond it.
+
+use slp::{Instr, Slp, Term};
+
+/// Optimally rename the variables of an SSA program to minimize the number
+/// of distinct variables, preserving instruction order and semantics.
+///
+/// # Panics
+/// Panics if the input is not in SSA form.
+pub fn assign_registers(slp: &Slp) -> Slp {
+    assert!(slp.is_ssa(), "register assignment requires SSA form");
+    let n = slp.n_vars();
+
+    // last_use[v]: index of the last instruction reading v, or usize::MAX
+    // if v is returned (live until the end).
+    let mut last_use = vec![0usize; n];
+    for (i, instr) in slp.instrs.iter().enumerate() {
+        for &t in &instr.args {
+            if let Term::Var(v) = t {
+                last_use[v as usize] = i;
+            }
+        }
+    }
+    for &t in &slp.outputs {
+        if let Term::Var(v) = t {
+            last_use[v as usize] = usize::MAX;
+        }
+    }
+
+    let mut reg_of = vec![u32::MAX; n];
+    let mut free: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+        std::collections::BinaryHeap::new();
+    let mut next_reg = 0u32;
+
+    let mut instrs = Vec::with_capacity(slp.instrs.len());
+    for (i, instr) in slp.instrs.iter().enumerate() {
+        // Arguments dying at this instruction free their registers first,
+        // so the destination may reuse one (dst/src aliasing is sound for
+        // element-wise XOR).
+        for &t in &instr.args {
+            if let Term::Var(v) = t {
+                if last_use[v as usize] == i {
+                    free.push(std::cmp::Reverse(reg_of[v as usize]));
+                }
+            }
+        }
+        let reg = match free.pop() {
+            Some(std::cmp::Reverse(r)) => r,
+            None => {
+                let r = next_reg;
+                next_reg += 1;
+                r
+            }
+        };
+        reg_of[instr.dst as usize] = reg;
+        let args = instr
+            .args
+            .iter()
+            .map(|&t| match t {
+                Term::Var(v) => Term::Var(reg_of[v as usize]),
+                c => c,
+            })
+            .collect::<Vec<_>>();
+        instrs.push(Instr::new(reg, args));
+    }
+    let outputs = slp
+        .outputs
+        .iter()
+        .map(|&t| match t {
+            Term::Var(v) => Term::Var(reg_of[v as usize]),
+            c => c,
+        })
+        .collect();
+    Slp::new(slp.n_consts, instrs, outputs).expect("regalloc emits well-formed SLPs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::Term::{Const, Var};
+    use slp::{ccap, iocost};
+
+    fn p_eg() -> Slp {
+        Slp::new(
+            7,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Const(2), Const(3)]),
+                Instr::new(2, vec![Var(0), Const(4), Const(5)]),
+                Instr::new(3, vec![Var(2), Const(6), Const(0)]),
+                Instr::new(4, vec![Var(0), Var(2), Var(3)]),
+            ],
+            vec![Var(1), Var(3), Var(4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_p_reg_of_section_6_3() {
+        // Graph-coloring assignment turns P_eg into P_reg: the final XOR
+        // reuses v1's register, NVar drops 5 → 4, IOcost(·,8) drops
+        // 13 → 12, but CCap stays 10.
+        let p = p_eg();
+        let q = assign_registers(&p);
+        assert_eq!(q.eval(), p.eval());
+        assert_eq!(q.nvar(), 4);
+        assert_eq!(iocost(&q, 8), 12);
+        assert_eq!(ccap(&q), 10);
+        // the last instruction writes into the register of v1
+        assert_eq!(q.instrs[4].dst, q.instrs[0].dst);
+    }
+
+    #[test]
+    fn no_reuse_possible_when_everything_is_returned() {
+        let p = Slp::new(
+            3,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Var(0), Const(2)]),
+            ],
+            vec![Var(0), Var(1)],
+        )
+        .unwrap();
+        let q = assign_registers(&p);
+        assert_eq!(q.nvar(), 2);
+        assert_eq!(q.eval(), p.eval());
+    }
+
+    #[test]
+    fn long_dead_chain_uses_two_registers() {
+        // v_{i+1} ← v_i ⊕ c: every value dies immediately; dst reuses the
+        // dying argument's register, so one register suffices.
+        let mut instrs = vec![Instr::new(0, vec![Const(0), Const(1)])];
+        for i in 1..10u32 {
+            instrs.push(Instr::new(i, vec![Var(i - 1), Const(i % 3)]));
+        }
+        let p = Slp::new(3, instrs, vec![Var(9)]).unwrap();
+        let q = assign_registers(&p);
+        assert_eq!(q.nvar(), 1);
+        assert_eq!(q.eval(), p.eval());
+    }
+}

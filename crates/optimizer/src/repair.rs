@@ -1,0 +1,473 @@
+//! RePair and XorRePair (§4.3–§4.4): compressing `SLP⊕` by recursive
+//! pairing, optionally exploiting XOR cancellativity via `Rebuild`.
+//!
+//! The compressor works on the *flat* normal form: one definition per
+//! output, each a set of terms. Definitions still to be processed are the
+//! "original variables" (below the horizontal line in the paper's
+//! notation); `Pair(x, y)` introduces *temporal* variables `t1, t2, …`
+//! above the line. The loop ends when every original has collapsed into an
+//! alias of a temporal (or a constant), at which point the program is a
+//! sequence of binary XORs — one per temporal.
+//!
+//! Tie-breaking uses the total order `≺` of §4.3 (temporals by generation
+//! order, then constants alphabetically) extended lexicographically to
+//! pairs (`⊏`); this makes the output fully deterministic.
+
+use slp::{Instr, Slp, Term, ValueSet};
+use std::collections::btree_set::BTreeSet;
+use std::collections::HashMap;
+
+/// Statistics reported by a compression run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompressStats {
+    /// Number of `Pair` applications (= temporals created).
+    pub pairs: usize,
+    /// Number of `Rebuild` applications that strictly shrank a definition.
+    pub rebuilds_applied: usize,
+    /// Temporals left unused by the final program (candidates for DCE).
+    pub dead_temporals: usize,
+}
+
+/// A pair key, normalized so the ≺-smaller term comes first.
+fn pair_key(a: Term, b: Term) -> (Term, Term) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+struct Original {
+    /// Current definition: a set of terms (constants and temporals).
+    def: BTreeSet<Term>,
+    /// The invariant value of this definition (fixed at construction).
+    value: ValueSet,
+    /// Output slot this original defines.
+    slot: usize,
+}
+
+struct Compressor {
+    universe: usize,
+    /// Temporal definitions in creation order; `Term::Var(i)` refers to
+    /// `temporals[i]`.
+    temporals: Vec<(Term, Term)>,
+    /// Value of each temporal.
+    temporal_values: Vec<ValueSet>,
+    /// Reuse map: definition pair → existing temporal index.
+    by_def: HashMap<(Term, Term), u32>,
+    /// Live originals.
+    originals: Vec<Original>,
+    /// Pair frequencies across live original definitions.
+    counts: HashMap<(Term, Term), u32>,
+    /// Resolved output slots.
+    out_map: Vec<Option<Term>>,
+    stats: CompressStats,
+}
+
+impl Compressor {
+    fn new(flat: &Slp) -> Self {
+        let mut c = Compressor {
+            universe: flat.n_consts,
+            temporals: Vec::new(),
+            temporal_values: Vec::new(),
+            by_def: HashMap::new(),
+            originals: Vec::new(),
+            counts: HashMap::new(),
+            out_map: vec![None; flat.outputs.len()],
+            stats: CompressStats::default(),
+        };
+        let values = flat.eval();
+        for (slot, out) in flat.outputs.iter().enumerate() {
+            match out {
+                Term::Const(k) => c.out_map[slot] = Some(Term::Const(*k)),
+                Term::Var(_) => {
+                    let def: BTreeSet<Term> =
+                        values[slot].iter().map(Term::Const).collect();
+                    assert!(!def.is_empty(), "output {slot} has empty value");
+                    c.originals.push(Original {
+                        def,
+                        value: values[slot].clone(),
+                        slot,
+                    });
+                }
+            }
+        }
+        for orig in &c.originals {
+            let terms: Vec<Term> = orig.def.iter().copied().collect();
+            for i in 0..terms.len() {
+                for j in i + 1..terms.len() {
+                    *c.counts.entry(pair_key(terms[i], terms[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        c
+    }
+
+    fn term_value(&self, t: Term) -> ValueSet {
+        match t {
+            Term::Const(k) => ValueSet::singleton(self.universe, k),
+            Term::Var(i) => self.temporal_values[i as usize].clone(),
+        }
+    }
+
+    fn dec(&mut self, key: (Term, Term)) {
+        match self.counts.get_mut(&key) {
+            Some(1) => {
+                self.counts.remove(&key);
+            }
+            Some(n) => *n -= 1,
+            None => unreachable!("pair count underflow for {key:?}"),
+        }
+    }
+
+    /// Remove `x` from original `oi`'s definition, updating pair counts.
+    fn def_remove(&mut self, oi: usize, x: Term) {
+        let others: Vec<Term> = self.originals[oi]
+            .def
+            .iter()
+            .copied()
+            .filter(|&z| z != x)
+            .collect();
+        assert!(self.originals[oi].def.remove(&x), "removing absent term");
+        for z in others {
+            self.dec(pair_key(x, z));
+        }
+    }
+
+    /// Insert `x` into original `oi`'s definition, updating pair counts.
+    fn def_insert(&mut self, oi: usize, x: Term) {
+        let others: Vec<Term> = self.originals[oi].def.iter().copied().collect();
+        assert!(self.originals[oi].def.insert(x), "inserting duplicate term");
+        for z in others {
+            *self.counts.entry(pair_key(x, z)).or_insert(0) += 1;
+        }
+    }
+
+    /// Toggle membership (used when a pair replacement meets an existing
+    /// occurrence of the temporal: `t ⊕ t` cancels).
+    fn def_toggle(&mut self, oi: usize, x: Term) {
+        if self.originals[oi].def.contains(&x) {
+            self.def_remove(oi, x);
+        } else {
+            self.def_insert(oi, x);
+        }
+    }
+
+    fn get_or_create_temporal(&mut self, x: Term, y: Term) -> Term {
+        let key = pair_key(x, y);
+        if let Some(&i) = self.by_def.get(&key) {
+            return Term::Var(i);
+        }
+        let idx = self.temporals.len() as u32;
+        let value = self.term_value(x).symdiff(&self.term_value(y));
+        self.temporals.push(key);
+        self.temporal_values.push(value);
+        self.by_def.insert(key, idx);
+        self.stats.pairs += 1;
+        Term::Var(idx)
+    }
+
+    /// Resolve originals whose definition collapsed to a single term.
+    fn resolve_aliases(&mut self) {
+        let mut i = 0;
+        while i < self.originals.len() {
+            if self.originals[i].def.len() == 1 {
+                let orig = self.originals.swap_remove(i);
+                let term = *orig.def.iter().next().expect("len checked");
+                self.out_map[orig.slot] = Some(term);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The most frequent pair; ties broken by the lexicographic order ⊏.
+    fn best_pair(&self) -> Option<(Term, Term)> {
+        let max = *self.counts.values().max()?;
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c == max)
+            .map(|(&k, _)| k)
+            .min()
+    }
+
+    /// One `Pair(x, y)` step (§4.3).
+    fn apply_pair(&mut self, x: Term, y: Term) {
+        let t = self.get_or_create_temporal(x, y);
+        for oi in 0..self.originals.len() {
+            let has_both = {
+                let d = &self.originals[oi].def;
+                d.contains(&x) && d.contains(&y)
+            };
+            if !has_both {
+                continue;
+            }
+            self.def_remove(oi, x);
+            self.def_remove(oi, y);
+            // If t already occurs, x ⊕ y ⊕ t = 0 cancels it out entirely.
+            self.def_toggle(oi, t);
+            assert!(
+                !self.originals[oi].def.is_empty(),
+                "definition cancelled to the empty set"
+            );
+        }
+    }
+
+    /// `Rebuild(v)` (§4.4): greedily re-express an original's value using
+    /// temporal values, exploiting cancellativity.
+    fn rebuild(&self, oi: usize) -> BTreeSet<Term> {
+        let orig = &self.originals[oi];
+        let mut rem = orig.value.clone();
+        let mut chosen: BTreeSet<u32> = BTreeSet::new();
+        loop {
+            let here = rem.len();
+            let mut best: Option<(usize, u32)> = None; // (|rem ⊕ t|, index)
+            for (i, tv) in self.temporal_values.iter().enumerate() {
+                let after = rem.symdiff_len(tv);
+                if after < here {
+                    let candidate = (after, i as u32);
+                    // strictly better, or equal size with smaller index (≺)
+                    if best.is_none_or(|b| candidate < b) {
+                        best = Some(candidate);
+                    }
+                }
+            }
+            let Some((_, idx)) = best else { break };
+            rem.symdiff_assign(&self.temporal_values[idx as usize]);
+            // toggling keeps the invariant value(def) = ⟦v⟧ even if the
+            // greedy loop revisits a temporal
+            if !chosen.remove(&idx) {
+                chosen.insert(idx);
+            }
+        }
+        let mut def: BTreeSet<Term> = rem.iter().map(Term::Const).collect();
+        def.extend(chosen.into_iter().map(Term::Var));
+        def
+    }
+
+    /// The `Rebuild` sweep of XorRePair's step (3).
+    fn rebuild_pass(&mut self) {
+        for oi in 0..self.originals.len() {
+            let candidate = self.rebuild(oi);
+            if candidate.len() < self.originals[oi].def.len() {
+                // Replace wholesale, keeping pair counts consistent.
+                let old: Vec<Term> = self.originals[oi].def.iter().copied().collect();
+                for &x in &old {
+                    self.def_remove(oi, x);
+                }
+                for x in candidate {
+                    self.def_insert(oi, x);
+                }
+                self.stats.rebuilds_applied += 1;
+            }
+        }
+    }
+
+    fn run(mut self, use_rebuild: bool) -> (Slp, CompressStats) {
+        loop {
+            self.resolve_aliases();
+            if self.originals.is_empty() {
+                break;
+            }
+            let (x, y) = self
+                .best_pair()
+                .expect("non-alias originals always contain a pair");
+            self.apply_pair(x, y);
+            if use_rebuild {
+                self.rebuild_pass();
+            }
+        }
+        self.emit()
+    }
+
+    fn emit(mut self) -> (Slp, CompressStats) {
+        let instrs: Vec<Instr> = self
+            .temporals
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Instr::new(i as u32, vec![a, b]))
+            .collect();
+        let outputs: Vec<Term> = self
+            .out_map
+            .iter()
+            .map(|t| t.expect("all outputs resolved at termination"))
+            .collect();
+        let slp = Slp::new(self.universe, instrs, outputs)
+            .expect("compressor emits well-formed SLPs");
+        // Count temporals never read and never returned.
+        let uses = slp.use_counts();
+        let mut returned = vec![false; slp.n_vars()];
+        for &t in &slp.outputs {
+            if let Term::Var(v) = t {
+                returned[v as usize] = true;
+            }
+        }
+        self.stats.dead_temporals = (0..slp.n_vars())
+            .filter(|&v| uses[v] == 0 && !returned[v])
+            .count();
+        (slp, self.stats)
+    }
+}
+
+/// RePair (§4.3): recursive pairing without cancellation.
+///
+/// Accepts any SLP; it is flattened first (each output expressed over
+/// constants), which is semantics-preserving. The result is a binary SSA
+/// `SLP⊕` with `⟦out⟧ = ⟦in⟧`.
+pub fn repair(slp: &Slp) -> (Slp, CompressStats) {
+    Compressor::new(&slp.flatten()).run(false)
+}
+
+/// XorRePair (§4.4): RePair augmented with the cancellation-aware
+/// `Rebuild` sweep after every pairing step.
+pub fn xor_repair(slp: &Slp) -> (Slp, CompressStats) {
+    Compressor::new(&slp.flatten()).run(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp::Term::{Const, Var};
+
+    /// P0 of §4.2/§4.3 (consts a,b,c,d = 0..3).
+    fn p0() -> Slp {
+        Slp::new(
+            4,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Const(0), Const(1), Const(2)]),
+                Instr::new(2, vec![Const(0), Const(1), Const(2), Const(3)]),
+                Instr::new(3, vec![Const(1), Const(2), Const(3)]),
+            ],
+            vec![Var(0), Var(1), Var(2), Var(3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repair_reproduces_the_paper_trace_on_p0() {
+        // §4.3: RePair compresses P0 from 8 XORs to 5, producing
+        //   t1 ← a⊕b; t2 ← t1⊕c; t3 ← t2⊕d; t4 ← b⊕c; t5 ← t4⊕d.
+        let (q, stats) = repair(&p0());
+        assert_eq!(q.xor_count(), 5);
+        assert_eq!(stats.pairs, 5);
+        assert_eq!(q.eval(), p0().eval());
+        assert!(q.is_binary());
+        assert!(q.is_ssa());
+
+        let expect: Vec<Instr> = vec![
+            Instr::new(0, vec![Const(0), Const(1)]), // t1 ← a⊕b
+            Instr::new(1, vec![Var(0), Const(2)]),   // t2 ← t1⊕c
+            Instr::new(2, vec![Var(1), Const(3)]),   // t3 ← t2⊕d
+            Instr::new(3, vec![Const(1), Const(2)]), // t4 ← b⊕c
+            Instr::new(4, vec![Var(3), Const(3)]),   // t5 ← t4⊕d
+        ];
+        assert_eq!(q.instrs, expect);
+        assert_eq!(q.outputs, vec![Var(0), Var(1), Var(2), Var(4)]);
+    }
+
+    #[test]
+    fn xor_repair_finds_the_shortest_slp_for_p0() {
+        // §4.4: XorRePair reaches the optimum of 4 XORs by rebuilding
+        // v4 ← a ⊕ t3 and then pairing (t3, a) — note ⊏ orders the
+        // temporal first.
+        let (q, stats) = xor_repair(&p0());
+        assert_eq!(q.xor_count(), 4, "\n{q}");
+        assert_eq!(q.eval(), p0().eval());
+        assert!(stats.rebuilds_applied >= 1);
+
+        let expect: Vec<Instr> = vec![
+            Instr::new(0, vec![Const(0), Const(1)]), // t1 ← a⊕b
+            Instr::new(1, vec![Var(0), Const(2)]),   // t2 ← t1⊕c
+            Instr::new(2, vec![Var(1), Const(3)]),   // t3 ← t2⊕d
+            Instr::new(3, vec![Var(2), Const(0)]),   // t4 ← t3⊕a
+        ];
+        assert_eq!(q.instrs, expect);
+        assert_eq!(q.outputs, vec![Var(0), Var(1), Var(2), Var(3)]);
+    }
+
+    #[test]
+    fn xor_repair_never_beats_repair_in_reverse() {
+        // On programs without cancellation opportunities both coincide.
+        let p = Slp::new(
+            5,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1), Const(2)]),
+                Instr::new(1, vec![Const(2), Const(3), Const(4)]),
+            ],
+            vec![Var(0), Var(1)],
+        )
+        .unwrap();
+        let (a, _) = repair(&p);
+        let (b, _) = xor_repair(&p);
+        assert_eq!(a.eval(), p.eval());
+        assert_eq!(b.eval(), p.eval());
+        assert!(b.xor_count() <= a.xor_count());
+    }
+
+    #[test]
+    fn shared_subterm_is_extracted_once() {
+        // §2.1: c⊕d⊕e shared by two outputs is computed once.
+        let p = Slp::new(
+            7,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Const(2), Const(3), Const(4), Const(5)]),
+                Instr::new(2, vec![Const(2), Const(3), Const(4), Const(6)]),
+            ],
+            vec![Var(0), Var(1), Var(2)],
+        )
+        .unwrap();
+        let (q, _) = repair(&p);
+        assert_eq!(q.xor_count(), 5); // 7 → 5 as in the §2.1 summary
+        assert_eq!(q.eval(), p.eval());
+    }
+
+    #[test]
+    fn constant_outputs_pass_through() {
+        let p = Slp::new(
+            3,
+            vec![Instr::new(0, vec![Const(0), Const(1), Const(2)])],
+            vec![Var(0), Const(2)],
+        )
+        .unwrap();
+        let (q, _) = xor_repair(&p);
+        assert_eq!(q.outputs[1], Const(2));
+        assert_eq!(q.eval(), p.eval());
+    }
+
+    #[test]
+    fn single_output_chain() {
+        // One output of k consts compresses to a left-deep chain of k-1
+        // pairings (no sharing available).
+        let p = Slp::new(
+            6,
+            vec![Instr::new(
+                0,
+                (0..6).map(Const).collect::<Vec<_>>(),
+            )],
+            vec![Var(0)],
+        )
+        .unwrap();
+        let (q, _) = repair(&p);
+        assert_eq!(q.xor_count(), 5);
+        assert_eq!(q.eval(), p.eval());
+    }
+
+    #[test]
+    fn identical_outputs_share_everything() {
+        let p = Slp::new(
+            3,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1), Const(2)]),
+                Instr::new(1, vec![Const(0), Const(1), Const(2)]),
+            ],
+            vec![Var(0), Var(1)],
+        )
+        .unwrap();
+        let (q, _) = repair(&p);
+        assert_eq!(q.xor_count(), 2); // one chain, two aliased outputs
+        assert_eq!(q.outputs[0], q.outputs[1]);
+        assert_eq!(q.eval(), p.eval());
+    }
+}

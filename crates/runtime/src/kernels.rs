@@ -1,0 +1,265 @@
+//! XOR kernels: `dst[i] = s1[i] ^ s2[i] ^ … ^ sk[i]` for one chunk.
+//!
+//! Three implementations, mirroring §7.2's `xor1`/`xor32` comparison plus a
+//! portable middle ground:
+//!
+//! * [`Kernel::Scalar`] — byte-at-a-time (`xor1`);
+//! * [`Kernel::Wide64`] — eight bytes per step via unaligned `u64`s;
+//! * [`Kernel::Avx2`] — 32 bytes per step via `_mm256_xor_si256`
+//!   (`xor32`), with a 2× unrolled main loop.
+//!
+//! # Aliasing contract
+//!
+//! `dst` may equal one or more of the sources **exactly** (same address) —
+//! scheduled programs reuse pebbles as in `p1 ← ⊕(p1, p2, p3)`. Partial
+//! overlap is forbidden. Element-wise processing makes exact aliasing
+//! sound: position `i` is fully read before it is written.
+
+/// Which XOR implementation to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Kernel {
+    /// Byte-wise loop — the paper's `xor1`.
+    Scalar,
+    /// `u64`-wide loop; portable fallback.
+    Wide64,
+    /// AVX2 32-byte loop — the paper's `xor32`.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// Detect the best available kernel at first use.
+    #[default]
+    Auto,
+}
+
+impl Kernel {
+    /// Resolve [`Kernel::Auto`] to a concrete kernel for this CPU.
+    pub fn resolve(self) -> Kernel {
+        match self {
+            Kernel::Auto => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        return Kernel::Avx2;
+                    }
+                }
+                Kernel::Wide64
+            }
+            k => k,
+        }
+    }
+
+    /// Human-readable name used by the benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "xor1",
+            Kernel::Wide64 => "xor8",
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => "xor32",
+            Kernel::Auto => "auto",
+        }
+    }
+}
+
+/// XOR `srcs` into `dst` for `len` bytes with the chosen kernel.
+///
+/// With a single source this is a copy (a no-op when `dst == srcs[0]`).
+///
+/// # Safety
+/// * every pointer must be valid for `len` bytes;
+/// * `dst` may only alias a source at the *same* address (no partial
+///   overlap);
+/// * for [`Kernel::Avx2`] the CPU must support AVX2 (use
+///   [`Kernel::resolve`]).
+///
+/// # Panics
+/// Panics if `srcs` is empty.
+pub unsafe fn xor_into(kernel: Kernel, dst: *mut u8, srcs: &[*const u8], len: usize) {
+    assert!(!srcs.is_empty(), "XOR of zero sources is undefined");
+    if srcs.len() == 1 {
+        if !std::ptr::eq(srcs[0], dst as *const u8) {
+            std::ptr::copy_nonoverlapping(srcs[0], dst, len);
+        }
+        return;
+    }
+    match kernel {
+        Kernel::Scalar => xor_scalar(dst, srcs, len),
+        Kernel::Wide64 => xor_wide64(dst, srcs, len),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => xor_avx2(dst, srcs, len),
+        Kernel::Auto => xor_into(kernel.resolve(), dst, srcs, len),
+    }
+}
+
+unsafe fn xor_scalar(dst: *mut u8, srcs: &[*const u8], len: usize) {
+    for i in 0..len {
+        let mut acc = *srcs[0].add(i);
+        for s in &srcs[1..] {
+            acc ^= *s.add(i);
+        }
+        *dst.add(i) = acc;
+    }
+}
+
+unsafe fn xor_wide64(dst: *mut u8, srcs: &[*const u8], len: usize) {
+    let words = len / 8;
+    for w in 0..words {
+        let off = w * 8;
+        let mut acc = (srcs[0].add(off) as *const u64).read_unaligned();
+        for s in &srcs[1..] {
+            acc ^= (s.add(off) as *const u64).read_unaligned();
+        }
+        (dst.add(off) as *mut u64).write_unaligned(acc);
+    }
+    let tail = words * 8;
+    if tail < len {
+        xor_scalar(dst.add(tail), &shift(srcs, tail), len - tail);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn xor_avx2(dst: *mut u8, srcs: &[*const u8], len: usize) {
+    use std::arch::x86_64::*;
+    let mut off = 0;
+    // 2× unrolled 32-byte lanes for instruction-level parallelism.
+    while off + 64 <= len {
+        let mut a = _mm256_loadu_si256(srcs[0].add(off) as *const __m256i);
+        let mut b = _mm256_loadu_si256(srcs[0].add(off + 32) as *const __m256i);
+        for s in &srcs[1..] {
+            a = _mm256_xor_si256(a, _mm256_loadu_si256(s.add(off) as *const __m256i));
+            b = _mm256_xor_si256(b, _mm256_loadu_si256(s.add(off + 32) as *const __m256i));
+        }
+        _mm256_storeu_si256(dst.add(off) as *mut __m256i, a);
+        _mm256_storeu_si256(dst.add(off + 32) as *mut __m256i, b);
+        off += 64;
+    }
+    while off + 32 <= len {
+        let mut a = _mm256_loadu_si256(srcs[0].add(off) as *const __m256i);
+        for s in &srcs[1..] {
+            a = _mm256_xor_si256(a, _mm256_loadu_si256(s.add(off) as *const __m256i));
+        }
+        _mm256_storeu_si256(dst.add(off) as *mut __m256i, a);
+        off += 32;
+    }
+    if off < len {
+        xor_wide64(dst.add(off), &shift(srcs, off), len - off);
+    }
+}
+
+/// Advance every source pointer by `off` (tail handling helper).
+fn shift(srcs: &[*const u8], off: usize) -> Vec<*const u8> {
+    srcs.iter().map(|&s| unsafe { s.add(off) }).collect()
+}
+
+/// Safe convenience wrapper over slices, used by tests and small callers.
+///
+/// # Panics
+/// Panics if lengths differ or `srcs` is empty.
+pub fn xor_slices(kernel: Kernel, dst: &mut [u8], srcs: &[&[u8]]) {
+    assert!(!srcs.is_empty(), "XOR of zero sources is undefined");
+    for s in srcs {
+        assert_eq!(s.len(), dst.len(), "length mismatch");
+    }
+    let ptrs: Vec<*const u8> = srcs.iter().map(|s| s.as_ptr()).collect();
+    unsafe { xor_into(kernel, dst.as_mut_ptr(), &ptrs, dst.len()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kernels() -> Vec<Kernel> {
+        let mut ks = vec![Kernel::Scalar, Kernel::Wide64];
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            ks.push(Kernel::Avx2);
+        }
+        ks
+    }
+
+    fn reference_xor(srcs: &[&[u8]]) -> Vec<u8> {
+        let mut out = srcs[0].to_vec();
+        for s in &srcs[1..] {
+            for (d, x) in out.iter_mut().zip(*s) {
+                *d ^= x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn kernels_agree_with_reference_across_lengths_and_arities() {
+        // Odd lengths exercise every tail path (64/32/8/1 bytes).
+        for len in [0usize, 1, 7, 8, 31, 32, 33, 63, 64, 65, 127, 200, 1024, 4097] {
+            for arity in 1..=9usize {
+                let srcs: Vec<Vec<u8>> = (0..arity)
+                    .map(|a| (0..len).map(|i| (i as u8).wrapping_mul(a as u8 + 3) ^ 0x5A).collect())
+                    .collect();
+                let refs: Vec<&[u8]> = srcs.iter().map(Vec::as_slice).collect();
+                let expect = reference_xor(&refs);
+                for k in all_kernels() {
+                    let mut dst = vec![0u8; len];
+                    xor_slices(k, &mut dst, &refs);
+                    assert_eq!(dst, expect, "kernel {k:?} len {len} arity {arity}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_aliasing_accumulates_in_place() {
+        // dst == srcs[0]: p ← ⊕(p, q) must behave like p ^= q.
+        for k in all_kernels() {
+            let mut p: Vec<u8> = (0..100u8).collect();
+            let q: Vec<u8> = (0..100u8).map(|i| i.wrapping_mul(7)).collect();
+            let expect: Vec<u8> = p.iter().zip(&q).map(|(a, b)| a ^ b).collect();
+            let ptrs = [p.as_ptr(), q.as_ptr()];
+            unsafe { xor_into(k, p.as_mut_ptr(), &ptrs, 100) };
+            assert_eq!(p, expect, "kernel {k:?}");
+        }
+    }
+
+    #[test]
+    fn single_source_is_copy() {
+        for k in all_kernels() {
+            let src: Vec<u8> = (0..50u8).collect();
+            let mut dst = vec![0u8; 50];
+            xor_slices(k, &mut dst, &[&src]);
+            assert_eq!(dst, src);
+        }
+    }
+
+    #[test]
+    fn self_copy_is_noop() {
+        let mut buf: Vec<u8> = (0..64u8).collect();
+        let ptr = buf.as_ptr();
+        unsafe { xor_into(Kernel::Wide64, buf.as_mut_ptr(), &[ptr], 64) };
+        assert_eq!(buf, (0..64u8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn auto_resolves_to_something_concrete() {
+        let k = Kernel::Auto.resolve();
+        assert_ne!(k, Kernel::Auto);
+    }
+
+    #[test]
+    fn xor_is_involutive_through_kernels() {
+        // (a ⊕ b) ⊕ b = a for every kernel — a cheap end-to-end sanity.
+        for k in all_kernels() {
+            let a: Vec<u8> = (0..777).map(|i| (i * 31 % 251) as u8).collect();
+            let b: Vec<u8> = (0..777).map(|i| (i * 17 % 255) as u8).collect();
+            let mut t = vec![0u8; 777];
+            xor_slices(k, &mut t, &[&a, &b]);
+            let mut back = vec![0u8; 777];
+            xor_slices(k, &mut back, &[&t, &b]);
+            assert_eq!(back, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sources")]
+    fn empty_sources_panics() {
+        let mut dst = [0u8; 4];
+        xor_slices(Kernel::Scalar, &mut dst, &[]);
+    }
+}

@@ -1,0 +1,26 @@
+//! The execution backend: SIMD XOR kernels, cache-conflict-aware buffer
+//! arenas, and the blocked interpreter that runs optimized SLPs over real
+//! byte arrays.
+//!
+//! The paper executes optimized SLPs "line-by-line in the host language in
+//! the interpreter style" (§2) with the *blocking* technique of §6.1:
+//! every array is processed in `B`-byte chunks so that the working set of
+//! one chunk iteration fits in L1. Three ingredients matter for speed:
+//!
+//! * [`Kernel`] — how one `dst ← ⊕(s1, …, sk)` over a chunk is computed:
+//!   byte-wise (`xor1` of §7.2), `u64`-wide, or 32-byte AVX2
+//!   (`xor32`/`_mm256_xor_si256`), selected at runtime;
+//! * [`VarArena`] — variable buffers allocated so that
+//!   `A(v_i) ≡ i·B (mod 4096)`, the anti-conflict staggering of §7.4 that
+//!   keeps blocks from colliding in L1 cache sets;
+//! * [`ExecProgram`] — a compiled SLP: slot-resolved instructions run for
+//!   every chunk index over input, variable, and output buffers without
+//!   any per-run allocation.
+
+mod arena;
+mod exec;
+mod kernels;
+
+pub use arena::{AlignedBuf, StripedBuf, VarArena, CACHE_PAGE};
+pub use exec::{ExecError, ExecProgram};
+pub use kernels::{xor_into, xor_slices, Kernel};

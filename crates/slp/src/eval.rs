@@ -1,0 +1,167 @@
+//! Evaluation of SLPs: the abstract set semantics of §4.1 and a concrete
+//! byte-array reference interpreter.
+
+use crate::ir::Slp;
+use crate::term::Term;
+use crate::value::ValueSet;
+
+/// Evaluate the program under the set semantics and return the output
+/// values (`⟦P⟧`).
+pub(crate) fn eval_outputs(slp: &Slp) -> Vec<ValueSet> {
+    let mut vars: Vec<Option<ValueSet>> = vec![None; slp.n_vars()];
+    for instr in &slp.instrs {
+        let mut acc = ValueSet::empty(slp.n_consts);
+        for &t in &instr.args {
+            match t {
+                Term::Const(c) => acc.toggle(c),
+                Term::Var(v) => acc.symdiff_assign(
+                    vars[v as usize]
+                        .as_ref()
+                        .expect("validated SLP cannot read undefined variable"),
+                ),
+            }
+        }
+        vars[instr.dst as usize] = Some(acc);
+    }
+    slp.outputs
+        .iter()
+        .map(|&t| match t {
+            Term::Const(c) => ValueSet::singleton(slp.n_consts, c),
+            Term::Var(v) => vars[v as usize]
+                .clone()
+                .expect("validated SLP cannot return undefined variable"),
+        })
+        .collect()
+}
+
+impl Slp {
+    /// Run the program over concrete byte arrays, slowly and obviously
+    /// correctly. Used as the oracle against which the optimized blocked
+    /// executor is tested.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != n_consts` or input lengths differ.
+    pub fn run_reference(&self, inputs: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(
+            inputs.len(),
+            self.n_consts,
+            "expected {} input arrays",
+            self.n_consts
+        );
+        let len = inputs.first().map_or(0, |a| a.len());
+        assert!(
+            inputs.iter().all(|a| a.len() == len),
+            "all input arrays must have equal length"
+        );
+
+        let mut vars: Vec<Option<Vec<u8>>> = vec![None; self.n_vars()];
+        for instr in &self.instrs {
+            let mut acc = vec![0u8; len];
+            for &t in &instr.args {
+                let src: &[u8] = match t {
+                    Term::Const(c) => inputs[c as usize],
+                    Term::Var(v) => vars[v as usize]
+                        .as_deref()
+                        .expect("validated SLP cannot read undefined variable"),
+                };
+                for (d, s) in acc.iter_mut().zip(src) {
+                    *d ^= s;
+                }
+            }
+            vars[instr.dst as usize] = Some(acc);
+        }
+        self.outputs
+            .iter()
+            .map(|&t| match t {
+                Term::Const(c) => inputs[c as usize].to_vec(),
+                Term::Var(v) => vars[v as usize]
+                    .clone()
+                    .expect("validated SLP cannot return undefined variable"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Instr;
+    use crate::term::Term::{Const, Var};
+
+    fn section_4_1_example() -> Slp {
+        Slp::new(
+            4,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Const(1), Const(2), Const(3)]),
+                Instr::new(2, vec![Var(0), Var(1)]),
+            ],
+            vec![Var(1), Var(2), Var(0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_semantics_table() {
+        // §4.1: v1 = {a,b}, v2 = {b,c,d}, v3 = {a,c,d};
+        // ⟦P⟧ = ⟨{b,c,d}, {a,c,d}, {a,b}⟩.
+        let p = section_4_1_example();
+        let out = p.eval();
+        assert_eq!(out[0], ValueSet::from_indices(4, [1, 2, 3]));
+        assert_eq!(out[1], ValueSet::from_indices(4, [0, 2, 3]));
+        assert_eq!(out[2], ValueSet::from_indices(4, [0, 1]));
+    }
+
+    #[test]
+    fn reassignment_uses_latest_value() {
+        // v0 ← a⊕b; v0 ← v0⊕c; ret(v0) evaluates to {a,b,c}.
+        let p = Slp::new(
+            3,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(0, vec![Var(0), Const(2)]),
+            ],
+            vec![Var(0)],
+        )
+        .unwrap();
+        assert_eq!(p.eval(), vec![ValueSet::from_indices(3, [0, 1, 2])]);
+    }
+
+    #[test]
+    fn duplicate_args_cancel() {
+        // v0 ← a⊕a⊕b = {b} — cancellativity at the instruction level.
+        let p = Slp::new(
+            2,
+            vec![Instr::new(0, vec![Const(0), Const(0), Const(1)])],
+            vec![Var(0)],
+        )
+        .unwrap();
+        assert_eq!(p.eval(), vec![ValueSet::singleton(2, 1)]);
+    }
+
+    #[test]
+    fn reference_interpreter_matches_set_semantics() {
+        let p = section_4_1_example();
+        let inputs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i * 17 + 1, i ^ 0x5A, i]).collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let got = p.run_reference(&refs);
+
+        for (val, arr) in p.eval().iter().zip(&got) {
+            let mut expect = vec![0u8; 3];
+            for c in val.iter() {
+                for (e, s) in expect.iter_mut().zip(&inputs[c as usize]) {
+                    *e ^= s;
+                }
+            }
+            assert_eq!(arr, &expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 input arrays")]
+    fn reference_interpreter_checks_input_count() {
+        let p = section_4_1_example();
+        let a = [0u8; 4];
+        let _ = p.run_reference(&[&a, &a]);
+    }
+}

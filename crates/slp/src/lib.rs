@@ -1,0 +1,50 @@
+//! Straight-line programs (SLPs) with the XOR operator — the compiler IR at
+//! the centre of the paper.
+//!
+//! An SLP is a program without branches, loops, or procedures (§4.1). Here
+//! the single operator is XOR over byte arrays, so a program is a list of
+//! instructions
+//!
+//! ```text
+//! v ← ⊕(t1, t2, …, tk)        // terms are constants or variables
+//! ret(g1, g2, …, gm)
+//! ```
+//!
+//! Constants stand for the program's input arrays; variables for arrays
+//! allocated at runtime. `SLP⊕` restricts every instruction to exactly two
+//! arguments; `SLP®⊕` (produced by XOR fusion, §5) allows any arity. One IR
+//! type, [`Slp`], covers both: `is_binary()` distinguishes them.
+//!
+//! The crate provides:
+//!
+//! * the IR itself ([`Slp`], [`Instr`], [`Term`]) with validation and
+//!   pretty-printing in the paper's notation;
+//! * the *set-based semantics* `⟦·⟦` of §4.1 ([`Slp::eval`]), where a value
+//!   is the set of input constants it XORs, represented as a bitset
+//!   ([`ValueSet`]);
+//! * a byte-array *reference interpreter* ([`Slp::run_reference`]) used as a
+//!   correctness oracle for the optimized runtime;
+//! * the cost metrics `#⊕` (XOR count), `#M` (memory accesses, §5.1) and
+//!   `NVar` (variable count);
+//! * the abstract LRU cache of §6.2 with the two cache-efficiency measures
+//!   `CCap` ([`cache::ccap`]) and `IOcost` ([`cache::iocost`]);
+//! * builders that turn a parity [`BitMatrix`](bitmatrix::BitMatrix) into
+//!   the unoptimized SLPs of §7.2 (binary-chain and flat forms).
+
+mod build;
+pub mod cache;
+mod eval;
+mod ir;
+mod metrics;
+mod pretty;
+mod term;
+mod value;
+
+pub use build::{binary_slp_from_bitmatrix, flat_slp_from_bitmatrix};
+pub use cache::{ccap, iocost, simulate, CacheSim, CacheStats};
+pub use ir::{Instr, Slp, SlpError};
+pub use term::Term;
+pub use value::ValueSet;
+
+#[cfg(test)]
+mod paper_examples;

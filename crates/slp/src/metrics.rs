@@ -1,0 +1,124 @@
+//! The cost metrics of the paper: `#⊕` (§4.1), `#M` (§5.1) and `NVar`.
+
+use crate::ir::Slp;
+
+impl Slp {
+    /// `#⊕(P)`: total number of XOR operations, `Σ (arity − 1)`.
+    pub fn xor_count(&self) -> usize {
+        self.instrs.iter().map(|i| i.xor_count()).sum()
+    }
+
+    /// `#M(P)`: total number of memory accesses under the fused-XOR cost
+    /// model of §5.1, `Σ (arity + 1)` — load each argument, store the
+    /// result.
+    pub fn mem_accesses(&self) -> usize {
+        self.instrs.iter().map(|i| i.mem_accesses()).sum()
+    }
+
+    /// Largest instruction arity (fused-XOR width the runtime must support).
+    pub fn max_arity(&self) -> usize {
+        self.instrs.iter().map(|i| i.args.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ir::{Instr, Slp};
+    use crate::term::Term::{Const, Var};
+
+    #[test]
+    fn xor_count_of_section_4_1_example() {
+        // #⊕P = 4 for the §4.1 example.
+        let p = Slp::new(
+            4,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Const(1), Const(2), Const(3)]),
+                Instr::new(2, vec![Var(0), Var(1)]),
+            ],
+            vec![Var(1), Var(2), Var(0)],
+        )
+        .unwrap();
+        assert_eq!(p.xor_count(), 4);
+        assert_eq!(p.nvar(), 3);
+    }
+
+    #[test]
+    fn mem_access_example_from_section_5() {
+        // §5: `program` (three binary XORs) performs 9N accesses while the
+        // fused Xor4 performs 5N. Per block: 9 vs 5.
+        let binary = Slp::new(
+            4,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1)]),
+                Instr::new(1, vec![Var(0), Const(2)]),
+                Instr::new(2, vec![Var(1), Const(3)]),
+            ],
+            vec![Var(2)],
+        )
+        .unwrap();
+        assert_eq!(binary.mem_accesses(), 9);
+        assert_eq!(binary.xor_count(), 3);
+
+        let fused = Slp::new(
+            4,
+            vec![Instr::new(0, vec![Const(0), Const(1), Const(2), Const(3)])],
+            vec![Var(0)],
+        )
+        .unwrap();
+        assert_eq!(fused.mem_accesses(), 5);
+        assert_eq!(fused.xor_count(), 3);
+        assert_eq!(binary.eval(), fused.eval());
+    }
+
+    #[test]
+    fn section_5_2_compress_vs_fuse_tradeoff() {
+        // §5.2: #M(A)=30, #M(B)=12, #M(C)=14 — fusing an uncompressed SLP
+        // costs more accesses than compress-then-fuse.
+        let a = Slp::new(
+            7,
+            vec![
+                Instr::new(
+                    0,
+                    vec![Const(0), Const(1), Const(2), Const(3), Const(4), Const(5)],
+                ),
+                Instr::new(
+                    1,
+                    vec![Const(0), Const(1), Const(2), Const(3), Const(4), Const(6)],
+                ),
+            ],
+            vec![Var(0), Var(1)],
+        )
+        .unwrap();
+        // Paper counts A in the *binary* SLP⊕ form: 10 XORs × 3 accesses.
+        let a_binary = {
+            // expand each 6-ary instruction into a chain of 5 binary XORs
+            let mut instrs = Vec::new();
+            for (row, consts) in [[0, 1, 2, 3, 4, 5], [0, 1, 2, 3, 4, 6]].iter().enumerate() {
+                let dst = row as u32;
+                instrs.push(Instr::new(dst, vec![Const(consts[0]), Const(consts[1])]));
+                for &c in &consts[2..] {
+                    instrs.push(Instr::new(dst, vec![Var(dst), Const(c)]));
+                }
+            }
+            Slp::new(7, instrs, vec![Var(0), Var(1)]).unwrap()
+        };
+        assert_eq!(a_binary.mem_accesses(), 30);
+
+        let b = Slp::new(
+            7,
+            vec![
+                Instr::new(0, vec![Const(0), Const(1), Const(2), Const(3), Const(4)]),
+                Instr::new(1, vec![Var(0), Const(5)]),
+                Instr::new(2, vec![Var(0), Const(6)]),
+            ],
+            vec![Var(1), Var(2)],
+        )
+        .unwrap();
+        assert_eq!(b.mem_accesses(), 12);
+
+        assert_eq!(a.mem_accesses(), 14); // the fused form C
+        assert_eq!(a.eval(), b.eval());
+        assert_eq!(a_binary.eval(), b.eval());
+    }
+}

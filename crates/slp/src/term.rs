@@ -1,0 +1,110 @@
+//! Terms of an SLP: constants (program inputs) and variables (runtime
+//! arrays).
+
+use std::fmt;
+
+/// A term of an SLP: either a variable or a constant, both identified by a
+/// dense index.
+///
+/// The derived [`Ord`] implements the paper's total order `≺` of §4.3:
+/// variables come before constants (`t ≺ c`), variables are ordered by
+/// generation index (`t1 ≺ t2 ≺ …`), and constants "alphabetically" (by
+/// index). The variant declaration order below is what makes the derive
+/// produce exactly this order — do not reorder.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A runtime array, assigned by some instruction.
+    Var(u32),
+    /// A program input array.
+    Const(u32),
+}
+
+impl Term {
+    /// True for [`Term::Var`].
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// True for [`Term::Const`].
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The variable index, if any.
+    #[inline]
+    pub fn as_var(self) -> Option<u32> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant index, if any.
+    #[inline]
+    pub fn as_const(self) -> Option<u32> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+/// Render a constant index the way the paper does: `a, b, …, z` for the
+/// first 26, `c27, c28, …` beyond.
+pub(crate) fn const_name(idx: u32) -> String {
+    if idx < 26 {
+        char::from(b'a' + idx as u8).to_string()
+    } else {
+        format!("c{idx}")
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "v{v}"),
+            Term::Const(c) => write!(f, "{}", const_name(*c)),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_total_order() {
+        // t ≺ c for every temporal t and constant c (§4.3).
+        assert!(Term::Var(1000) < Term::Const(0));
+        // generation order on variables
+        assert!(Term::Var(0) < Term::Var(1));
+        // "alphabetical" order on constants
+        assert!(Term::Const(0) < Term::Const(25));
+    }
+
+    #[test]
+    fn pair_lexicographic_order() {
+        // The ⊏ order on pairs is the lexicographic extension of ≺.
+        let ab = (Term::Const(0), Term::Const(1));
+        let bc = (Term::Const(1), Term::Const(2));
+        assert!(ab < bc); // (a,b) ⊏ (b,c), used in the §4.3 example
+        let t1c = (Term::Var(0), Term::Const(2));
+        assert!(t1c < ab); // pairs with temporals come first
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Term::Const(0).to_string(), "a");
+        assert_eq!(Term::Const(25).to_string(), "z");
+        assert_eq!(Term::Const(26).to_string(), "c26");
+        assert_eq!(Term::Var(3).to_string(), "v3");
+    }
+}

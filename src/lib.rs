@@ -1,0 +1,88 @@
+//! # xorslp_ec
+//!
+//! A from-scratch Rust reproduction of *"Accelerating XOR-based Erasure
+//! Coding using Program Optimization Techniques"* (Uezato, SC '21):
+//! Reed–Solomon erasure coding where encoding and decoding are straight-
+//! line XOR programs, optimized with grammar compression (XorRePair),
+//! deforestation (XOR fusion), and pebble-game scheduling, then executed
+//! blockwise with SIMD kernels.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`codec`] | `ec-core` | the RS(n,p) codec — start here |
+//! | [`gf`] | `gf256` | GF(2^8) field and matrix algebra |
+//! | [`bits`] | `bitmatrix` | F2 matrices, companion expansion |
+//! | [`slp`] | `slp` | SLP IR, semantics, metrics, LRU cache model |
+//! | [`opt`] | `slp-optimizer` | RePair/XorRePair, fusion, schedulers |
+//! | [`runtime`] | `xor-runtime` | XOR kernels, arenas, blocked executor |
+//! | [`baseline`] | `gf-baseline` | ISA-L-style table-driven codec |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xorslp_ec::RsCodec;
+//!
+//! let codec = RsCodec::new(10, 4).unwrap();
+//! let data: Vec<u8> = (0..=255).cycle().take(64 * 1024).collect();
+//!
+//! // encode into 10 data + 4 parity shards
+//! let shards = codec.encode(&data).unwrap();
+//!
+//! // any 4 shards may vanish
+//! let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+//! for lost in [2, 4, 5, 6] {
+//!     received[lost] = None;
+//! }
+//!
+//! // …and the data comes back
+//! assert_eq!(codec.decode(&received, data.len()).unwrap(), data);
+//! ```
+
+pub use ec_core::{
+    Compression, EcError, Kernel, MatrixKind, OptConfig, RsCodec, RsConfig, Scheduling,
+};
+
+/// The erasure codec (re-export of `ec-core`).
+pub mod codec {
+    pub use ec_core::*;
+}
+
+/// GF(2^8) field and matrices (re-export of `gf256`).
+pub mod gf {
+    pub use gf256::*;
+}
+
+/// F2 bit-matrices and the companion map (re-export of `bitmatrix`).
+pub mod bits {
+    pub use bitmatrix::*;
+}
+
+/// Straight-line program IR, semantics and cost models (re-export of
+/// `slp`).
+pub mod slp {
+    pub use slp::*;
+}
+
+/// SLP optimization passes (re-export of `slp-optimizer`).
+pub mod opt {
+    pub use slp_optimizer::*;
+}
+
+/// Kernels, arenas and the blocked executor (re-export of `xor-runtime`).
+pub mod runtime {
+    pub use xor_runtime::*;
+}
+
+/// The ISA-L-style table-driven baseline codec (re-export of
+/// `gf-baseline`).
+pub mod baseline {
+    pub use gf_baseline::*;
+}
+
+/// EVENODD and RDP two-parity array codes on the SLP pipeline (re-export
+/// of `array-codes`).
+pub mod arrays {
+    pub use array_codes::*;
+}
