@@ -39,7 +39,7 @@ pub fn next_prime(n: usize) -> usize {
         }
         let mut d = 2;
         while d * d <= x {
-            if x % d == 0 {
+            if x.is_multiple_of(d) {
                 return false;
             }
             d += 1;

@@ -30,7 +30,7 @@ fn toggle(set: &mut BTreeSet<usize>, col: usize) {
 /// # Panics
 /// Panics unless `p` is prime and `1 ≤ k ≤ p − 1`.
 pub fn rdp_parity_bitmatrix(k: usize, p: usize) -> BitMatrix {
-    assert!(p >= 2 && (2..p).all(|d| p % d != 0), "p = {p} must be prime");
+    assert!(p >= 2 && (2..p).all(|d| !p.is_multiple_of(d)), "p = {p} must be prime");
     assert!(k >= 1 && k < p, "RDP needs 1 ≤ k ≤ p−1 (got k = {k})");
     let w = p - 1;
     let col = |i: usize, j: usize| {

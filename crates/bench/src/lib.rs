@@ -4,7 +4,7 @@
 //! Each table has a dedicated binary under `src/bin/`; run e.g.
 //!
 //! ```text
-//! cargo run --release -p ec-bench --bin table_7_5_stages
+//! cargo run --release -p xorslp-bench --bin table_7_5_stages
 //! ```
 //!
 //! Environment knobs:

@@ -479,14 +479,13 @@ impl BitMatrix {
         let mut chosen = Vec::new();
         for r in 0..self.rows {
             let mut v = self.row_words(r).to_vec();
-            loop {
-                let Some(lead) = v
-                    .iter()
-                    .enumerate()
-                    .find_map(|(wi, &w)| (w != 0).then(|| wi * 64 + w.trailing_zeros() as usize))
-                else {
-                    break; // reduced to zero: dependent
-                };
+            // Reduce against the basis until the row dies (dependent) or
+            // claims an empty leading column.
+            while let Some(lead) = v
+                .iter()
+                .enumerate()
+                .find_map(|(wi, &w)| (w != 0).then(|| wi * 64 + w.trailing_zeros() as usize))
+            {
                 match &basis[lead] {
                     Some(b) => {
                         for (x, y) in v.iter_mut().zip(b) {

@@ -5,12 +5,20 @@ use crate::config::RsConfig;
 use crate::error::EcError;
 use crate::layout::{self, PACKETS_PER_SHARD};
 use gf256::{encoding_matrix, GfMatrix};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use slp::Slp;
 use slp_optimizer::optimize;
 use std::collections::HashMap;
 use std::sync::Arc;
 use xor_runtime::{ExecProgram, VarArena};
+
+/// Lock a mutex, recovering the guard from a poisoned lock: the codec's
+/// guarded state (arenas, program cache) stays internally consistent even
+/// if a holder panicked mid-operation, so poisoning must not wedge the
+/// shared codec permanently.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A compiled decode pipeline for one erasure pattern.
 struct DecProgram {
@@ -156,7 +164,7 @@ impl RsCodec {
             .iter_mut()
             .flat_map(|s| layout::packets_mut(s))
             .collect();
-        let mut arena = self.enc_arena.lock();
+        let mut arena = lock(&self.enc_arena);
         self.enc_prog
             .run_with_arena(&inputs, &mut outputs, &mut arena)?;
         Ok(())
@@ -275,7 +283,7 @@ impl RsCodec {
         if lost.len() > p {
             return Err(EcError::TooManyErasures { missing: lost.len(), parity: p });
         }
-        if let Some(hit) = self.dec_cache.lock().get(&lost) {
+        if let Some(hit) = lock(&self.dec_cache).get(&lost) {
             return Ok(hit.clone());
         }
 
@@ -298,7 +306,7 @@ impl RsCodec {
             Some((slp, prog))
         };
         let dec = Arc::new(DecProgram { compiled, lost_data, survivors });
-        self.dec_cache.lock().insert(lost, dec.clone());
+        lock(&self.dec_cache).insert(lost, dec.clone());
         Ok(dec)
     }
 
@@ -336,7 +344,7 @@ impl RsCodec {
                         .iter_mut()
                         .flat_map(|s| layout::packets_mut(s))
                         .collect();
-                    let mut arena = self.dec_arena.lock();
+                    let mut arena = lock(&self.dec_arena);
                     prog.run_with_arena(&inputs, &mut outputs, &mut arena)?;
                 }
                 for (&i, shard) in dec.lost_data.iter().zip(rebuilt) {
@@ -411,7 +419,7 @@ impl RsCodec {
                     .iter_mut()
                     .flat_map(|s| layout::packets_mut(s))
                     .collect();
-                let mut arena = self.dec_arena.lock();
+                let mut arena = lock(&self.dec_arena);
                 prog.run_with_arena(&inputs, &mut outputs, &mut arena)?;
             }
         }

@@ -1,0 +1,257 @@
+//! Minimal, API-compatible stand-in for the `criterion` benchmark
+//! harness, vendored because this build environment cannot reach
+//! crates.io.
+//!
+//! It honours the subset of the API this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, the `Criterion` builder
+//! (`sample_size`, `measurement_time`, `warm_up_time`),
+//! `benchmark_group` with `throughput`/`bench_function`/
+//! `bench_with_input`/`finish`, [`BenchmarkId`], and [`Bencher::iter`] —
+//! and reports the **median** wall-clock per iteration (plus throughput
+//! when configured) as one plain-text line per benchmark. No HTML
+//! reports, no statistical regression analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state: configuration plus a report sink.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (sample_size, warm_up, measure) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        run_one(&id.label, None, sample_size, warm_up, measure, f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group: `new("function", "param")`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Work-per-iteration hint used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped override; must not leak into later groups.
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Handed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Iterations to run in the timed region this sample.
+    iters: u64,
+    /// Wall-clock of the timed region, reported back to the runner.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // learning the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut iter_cost = Duration::from_nanos(1);
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        iter_cost = b.elapsed.max(Duration::from_nanos(1));
+        warm_iters += 1;
+    }
+
+    // Split the measurement budget into `sample_size` samples, each
+    // running enough iterations to fill its slice of the budget.
+    let per_sample = measure / sample_size as u32;
+    let iters_per_sample =
+        (per_sample.as_nanos() / iter_cost.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+    let mut per_iter: Vec<Duration> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            Duration::from_nanos((b.elapsed.as_nanos() / iters_per_sample as u128) as u64)
+        })
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib = n as f64 / (1u64 << 30) as f64;
+            format!("  {:>8.3} GiB/s", gib / median.as_secs_f64())
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<40} median {median:>12?}  ({sample_size} samples x {iters_per_sample} iters){rate}"
+    );
+}
+
+/// `criterion_group!(name, target...)` or the long form with `config =`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -84,7 +84,15 @@ fn executed_bytes_equal_reference_for_all_stages() {
     let bits = BitMatrix::expand_gf_matrix(&matrix.select_rows(&rows));
     let base = binary_slp_from_bitmatrix(&bits);
 
-    let inputs: Vec<Vec<u8>> = (0..48).map(|k| sample(1000 + k % 3 * 0)).collect();
+    // 48 distinct packets, equal length (the executor requires it); mix
+    // the packet index into the byte stream so no two inputs coincide.
+    let inputs: Vec<Vec<u8>> = (0..48usize)
+        .map(|k| {
+            (0..1000)
+                .map(|i| (((i + 97 * k) * 2_654_435_761usize) >> 7) as u8)
+                .collect()
+        })
+        .collect();
     let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
     let expect = base.run_reference(&refs);
 

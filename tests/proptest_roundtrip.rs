@@ -7,10 +7,11 @@ use std::sync::Mutex;
 use std::sync::OnceLock;
 use xorslp_ec::{OptConfig, RsCodec, RsConfig};
 
+type CodecCache = Mutex<HashMap<(usize, usize), std::sync::Arc<RsCodec>>>;
+
 /// Codec construction involves the optimizer; cache instances per shape.
 fn codec_for(n: usize, p: usize) -> std::sync::Arc<RsCodec> {
-    static CACHE: OnceLock<Mutex<HashMap<(usize, usize), std::sync::Arc<RsCodec>>>> =
-        OnceLock::new();
+    static CACHE: OnceLock<CodecCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut guard = cache.lock().unwrap();
     guard

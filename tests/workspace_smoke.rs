@@ -1,0 +1,34 @@
+//! Workspace smoke test: one fast, deterministic encode → erase → decode
+//! roundtrip on the headline RS(10, 4) configuration, so tier-1 has a
+//! quick signal that the whole pipeline (gf256 → bitmatrix → slp →
+//! optimizer → runtime → codec) hangs together, independent of the
+//! heavier property tests.
+
+use xorslp_ec::RsCodec;
+
+#[test]
+fn rs_10_4_roundtrip_byte_for_byte() {
+    let codec = RsCodec::new(10, 4).expect("RS(10,4) is a valid shape");
+    assert_eq!(codec.data_shards(), 10);
+    assert_eq!(codec.parity_shards(), 4);
+    assert_eq!(codec.total_shards(), 14);
+
+    // Deterministic, non-trivial payload; length not a multiple of the
+    // shard count so padding handling is exercised too.
+    let data: Vec<u8> = (0..123_457u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+        .collect();
+
+    let shards = codec.encode(&data).expect("encode");
+    assert_eq!(shards.len(), 14);
+
+    // Erase the maximum tolerable number of shards: 4, mixing data (2, 6)
+    // and parity (10, 13).
+    let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+    for lost in [2, 6, 10, 13] {
+        received[lost] = None;
+    }
+
+    let restored = codec.decode(&received, data.len()).expect("decode");
+    assert_eq!(restored, data, "roundtrip must be byte-for-byte");
+}
