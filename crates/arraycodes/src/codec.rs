@@ -6,8 +6,8 @@ use slp::{binary_slp_from_bitmatrix, Slp};
 use slp_optimizer::{optimize, OptConfig};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
-use xor_runtime::{ExecProgram, Kernel};
+use std::sync::{Arc, Mutex};
+use xor_runtime::{ExecProgram, Kernel, PoolChoice};
 
 /// Errors of the array codec.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +50,12 @@ enum Kind {
 /// Shards are striped into `w = p − 1` packets (the code's symbol count),
 /// so shard lengths must be multiples of `w`; the convenience
 /// [`ArrayCodec::encode`] pads as needed.
+///
+/// Execution is striped across an `ExecPool` — the same parallel engine
+/// the RS pipeline uses, since both share the SLP execution path. By
+/// default the machine-sized global pool is shared (or the
+/// `XORSLP_PARALLELISM` environment default); override per codec with
+/// [`ArrayCodec::with_parallelism`].
 pub struct ArrayCodec {
     kind: Kind,
     k: usize,
@@ -62,7 +68,8 @@ pub struct ArrayCodec {
     blocksize: usize,
     kernel: Kernel,
     opt: OptConfig,
-    dec_cache: Mutex<HashMap<Vec<usize>, DecEntry>>,
+    pool: PoolChoice,
+    dec_cache: Mutex<HashMap<Vec<usize>, Arc<DecEntry>>>,
 }
 
 struct DecEntry {
@@ -104,7 +111,7 @@ impl ArrayCodec {
         }
         let opt = OptConfig::FULL_DFS;
         let blocksize = 1024;
-        let kernel = Kernel::Auto;
+        let kernel = Kernel::from_env().unwrap_or(Kernel::Auto);
         let enc_slp = optimize(&binary_slp_from_bitmatrix(&parity), opt);
         let enc_prog = ExecProgram::compile(&enc_slp, blocksize, kernel);
         ArrayCodec {
@@ -118,8 +125,18 @@ impl ArrayCodec {
             blocksize,
             kernel,
             opt,
+            pool: PoolChoice::from_parallelism(
+                xor_runtime::env_parallelism().unwrap_or(0),
+            ),
             dec_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Builder-style parallelism override: `0` = auto (share the global
+    /// machine-sized pool), `k ≥ 1` = a dedicated `k`-worker pool.
+    pub fn with_parallelism(mut self, parallelism: usize) -> ArrayCodec {
+        self.pool = PoolChoice::from_parallelism(parallelism);
+        self
     }
 
     /// Number of data disks.
@@ -179,24 +196,28 @@ impl ArrayCodec {
                 .flat_map(|s| s.chunks_exact_mut(pl))
                 .collect();
             self.enc_prog
-                .run(&inputs, &mut outputs)
+                .run_striped(
+                    &inputs,
+                    &mut outputs,
+                    self.pool.pool(),
+                    self.pool.workers(),
+                )
                 .expect("encode program shapes are fixed at construction");
         }
         Ok(shards)
     }
 
     /// Build (or fetch) the decode program for a set of lost disks.
-    fn decode_entry(
-        &self,
-        lost: &[usize],
-        f: impl FnOnce(&DecEntry) -> Result<(), ArrayCodecError>,
-    ) -> Result<(), ArrayCodecError> {
+    ///
+    /// Returns a shared handle so execution happens *after* the cache
+    /// lock is released — concurrent decodes of different (or the same)
+    /// patterns never serialize on program execution.
+    fn decode_entry(&self, lost: &[usize]) -> Result<Arc<DecEntry>, ArrayCodecError> {
         let mut key: Vec<usize> = lost.to_vec();
         key.sort_unstable();
         key.dedup();
-        let mut cache = self.dec_cache.lock().expect("cache lock");
-        if let Some(e) = cache.get(&key) {
-            return f(e);
+        if let Some(e) = self.dec_cache.lock().expect("cache lock").get(&key) {
+            return Ok(e.clone());
         }
 
         let (k, w) = (self.k, self.w);
@@ -238,9 +259,12 @@ impl ArrayCodec {
                 .collect();
             DecEntry { prog: Some(prog), inputs, lost_data }
         };
-        let result = f(&entry);
-        cache.insert(key, entry);
-        result
+        let entry = Arc::new(entry);
+        self.dec_cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, entry.clone());
+        Ok(entry)
     }
 
     /// Recover the original buffer from surviving shards (at most two
@@ -270,33 +294,34 @@ impl ArrayCodec {
         }
         let pl = shard_len / self.w;
 
+        let entry = self.decode_entry(&missing)?;
         let mut rebuilt: Vec<Vec<u8>> = Vec::new();
-        let mut lost_data: Vec<usize> = Vec::new();
-        self.decode_entry(&missing, |entry| {
-            lost_data = entry.lost_data.clone();
-            if let Some(prog) = &entry.prog {
-                if pl > 0 {
-                    let inputs: Vec<&[u8]> = entry
-                        .inputs
-                        .iter()
-                        .map(|&(d, s)| {
-                            let shard = shards[d].as_deref().expect("survivor present");
-                            &shard[s * pl..(s + 1) * pl]
-                        })
-                        .collect();
-                    rebuilt = vec![vec![0u8; shard_len]; entry.lost_data.len()];
-                    let mut outputs: Vec<&mut [u8]> = rebuilt
-                        .iter_mut()
-                        .flat_map(|s| s.chunks_exact_mut(pl))
-                        .collect();
-                    prog.run(&inputs, &mut outputs)
-                        .expect("decode program shapes are fixed at construction");
-                } else {
-                    rebuilt = vec![Vec::new(); entry.lost_data.len()];
-                }
+        if let Some(prog) = &entry.prog {
+            if pl > 0 {
+                let inputs: Vec<&[u8]> = entry
+                    .inputs
+                    .iter()
+                    .map(|&(d, s)| {
+                        let shard = shards[d].as_deref().expect("survivor present");
+                        &shard[s * pl..(s + 1) * pl]
+                    })
+                    .collect();
+                rebuilt = vec![vec![0u8; shard_len]; entry.lost_data.len()];
+                let mut outputs: Vec<&mut [u8]> = rebuilt
+                    .iter_mut()
+                    .flat_map(|s| s.chunks_exact_mut(pl))
+                    .collect();
+                prog.run_striped(
+                    &inputs,
+                    &mut outputs,
+                    self.pool.pool(),
+                    self.pool.workers(),
+                )
+                .expect("decode program shapes are fixed at construction");
+            } else {
+                rebuilt = vec![Vec::new(); entry.lost_data.len()];
             }
-            Ok(())
-        })?;
+        }
 
         let mut out = Vec::with_capacity(self.k * shard_len);
         let mut it = rebuilt.into_iter();
@@ -304,7 +329,7 @@ impl ArrayCodec {
             match shard {
                 Some(s) => out.extend_from_slice(s),
                 None => {
-                    debug_assert!(lost_data.contains(&d));
+                    debug_assert!(entry.lost_data.contains(&d));
                     out.extend_from_slice(&it.next().expect("rebuilt per lost disk"));
                 }
             }
@@ -397,6 +422,21 @@ mod tests {
         // fused, scheduled program: far fewer instructions than raw rows
         assert!(slp.instrs.len() < 2 * 10 * 8);
         assert!(slp.xor_count() > 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_codecs_agree() {
+        let data = sample(5 * 4 * 1024 + 7);
+        let serial = ArrayCodec::evenodd(5).with_parallelism(1);
+        let parallel = ArrayCodec::evenodd(5).with_parallelism(4);
+        let s1 = serial.encode(&data).unwrap();
+        let s2 = parallel.encode(&data).unwrap();
+        assert_eq!(s1, s2);
+        let mut rx: Vec<Option<Vec<u8>>> = s2.into_iter().map(Some).collect();
+        rx[0] = None;
+        rx[6] = None; // diagonal parity
+        assert_eq!(parallel.decode(&rx, data.len()).unwrap(), data);
+        assert_eq!(serial.decode(&rx, data.len()).unwrap(), data);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Criterion companion of `--bin thread_scaling`: encode and decode of
+//! RS(10,4) through the parallel execution engine at several worker
+//! counts, on a multi-megabyte stripe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ec_core::{RsCodec, RsConfig};
+use xor_runtime::default_parallelism;
+
+fn parallel_scaling(c: &mut Criterion) {
+    let (n, p) = (10usize, 4usize);
+    let data_len = 4 * 1_000_000;
+    let data: Vec<u8> = (0..data_len).map(|i| ((i * 131 + 5) % 256) as u8).collect();
+
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t <= default_parallelism() {
+        counts.push(t);
+        t *= 2;
+    }
+
+    let mut group = c.benchmark_group("rs10_4_threads");
+    group.throughput(Throughput::Bytes(data_len as u64));
+    for &threads in &counts {
+        let codec = RsCodec::with_config(RsConfig::new(n, p).parallelism(threads)).unwrap();
+        let shards = codec.encode(&data).unwrap();
+        let shard_len = shards[0].len();
+        let data_refs: Vec<&[u8]> = shards[..n].iter().map(Vec::as_slice).collect();
+
+        group.bench_function(BenchmarkId::new("encode", threads), |b| {
+            let mut parity = vec![vec![0u8; shard_len]; p];
+            b.iter(|| {
+                let mut refs: Vec<&mut [u8]> =
+                    parity.iter_mut().map(Vec::as_mut_slice).collect();
+                codec.encode_parity(&data_refs, &mut refs).unwrap();
+            });
+        });
+
+        let mut received: Vec<Option<Vec<u8>>> =
+            shards.iter().cloned().map(Some).collect();
+        for i in [2, 4, 5, 6] {
+            received[i] = None;
+        }
+        group.bench_function(BenchmarkId::new("decode", threads), |b| {
+            b.iter(|| codec.decode(&received, data.len()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = parallel_scaling
+}
+criterion_main!(benches);

@@ -3,22 +3,14 @@
 
 use crate::config::RsConfig;
 use crate::error::EcError;
-use crate::layout::{self, PACKETS_PER_SHARD};
+use crate::layout;
+use crate::lru::LruCache;
 use gf256::{encoding_matrix, GfMatrix};
 use std::sync::Mutex;
 use slp::Slp;
 use slp_optimizer::optimize;
-use std::collections::HashMap;
 use std::sync::Arc;
-use xor_runtime::{ExecProgram, VarArena};
-
-/// Lock a mutex, recovering the guard from a poisoned lock: the codec's
-/// guarded state (arenas, program cache) stays internally consistent even
-/// if a holder panicked mid-operation, so poisoning must not wedge the
-/// shared codec permanently.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+use xor_runtime::{lock_unpoisoned as lock, ExecPool, ExecProgram, PoolChoice};
 
 /// A compiled decode pipeline for one erasure pattern.
 struct DecProgram {
@@ -35,17 +27,23 @@ struct DecProgram {
 /// A systematic Reed–Solomon erasure codec computed entirely with XORs.
 ///
 /// Construction compiles the optimized encode program once; decode
-/// programs are compiled lazily per erasure pattern and cached. All
-/// methods take `&self` and the codec is `Send + Sync`.
+/// programs are compiled lazily per erasure pattern and kept in a
+/// bounded LRU cache ([`RsConfig::decode_cache_cap`]). All methods take
+/// `&self` and the codec is `Send + Sync`.
+///
+/// Execution is striped across an [`ExecPool`] (the
+/// [`RsConfig::parallelism`] knob): every worker owns a persistent
+/// grow-on-demand arena, so concurrent callers never serialize on shared
+/// scratch buffers and steady-state encode/decode allocates nothing.
 pub struct RsCodec {
     cfg: RsConfig,
     /// The full `(n+p) × n` systematic coding matrix.
     matrix: GfMatrix,
     enc_slp: Slp,
     enc_prog: ExecProgram,
-    enc_arena: Mutex<VarArena>,
-    dec_cache: Mutex<HashMap<Vec<usize>, Arc<DecProgram>>>,
-    dec_arena: Mutex<VarArena>,
+    /// The execution pool (shared global or codec-owned, per config).
+    pool: PoolChoice,
+    dec_cache: Mutex<LruCache<Vec<usize>, Arc<DecProgram>>>,
 }
 
 impl RsCodec {
@@ -77,14 +75,21 @@ impl RsCodec {
         let base = slp::binary_slp_from_bitmatrix(&parity_bits);
         let enc_slp = optimize(&base, cfg.opt);
         let enc_prog = ExecProgram::compile(&enc_slp, cfg.blocksize, cfg.kernel);
+        // Auto cache capacity: every empty, single and double erasure
+        // pattern fits (1 + t + C(t, 2) keys) — the patterns production
+        // repair traffic actually cycles through.
+        let t = n + p;
+        let cache_cap = match cfg.decode_cache_cap {
+            0 => 1 + t + t * (t - 1) / 2,
+            cap => cap,
+        };
         Ok(RsCodec {
             cfg,
             matrix,
             enc_slp,
             enc_prog,
-            enc_arena: Mutex::new(VarArena::new(1, 1, cfg.blocksize)),
-            dec_cache: Mutex::new(HashMap::new()),
-            dec_arena: Mutex::new(VarArena::new(1, 1, cfg.blocksize)),
+            pool: PoolChoice::from_parallelism(cfg.parallelism),
+            dec_cache: Mutex::new(LruCache::new(cache_cap)),
         })
     }
 
@@ -116,6 +121,17 @@ impl RsCodec {
     /// The optimized encoding SLP (for inspection and metrics; §7.5).
     pub fn encode_slp(&self) -> &Slp {
         &self.enc_slp
+    }
+
+    /// Number of decode programs currently cached.
+    pub fn decode_cache_len(&self) -> usize {
+        lock(&self.dec_cache).len()
+    }
+
+    /// The decode-cache capacity in effect (the resolved value of
+    /// [`RsConfig::decode_cache_cap`]).
+    pub fn decode_cache_capacity(&self) -> usize {
+        lock(&self.dec_cache).cap()
     }
 
     /// The optimized decoding SLP for an erasure pattern (for metrics;
@@ -164,9 +180,12 @@ impl RsCodec {
             .iter_mut()
             .flat_map(|s| layout::packets_mut(s))
             .collect();
-        let mut arena = lock(&self.enc_arena);
-        self.enc_prog
-            .run_with_arena(&inputs, &mut outputs, &mut arena)?;
+        self.enc_prog.run_striped(
+            &inputs,
+            &mut outputs,
+            self.pool.pool(),
+            self.pool.workers(),
+        )?;
         Ok(())
     }
 
@@ -190,9 +209,15 @@ impl RsCodec {
         Ok(shards)
     }
 
-    /// Multi-threaded [`RsCodec::encode_parity`]: the packet range is
-    /// split into `threads` contiguous slices processed independently
-    /// (XOR is position-wise, so any split is exact).
+    /// [`RsCodec::encode_parity`] with an explicit stripe-count ceiling:
+    /// the packet range is split by the runtime partitioner into at most
+    /// `threads` blocksize-aligned stripes (XOR is position-wise, so any
+    /// split is exact) and executed on the shared global [`ExecPool`],
+    /// regardless of this codec's own `parallelism` setting.
+    ///
+    /// Prefer [`RsConfig::parallelism`] for steady-state use; this entry
+    /// point exists for callers that scale thread counts per call (e.g.
+    /// the thread-scaling bench).
     pub fn encode_parity_mt(
         &self,
         data: &[&[u8]],
@@ -206,61 +231,22 @@ impl RsCodec {
         if parity.len() != p {
             return Err(EcError::ShardCount { expected: p, got: parity.len() });
         }
-        let len = layout::common_shard_len(
+        layout::common_shard_len(
             data.iter().copied().chain(parity.iter().map(|s| &**s)),
         )?;
-        let packet_len = len / PACKETS_PER_SHARD;
-        let threads = threads.max(1).min(packet_len.max(1));
-        if threads == 1 || packet_len == 0 {
-            return self.encode_parity(data, parity);
-        }
 
         let inputs: Vec<&[u8]> = data.iter().flat_map(|s| layout::packets(s)).collect();
         let mut outputs: Vec<&mut [u8]> = parity
             .iter_mut()
             .flat_map(|s| layout::packets_mut(s))
             .collect();
-
-        // Partition every packet at the same offsets.
-        let chunk = packet_len.div_ceil(threads);
-        type Job<'a> = (Vec<&'a [u8]>, Vec<&'a mut [u8]>);
-        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(threads);
-        {
-            let mut outs: Vec<&mut [u8]> = outputs.iter_mut().map(|s| &mut **s).collect();
-            let mut lo = 0;
-            while lo < packet_len {
-                let hi = (lo + chunk).min(packet_len);
-                let ins: Vec<&[u8]> = inputs.iter().map(|s| &s[lo..hi]).collect();
-                let mut rest = Vec::with_capacity(outs.len());
-                let mut part = Vec::with_capacity(outs.len());
-                for o in outs {
-                    let (head, tail) = o.split_at_mut(hi - lo);
-                    part.push(head);
-                    rest.push(tail);
-                }
-                outs = rest;
-                jobs.push((ins, part));
-                lo = hi;
-            }
-        }
-
-        let prog = &self.enc_prog;
-        let mut result = Ok(());
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ins, mut part) in jobs {
-                handles.push(scope.spawn(move || {
-                    let mut arena = prog.make_arena(ins.first().map_or(1, |s| s.len().max(1)));
-                    prog.run_with_arena(&ins, &mut part, &mut arena)
-                }));
-            }
-            for h in handles {
-                if let Err(e) = h.join().expect("encode worker panicked") {
-                    result = Err(EcError::from(e));
-                }
-            }
-        });
-        result
+        self.enc_prog.run_striped(
+            &inputs,
+            &mut outputs,
+            ExecPool::global(),
+            threads.max(1),
+        )?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -284,7 +270,7 @@ impl RsCodec {
             return Err(EcError::TooManyErasures { missing: lost.len(), parity: p });
         }
         if let Some(hit) = lock(&self.dec_cache).get(&lost) {
-            return Ok(hit.clone());
+            return Ok(hit);
         }
 
         let survivors: Vec<usize> = (0..n + p).filter(|i| !lost.contains(i)).take(n).collect();
@@ -344,8 +330,12 @@ impl RsCodec {
                         .iter_mut()
                         .flat_map(|s| layout::packets_mut(s))
                         .collect();
-                    let mut arena = lock(&self.dec_arena);
-                    prog.run_with_arena(&inputs, &mut outputs, &mut arena)?;
+                    prog.run_striped(
+                        &inputs,
+                        &mut outputs,
+                        self.pool.pool(),
+                        self.pool.workers(),
+                    )?;
                 }
                 for (&i, shard) in dec.lost_data.iter().zip(rebuilt) {
                     shards[i] = Some(shard);
@@ -419,8 +409,12 @@ impl RsCodec {
                     .iter_mut()
                     .flat_map(|s| layout::packets_mut(s))
                     .collect();
-                let mut arena = lock(&self.dec_arena);
-                prog.run_with_arena(&inputs, &mut outputs, &mut arena)?;
+                prog.run_striped(
+                    &inputs,
+                    &mut outputs,
+                    self.pool.pool(),
+                    self.pool.workers(),
+                )?;
             }
         }
 
@@ -673,6 +667,76 @@ mod tests {
             codec.encode_parity_mt(&data_refs, &mut refs, 4).unwrap();
         }
         assert_eq!(&parity[..], &single[8..]);
+    }
+
+    #[test]
+    fn short_shards_encode_mt_with_many_threads() {
+        // Shards of one packet-byte each: the partitioner must fall back
+        // to a single stripe (not zero work, not a per-byte split) and
+        // still produce exact parity whatever thread count is requested.
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data = sample_data(4 * 8); // 8-byte shards → 1-byte packets
+        let single = codec.encode(&data).unwrap();
+        let data_refs: Vec<&[u8]> = single[..4].iter().map(Vec::as_slice).collect();
+        for threads in [1usize, 2, 7, 64] {
+            let mut parity = vec![vec![0u8; single[0].len()]; 2];
+            {
+                let mut refs: Vec<&mut [u8]> =
+                    parity.iter_mut().map(Vec::as_mut_slice).collect();
+                codec.encode_parity_mt(&data_refs, &mut refs, threads).unwrap();
+            }
+            assert_eq!(&parity[..], &single[4..], "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallelism_knob_does_not_change_bytes() {
+        let data = sample_data(6 * 4096 + 11);
+        let reference = RsCodec::with_config(RsConfig::new(6, 3).parallelism(1))
+            .unwrap()
+            .encode(&data)
+            .unwrap();
+        for par in [0usize, 2, 4] {
+            let codec =
+                RsCodec::with_config(RsConfig::new(6, 3).parallelism(par)).unwrap();
+            assert_eq!(codec.encode(&data).unwrap(), reference, "parallelism {par}");
+            let mut received: Vec<Option<Vec<u8>>> =
+                reference.iter().cloned().map(Some).collect();
+            for i in [1, 4, 7] {
+                received[i] = None;
+            }
+            assert_eq!(
+                codec.decode(&received, data.len()).unwrap(),
+                data,
+                "parallelism {par}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_cache_evicts_least_recently_used() {
+        let codec = RsCodec::with_config(RsConfig::new(4, 2).decode_cache_cap(2)).unwrap();
+        assert_eq!(codec.decode_cache_capacity(), 2);
+        let p0 = codec.decode_program(&[0]).unwrap();
+        let _p1 = codec.decode_program(&[1]).unwrap();
+        // Touch [0] so [1] is the LRU entry, then insert a third pattern.
+        let p0_again = codec.decode_program(&[0]).unwrap();
+        assert!(Arc::ptr_eq(&p0, &p0_again));
+        let _p2 = codec.decode_program(&[2]).unwrap();
+        // [1] was evicted → recompiled on next request (a fresh Arc);
+        // [0] survived → same compiled program.
+        let p1_fresh = codec.decode_program(&[1]).unwrap();
+        assert!(!Arc::ptr_eq(&_p1, &p1_fresh));
+        // ([0] may itself have been evicted by re-inserting [1]; only the
+        // recompilation of [1] is the invariant under cap 2.)
+        let data = sample_data(4 * 24);
+        let shards = codec.encode(&data).unwrap();
+        for lost in 0..6 {
+            let mut rx: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+            rx[lost] = None;
+            assert_eq!(codec.decode(&rx, data.len()).unwrap(), data, "lost {lost}");
+            assert!(codec.decode_cache_len() <= 2, "cache exceeded its cap");
+        }
     }
 
     #[test]

@@ -9,7 +9,16 @@ use xor_runtime::Kernel;
 /// The defaults reproduce the paper's best setting on its Intel testbed:
 /// ISA-L's power coding matrix, `Dfs(Fu(XorRePair(P)))` optimization,
 /// 1 KiB blocks (§7.4 picks `B = 1K` on Intel, `B = 2K` on AMD), and the
-/// fastest XOR kernel the CPU offers.
+/// fastest XOR kernel the CPU offers — executed striped across every
+/// available core through the shared [`xor_runtime::ExecPool`].
+///
+/// Two environment variables override the *defaults* (explicit builder
+/// calls still win); CI uses them to force the whole suite through each
+/// engine configuration:
+///
+/// * `XORSLP_KERNEL` — `scalar` | `wide64` | `avx2` | `auto`;
+/// * `XORSLP_PARALLELISM` — `0` (auto: machine-sized pool) or a worker
+///   count.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RsConfig {
     /// Number of data shards `n`.
@@ -24,6 +33,14 @@ pub struct RsConfig {
     pub blocksize: usize,
     /// XOR kernel (§7.2's `xor1` vs `xor32`).
     pub kernel: Kernel,
+    /// Worker threads for striped execution: `0` = auto (share the
+    /// machine-sized global [`xor_runtime::ExecPool`]), `1` = a single
+    /// dedicated worker (serial execution, still arena-reusing and
+    /// mutex-free), `k > 1` = a dedicated `k`-worker pool.
+    pub parallelism: usize,
+    /// Capacity of the per-erasure-pattern decode-program LRU cache:
+    /// `0` = auto (every empty/single/double erasure pattern fits).
+    pub decode_cache_cap: usize,
 }
 
 impl RsConfig {
@@ -35,7 +52,9 @@ impl RsConfig {
             matrix: MatrixKind::IsalPower,
             opt: OptConfig::default(),
             blocksize: 1024,
-            kernel: Kernel::Auto,
+            kernel: Kernel::from_env().unwrap_or(Kernel::Auto),
+            parallelism: xor_runtime::env_parallelism().unwrap_or(0),
+            decode_cache_cap: 0,
         }
     }
 
@@ -62,6 +81,18 @@ impl RsConfig {
         self.kernel = kernel;
         self
     }
+
+    /// Builder-style parallelism override (`0` = auto, see the field).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Builder-style decode-cache capacity override (`0` = auto).
+    pub fn decode_cache_cap(mut self, cap: usize) -> Self {
+        self.decode_cache_cap = cap;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +105,14 @@ mod tests {
         assert_eq!(c.matrix, MatrixKind::IsalPower);
         assert_eq!(c.blocksize, 1024);
         assert_eq!(c.opt, OptConfig::FULL_DFS);
-        assert_eq!(c.kernel, Kernel::Auto);
+        // Env vars may legitimately override these defaults (that is how
+        // CI forces every engine configuration through the suite).
+        assert_eq!(c.kernel, Kernel::from_env().unwrap_or(Kernel::Auto));
+        assert_eq!(
+            c.parallelism,
+            xor_runtime::env_parallelism().unwrap_or(0)
+        );
+        assert_eq!(c.decode_cache_cap, 0);
     }
 
     #[test]
@@ -83,10 +121,14 @@ mod tests {
             .matrix(MatrixKind::Cauchy)
             .blocksize(2048)
             .kernel(Kernel::Scalar)
-            .opt(OptConfig::BASE);
+            .opt(OptConfig::BASE)
+            .parallelism(2)
+            .decode_cache_cap(7);
         assert_eq!(c.matrix, MatrixKind::Cauchy);
         assert_eq!(c.blocksize, 2048);
         assert_eq!(c.kernel, Kernel::Scalar);
         assert_eq!(c.opt, OptConfig::BASE);
+        assert_eq!(c.parallelism, 2);
+        assert_eq!(c.decode_cache_cap, 7);
     }
 }

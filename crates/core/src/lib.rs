@@ -52,6 +52,7 @@ mod codec;
 mod config;
 mod error;
 mod layout;
+mod lru;
 
 pub use codec::RsCodec;
 pub use config::RsConfig;

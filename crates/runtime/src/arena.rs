@@ -110,9 +110,15 @@ impl VarArena {
     }
 
     /// Does this arena fit a program with the given requirements?
+    ///
+    /// Grow-on-demand semantics: an arena sized for a *larger* array
+    /// length still fits a smaller one (the staggering invariant
+    /// `A(v_i) ≡ i·B (mod 4096)` only depends on the stride residue, not
+    /// on the run length), so long-lived arenas — e.g. a pool worker's —
+    /// stop reallocating once they have grown to the peak working set.
     pub fn fits(&self, n_vars: usize, array_len: usize, blocksize: usize) -> bool {
         self.n_vars >= n_vars.max(1)
-            && self.array_len == array_len.max(1)
+            && self.array_len >= array_len.max(1)
             && self.stride % CACHE_PAGE == blocksize % CACHE_PAGE
     }
 
@@ -260,8 +266,10 @@ mod tests {
         let arena = VarArena::new(8, 4096, 1024);
         assert!(arena.fits(8, 4096, 1024));
         assert!(arena.fits(4, 4096, 1024));
+        // grow-on-demand: a smaller run length fits a larger arena
+        assert!(arena.fits(8, 2048, 1024));
         assert!(!arena.fits(9, 4096, 1024));
-        assert!(!arena.fits(8, 2048, 1024));
+        assert!(!arena.fits(8, 8192, 1024));
         assert!(!arena.fits(8, 4096, 512));
     }
 

@@ -179,7 +179,14 @@ impl ExecProgram {
             return Ok(());
         }
         if !arena.fits(self.n_vars, len, self.blocksize) {
-            *arena = self.make_arena(len);
+            // Grow, never shrink: keep the larger of the old and new
+            // requirements so a long-lived (e.g. pool-worker) arena
+            // converges instead of thrashing between program shapes.
+            *arena = VarArena::new(
+                self.n_vars.max(arena.n_vars()),
+                len.max(arena.array_len()),
+                self.blocksize,
+            );
         }
 
         // Resolve every variable to its backing pointer: a caller output

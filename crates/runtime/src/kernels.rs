@@ -47,6 +47,30 @@ impl Kernel {
         }
     }
 
+    /// The `XORSLP_KERNEL` environment override, if set and recognised
+    /// (`scalar`, `wide64`, `avx2`, `auto`). Codec constructors use this
+    /// as their *default* kernel; an explicit builder call still wins.
+    /// CI uses it to force the whole suite through each implementation.
+    pub fn from_env() -> Option<Kernel> {
+        match std::env::var("XORSLP_KERNEL").ok()?.trim().to_ascii_lowercase().as_str() {
+            "scalar" | "xor1" => Some(Kernel::Scalar),
+            "wide64" | "xor8" => Some(Kernel::Wide64),
+            #[cfg(target_arch = "x86_64")]
+            "avx2" | "xor32" => {
+                // Never let an env var force AVX2 onto a CPU without it
+                // (calling the target_feature kernel would be UB); fall
+                // back to Auto, which picks the best *available* kernel.
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    Some(Kernel::Avx2)
+                } else {
+                    Some(Kernel::Auto)
+                }
+            }
+            "auto" => Some(Kernel::Auto),
+            _ => None,
+        }
+    }
+
     /// Human-readable name used by the benchmark tables.
     pub fn name(self) -> &'static str {
         match self {

@@ -17,10 +17,23 @@
 //!   every chunk index over input, variable, and output buffers without
 //!   any per-run allocation.
 
+//!
+//! Parallelism is a first-class subsystem: [`ExecPool`] keeps a
+//! persistent set of workers (one grow-on-demand [`VarArena`] each) and
+//! [`plan_stripes`] splits any byte range into blocksize-aligned stripes,
+//! so [`ExecProgram::run_striped`] executes one program across all cores
+//! with zero steady-state allocation.
+
 mod arena;
 mod exec;
 mod kernels;
+mod partition;
+mod pool;
 
 pub use arena::{AlignedBuf, StripedBuf, VarArena, CACHE_PAGE};
 pub use exec::{ExecError, ExecProgram};
 pub use kernels::{xor_into, xor_slices, Kernel};
+pub use partition::{plan_stripes, StripePlan};
+pub use pool::{
+    default_parallelism, env_parallelism, lock_unpoisoned, ExecPool, PoolChoice, ScopedTask,
+};

@@ -4,12 +4,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use xorslp_ec::RsCodec;
+use xorslp_ec::{RsCodec, RsConfig};
 
 fn main() {
     // RS(10, 4): the HDFS codec — 10 data shards, 4 parity shards,
-    // any 4 losses are survivable, 1.4× storage overhead.
-    let codec = RsCodec::new(10, 4).expect("valid parameters");
+    // any 4 losses are survivable, 1.4× storage overhead. Execution is
+    // striped across the machine-sized worker pool by default
+    // (`parallelism(0)`); pass 1 for serial or k for a dedicated pool.
+    let codec =
+        RsCodec::with_config(RsConfig::new(10, 4).parallelism(0)).expect("valid parameters");
 
     let data: Vec<u8> = (0..1_000_000u32).map(|i| (i * 2_654_435_761) as u8).collect();
     println!("original data: {} bytes", data.len());

@@ -16,7 +16,7 @@
 //! | [`bits`] | `bitmatrix` | F2 matrices, companion expansion |
 //! | [`slp`] | `slp` | SLP IR, semantics, metrics, LRU cache model |
 //! | [`opt`] | `slp-optimizer` | RePair/XorRePair, fusion, schedulers |
-//! | [`runtime`] | `xor-runtime` | XOR kernels, arenas, blocked executor |
+//! | [`runtime`] | `xor-runtime` | XOR kernels, arenas, blocked executor, [`ExecPool`] |
 //! | [`baseline`] | `gf-baseline` | ISA-L-style table-driven codec |
 //!
 //! ## Quick start
@@ -43,6 +43,7 @@
 pub use ec_core::{
     Compression, EcError, Kernel, MatrixKind, OptConfig, RsCodec, RsConfig, Scheduling,
 };
+pub use xor_runtime::{plan_stripes, ExecPool, PoolChoice, StripePlan};
 
 /// The erasure codec (re-export of `ec-core`).
 pub mod codec {
