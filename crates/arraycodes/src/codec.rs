@@ -70,6 +70,9 @@ pub struct ArrayCodec {
     opt: OptConfig,
     pool: PoolChoice,
     dec_cache: Mutex<HashMap<Vec<usize>, Arc<DecEntry>>>,
+    /// Per-disk delta-update programs (domain is `0..k`, so a plain map
+    /// is already bounded).
+    upd_cache: Mutex<HashMap<usize, Arc<UpdEntry>>>,
 }
 
 struct DecEntry {
@@ -77,6 +80,13 @@ struct DecEntry {
     /// (disk, symbol) feeding each program input, in order.
     inputs: Vec<(usize, usize)>,
     lost_data: Vec<usize>,
+}
+
+/// One disk's column-block program: maps the disk's `w` delta symbols to
+/// the `2w` parity-symbol deltas.
+struct UpdEntry {
+    slp: Slp,
+    prog: ExecProgram,
 }
 
 impl ArrayCodec {
@@ -129,6 +139,7 @@ impl ArrayCodec {
                 xor_runtime::env_parallelism().unwrap_or(0),
             ),
             dec_cache: Mutex::new(HashMap::new()),
+            upd_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -205,6 +216,100 @@ impl ArrayCodec {
                 .expect("encode program shapes are fixed at construction");
         }
         Ok(shards)
+    }
+
+    /// Build (or fetch) the delta-update program for one data disk: the
+    /// disk's column block of the parity bit-matrix, run through the same
+    /// SLP pipeline as the full encode.
+    fn update_entry(&self, disk: usize) -> Arc<UpdEntry> {
+        if let Some(e) = self.upd_cache.lock().expect("cache lock").get(&disk) {
+            return e.clone();
+        }
+        let (k, w) = (self.k, self.w);
+        // Parity rows of the generator, restricted to this disk's symbols.
+        let block = self
+            .generator
+            .row_range(k * w, 2 * w)
+            .col_range(disk * w, w);
+        let slp = optimize(&binary_slp_from_bitmatrix(&block), self.opt);
+        let prog = ExecProgram::compile(&slp, self.blocksize, self.kernel);
+        let entry = Arc::new(UpdEntry { slp, prog });
+        self.upd_cache
+            .lock()
+            .expect("cache lock")
+            .insert(disk, entry.clone());
+        entry
+    }
+
+    /// Delta parity update: after data disk `disk` changes from `old` to
+    /// `new`, bring both parity disks up to date in place without
+    /// touching the other `k − 1` data disks (same identity as
+    /// `RsCodec::update_parity`, over the array code's `w`-symbol
+    /// striping).
+    ///
+    /// `old`, `new` and both parity shards must share one length, a
+    /// multiple of `w`. Zero-length shards are a no-op.
+    pub fn update_parity(
+        &self,
+        disk: usize,
+        old: &[u8],
+        new: &[u8],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), ArrayCodecError> {
+        if disk >= self.k {
+            return Err(ArrayCodecError::Shards(format!(
+                "data disk index {disk} out of range (data disks: {})",
+                self.k
+            )));
+        }
+        if parity.len() != 2 {
+            return Err(ArrayCodecError::Shards(format!(
+                "expected 2 parity shards, got {}",
+                parity.len()
+            )));
+        }
+        let len = old.len();
+        if new.len() != len || parity.iter().any(|s| s.len() != len) {
+            return Err(ArrayCodecError::Shards(
+                "old, new and parity shard lengths differ".into(),
+            ));
+        }
+        if !len.is_multiple_of(self.w) {
+            return Err(ArrayCodecError::Shards(format!(
+                "shard length {len} is not a multiple of w = {}",
+                self.w
+            )));
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        // Same delta discipline as `RsCodec::update_parity`, over the
+        // array code's w-symbol striping (shared runtime helper).
+        self.update_entry(disk)
+            .prog
+            .run_delta_striped(
+                self.w,
+                old,
+                new,
+                parity,
+                self.pool.pool(),
+                self.pool.workers(),
+            )
+            .expect("update program shapes are fixed at construction");
+        Ok(())
+    }
+
+    /// The optimized SLP of one disk's delta-update program (for
+    /// metrics: a single-disk write pays this XOR count, against
+    /// [`ArrayCodec::encode_slp`] for the full stripe).
+    pub fn update_slp(&self, disk: usize) -> Result<Slp, ArrayCodecError> {
+        if disk >= self.k {
+            return Err(ArrayCodecError::Shards(format!(
+                "data disk index {disk} out of range (data disks: {})",
+                self.k
+            )));
+        }
+        Ok(self.update_entry(disk).slp.clone())
     }
 
     /// Build (or fetch) the decode program for a set of lost disks.
@@ -437,6 +542,86 @@ mod tests {
         rx[6] = None; // diagonal parity
         assert_eq!(parallel.decode(&rx, data.len()).unwrap(), data);
         assert_eq!(serial.decode(&rx, data.len()).unwrap(), data);
+    }
+
+    fn parity_of(codec: &ArrayCodec, shards: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        shards[codec.data_shards()..].to_vec()
+    }
+
+    #[test]
+    fn delta_update_matches_full_reencode() {
+        for codec in [ArrayCodec::evenodd(5), ArrayCodec::rdp(4)] {
+            let k = codec.data_shards();
+            let w = codec.symbols_per_shard();
+            let data = sample(k * w * 6);
+            let shards = codec.encode(&data).unwrap();
+            let shard_len = shards[0].len();
+            for disk in 0..k {
+                let mut new_bytes = data.clone();
+                // Mutate only this disk's byte range.
+                for b in new_bytes[disk * shard_len..(disk + 1) * shard_len].iter_mut() {
+                    *b = b.wrapping_mul(113).wrapping_add(29);
+                }
+                let expected = codec.encode(&new_bytes).unwrap();
+
+                let mut parity = parity_of(&codec, &shards);
+                {
+                    let mut prefs: Vec<&mut [u8]> =
+                        parity.iter_mut().map(Vec::as_mut_slice).collect();
+                    codec
+                        .update_parity(
+                            disk,
+                            &shards[disk],
+                            &expected[disk],
+                            &mut prefs,
+                        )
+                        .unwrap();
+                }
+                assert_eq!(
+                    parity,
+                    parity_of(&codec, &expected),
+                    "{} disk {disk}",
+                    codec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_update_program_is_cheaper_than_full_encode() {
+        let codec = ArrayCodec::rdp(8);
+        let full = codec.encode_slp().xor_count();
+        for disk in 0..codec.data_shards() {
+            let upd = codec.update_slp(disk).unwrap().xor_count();
+            assert!(upd < full, "disk {disk}: {upd} XORs vs full {full}");
+        }
+    }
+
+    #[test]
+    fn delta_update_validates_inputs() {
+        let codec = ArrayCodec::evenodd(3); // p = 3, w = 2
+        let w = codec.symbols_per_shard();
+        let good = vec![0u8; 4 * w];
+        let mut parity = vec![vec![0u8; 4 * w]; 2];
+        {
+            let mut prefs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            assert!(codec.update_parity(5, &good, &good, &mut prefs).is_err());
+            let short = vec![0u8; 2 * w];
+            assert!(codec.update_parity(0, &good, &short, &mut prefs).is_err());
+            let odd = vec![0u8; 4 * w + 1];
+            let mut odd_parity = vec![vec![0u8; 4 * w + 1]; 2];
+            let mut oprefs: Vec<&mut [u8]> =
+                odd_parity.iter_mut().map(Vec::as_mut_slice).collect();
+            assert!(codec.update_parity(0, &odd, &odd, &mut oprefs).is_err());
+            // zero length is a no-op
+            let empty: Vec<u8> = Vec::new();
+            let mut zero = [Vec::new(), Vec::new()];
+            let mut zrefs: Vec<&mut [u8]> =
+                zero.iter_mut().map(Vec::as_mut_slice).collect();
+            codec.update_parity(0, &empty, &empty, &mut zrefs).unwrap();
+        }
+        assert!(codec.update_slp(99).is_err());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Delta-update bench: single-shard parity update vs full re-encode.
+//!
+//! The read-modify-write workload of production erasure-coded storage:
+//! one data shard of an RS(n, p) stripe changes and parity must follow.
+//! The full path re-encodes all `n` columns; the delta path runs one
+//! cached *column* program over `old ⊕ new` and accumulates into parity.
+//! This bench reports both the static XOR-count reduction (provable from
+//! the SLP metrics) and the measured wall-clock speedup.
+//!
+//! ```text
+//! cargo bench --bench delta_update
+//! ```
+//!
+//! Knobs: `BENCH_MB`, `BENCH_REPS` (see `ec_bench`).
+
+use ec_bench::{print_env_header, reps, rule, time_per_rep, workload_bytes};
+use ec_core::{RsCodec, RsConfig};
+
+fn main() {
+    print_env_header("Delta parity updates: one-column programs vs full re-encode");
+
+    let data_bytes = workload_bytes();
+    println!("workload: {} MB per stripe | reps: {}", data_bytes / 1_000_000, reps());
+    println!();
+    println!(
+        "{:>8} | {:>9} | {:>9} | {:>9} | {:>12} | {:>12} | {:>8}",
+        "code", "full #⊕", "col #⊕", "avg col⊕", "encode s", "update s", "speedup"
+    );
+    println!("{}", rule(86));
+
+    for (n, p) in [(4usize, 2usize), (6, 3), (10, 4)] {
+        let codec = RsCodec::with_config(RsConfig::new(n, p)).expect("valid params");
+        let shard_len = (data_bytes / n / 8) * 8;
+        let data: Vec<Vec<u8>> = (0..n)
+            .map(|k| (0..shard_len).map(|i| ((i * 131 + k * 17 + 3) % 256) as u8).collect())
+            .collect();
+        let new_shard: Vec<u8> =
+            (0..shard_len).map(|i| ((i * 53 + 11) % 256) as u8).collect();
+        let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        let mut parity = vec![vec![0u8; shard_len]; p];
+        {
+            let mut prefs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            codec.encode_parity(&refs, &mut prefs).expect("encode");
+        }
+
+        // Static cost: column programs vs the full encode program.
+        // Column 0 of the power matrix is all-ones (a pure copy, 0 XORs);
+        // bench a middle column and report the per-column average too.
+        let full_xors = codec.encode_slp().xor_count();
+        let col = n / 2;
+        let col_xors = codec.update_slp(col).expect("column").xor_count();
+        let avg_xors = (0..n)
+            .map(|i| codec.update_slp(i).expect("column").xor_count())
+            .sum::<usize>() as f64
+            / n as f64;
+
+        let t_full = time_per_rep(reps(), || {
+            let mut prefs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            codec.encode_parity(&refs, &mut prefs).expect("encode");
+        });
+        let t_update = time_per_rep(reps(), || {
+            let mut prefs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            // One write: old shard → new_shard (and back next rep —
+            // XOR is an involution, so alternating keeps parity exact).
+            codec
+                .update_parity(col, &data[col], &new_shard, &mut prefs)
+                .expect("update");
+            codec
+                .update_parity(col, &new_shard, &data[col], &mut prefs)
+                .expect("update back");
+        });
+        // t_update covers TWO updates; report one.
+        let t_update = t_update / 2.0;
+
+        println!(
+            "RS({n:>2},{p}) | {:>9} | {:>9} | {:>9.1} | {:>12.6} | {:>12.6} | {:>7.2}x",
+            full_xors, col_xors, avg_xors, t_full, t_update, t_full / t_update
+        );
+        assert!(
+            col_xors < full_xors,
+            "delta program must execute strictly fewer XORs than full encode"
+        );
+    }
+
+    println!();
+    println!(
+        "update_parity touches 1 data column + p parity shards; encode_parity \
+         touches all n columns — the speedup grows with n."
+    );
+}

@@ -15,20 +15,12 @@
 //! Knobs: `BENCH_MB`, `BENCH_REPS` (see `ec_bench`), and
 //! `BENCH_MAX_THREADS` (default: 2× available parallelism).
 
-use ec_bench::{print_env_header, reps, rule, workload_bytes};
+use ec_bench::{print_env_header, reps, rule, time_per_rep, workload_bytes};
 use ec_core::{RsCodec, RsConfig};
-use std::time::Instant;
 use xor_runtime::default_parallelism;
 
-fn throughput_gbps(bytes: usize, reps: usize, mut f: impl FnMut()) -> f64 {
-    for _ in 0..3 {
-        f(); // warm-up: grows every worker arena to steady state
-    }
-    let t = Instant::now();
-    for _ in 0..reps.max(1) {
-        f();
-    }
-    bytes as f64 * reps.max(1) as f64 / t.elapsed().as_secs_f64() / 1e9
+fn throughput_gbps(bytes: usize, reps: usize, f: impl FnMut()) -> f64 {
+    bytes as f64 / time_per_rep(reps, f) / 1e9
 }
 
 fn main() {

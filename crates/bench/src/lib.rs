@@ -174,6 +174,23 @@ impl BenchRunner {
     }
 }
 
+/// Time a closure: 3 unmeasured warm-up calls (grow arenas/caches to
+/// steady state), then `reps` measured calls; returns seconds per call.
+///
+/// The one timing discipline shared by the plain-main bench bins —
+/// change warm-up or clamping here, not per binary.
+pub fn time_per_rep(reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let reps = reps.max(1);
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() / reps as f64
+}
+
 /// Pretty horizontal rule for table output.
 pub fn rule(width: usize) -> String {
     "-".repeat(width)

@@ -247,6 +247,16 @@ impl BitMatrix {
         assert!(r0 + count <= self.rows);
         BitMatrix::from_fn(count, self.cols, |i, j| self.get(r0 + i, j))
     }
+
+    /// Extract the columns `[c0, c0+count)` as a new matrix.
+    ///
+    /// Together with [`BitMatrix::row_range`] this carves arbitrary
+    /// contiguous sub-matrices out of a generator — the delta-update path
+    /// uses it to isolate one disk's column block of a parity matrix.
+    pub fn col_range(&self, c0: usize, count: usize) -> BitMatrix {
+        assert!(c0 + count <= self.cols);
+        BitMatrix::from_fn(self.rows, count, |i, j| self.get(i, c0 + j))
+    }
 }
 
 impl fmt::Debug for BitMatrix {
@@ -338,6 +348,24 @@ mod tests {
         let sub = m.row_range(2, 3);
         assert_eq!(sub.rows(), 3);
         assert!(sub.get(0, 2) && sub.get(1, 3) && sub.get(2, 4));
+    }
+
+    #[test]
+    fn col_range_extraction() {
+        let m = BitMatrix::from_fn(6, 130, |i, j| (i + j) % 3 == 0);
+        // Cross a word boundary on purpose.
+        let sub = m.col_range(60, 10);
+        assert_eq!(sub.rows(), 6);
+        assert_eq!(sub.cols(), 10);
+        for i in 0..6 {
+            for j in 0..10 {
+                assert_eq!(sub.get(i, j), m.get(i, 60 + j), "({i},{j})");
+            }
+        }
+        // Row/column range extraction commutes.
+        let a = m.row_range(1, 4).col_range(60, 10);
+        let b = m.col_range(60, 10).row_range(1, 4);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -24,6 +24,30 @@ struct DecProgram {
     survivors: Vec<usize>,
 }
 
+/// Key of a cached partial (sub-matrix) XOR program.
+///
+/// The same pipeline that compiles the full parity matrix applies
+/// unchanged to any sub-matrix of the coding matrix; these are the two
+/// shapes production traffic asks for.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum PartialKey {
+    /// Column `i` of the parity block: scales one data shard's *change*
+    /// into all `p` parity shards (delta updates).
+    Column(usize),
+    /// A strict subset of parity rows (ascending, 0-based within the
+    /// parity block): re-encodes only those parity shards (partial
+    /// repair). The full-row-set program is the encode program itself
+    /// and is never cached here.
+    Rows(Vec<usize>),
+}
+
+/// A compiled partial program plus its optimized SLP (kept for metrics:
+/// the delta-update win is *provable* by comparing XOR counts).
+struct PartialProgram {
+    slp: Slp,
+    prog: ExecProgram,
+}
+
 /// A systematic Reed–Solomon erasure codec computed entirely with XORs.
 ///
 /// Construction compiles the optimized encode program once; decode
@@ -44,6 +68,9 @@ pub struct RsCodec {
     /// The execution pool (shared global or codec-owned, per config).
     pool: PoolChoice,
     dec_cache: Mutex<LruCache<Vec<usize>, Arc<DecProgram>>>,
+    /// Column/row-subset programs for delta updates and partial repair,
+    /// bounded by [`RsConfig::partial_cache_cap`].
+    partial_cache: Mutex<LruCache<PartialKey, Arc<PartialProgram>>>,
 }
 
 impl RsCodec {
@@ -83,6 +110,13 @@ impl RsCodec {
             0 => 1 + t + t * (t - 1) / 2,
             cap => cap,
         };
+        // Auto partial-program capacity: every per-data-shard column
+        // program (the delta-update working set) and every single-row
+        // repair program fit simultaneously.
+        let partial_cap = match cfg.partial_cache_cap {
+            0 => n + p,
+            cap => cap,
+        };
         Ok(RsCodec {
             cfg,
             matrix,
@@ -90,6 +124,7 @@ impl RsCodec {
             enc_prog,
             pool: PoolChoice::from_parallelism(cfg.parallelism),
             dec_cache: Mutex::new(LruCache::new(cache_cap)),
+            partial_cache: Mutex::new(LruCache::new(partial_cap)),
         })
     }
 
@@ -134,23 +169,61 @@ impl RsCodec {
         lock(&self.dec_cache).cap()
     }
 
+    /// Number of partial (column / row-subset) programs currently cached.
+    pub fn partial_cache_len(&self) -> usize {
+        lock(&self.partial_cache).len()
+    }
+
+    /// The partial-program cache capacity in effect (the resolved value
+    /// of [`RsConfig::partial_cache_cap`]).
+    pub fn partial_cache_capacity(&self) -> usize {
+        lock(&self.partial_cache).cap()
+    }
+
     /// The optimized decoding SLP for an erasure pattern (for metrics;
-    /// Figure 1). `lost` lists missing shard indices (data or parity);
-    /// at least one data shard must be lost, otherwise decoding is a
-    /// no-op with no program to return.
+    /// Figure 1). `lost` lists missing shard indices (data or parity).
+    ///
+    /// # Errors
+    /// [`EcError::NoDataLost`] when the pattern erases parity only —
+    /// decoding is then a no-op with no program to return (repair parity
+    /// with [`RsCodec::encode_parity_partial`] instead).
     pub fn decode_slp(&self, lost: &[usize]) -> Result<Slp, EcError> {
         let dec = self.decode_program(lost)?;
         match &dec.compiled {
             Some((slp, _)) => Ok(slp.clone()),
-            None => Err(EcError::InvalidParams(
-                "no data shards lost; decoding is a no-op".into(),
-            )),
+            None => Err(EcError::NoDataLost),
         }
     }
 
     // ------------------------------------------------------------------
     // Encoding
     // ------------------------------------------------------------------
+
+    /// The validation prologue shared by every parity-producing entry
+    /// point: check shard counts against `(expected_data,
+    /// expected_parity)` and return the common, packet-aligned shard
+    /// length. Zero-length shards are valid everywhere and make the
+    /// operation a no-op — callers early-return on `Ok(0)`.
+    fn encode_prologue(
+        &self,
+        data: &[&[u8]],
+        parity: &[&mut [u8]],
+        expected_data: usize,
+        expected_parity: usize,
+    ) -> Result<usize, EcError> {
+        if data.len() != expected_data {
+            return Err(EcError::ShardCount { expected: expected_data, got: data.len() });
+        }
+        if parity.len() != expected_parity {
+            return Err(EcError::ShardCount {
+                expected: expected_parity,
+                got: parity.len(),
+            });
+        }
+        layout::common_shard_len(
+            data.iter().copied().chain(parity.iter().map(|s| &**s)),
+        )
+    }
 
     /// Compute all parity shards from data shards, zero-copy.
     ///
@@ -162,15 +235,7 @@ impl RsCodec {
         parity: &mut [&mut [u8]],
     ) -> Result<(), EcError> {
         let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
-        if data.len() != n {
-            return Err(EcError::ShardCount { expected: n, got: data.len() });
-        }
-        if parity.len() != p {
-            return Err(EcError::ShardCount { expected: p, got: parity.len() });
-        }
-        let len = layout::common_shard_len(
-            data.iter().copied().chain(parity.iter().map(|s| &**s)),
-        )?;
+        let len = self.encode_prologue(data, parity, n, p)?;
         if len == 0 {
             return Ok(());
         }
@@ -225,15 +290,10 @@ impl RsCodec {
         threads: usize,
     ) -> Result<(), EcError> {
         let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
-        if data.len() != n {
-            return Err(EcError::ShardCount { expected: n, got: data.len() });
+        let len = self.encode_prologue(data, parity, n, p)?;
+        if len == 0 {
+            return Ok(());
         }
-        if parity.len() != p {
-            return Err(EcError::ShardCount { expected: p, got: parity.len() });
-        }
-        layout::common_shard_len(
-            data.iter().copied().chain(parity.iter().map(|s| &**s)),
-        )?;
 
         let inputs: Vec<&[u8]> = data.iter().flat_map(|s| layout::packets(s)).collect();
         let mut outputs: Vec<&mut [u8]> = parity
@@ -247,6 +307,173 @@ impl RsCodec {
             threads.max(1),
         )?;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Partial programs: delta updates and partial repair
+    // ------------------------------------------------------------------
+
+    /// Compile (or fetch from the partial-program cache) the XOR program
+    /// for a sub-matrix of the parity block.
+    ///
+    /// The pipeline is exactly the full-encode pipeline — expand the
+    /// GF(2^8) sub-matrix to bits, lift to an SLP, optimize, compile —
+    /// applied to a column (delta update) or a row subset (partial
+    /// repair) of the `p × n` parity matrix.
+    fn partial_program(&self, key: PartialKey) -> Arc<PartialProgram> {
+        if let Some(hit) = lock(&self.partial_cache).get(&key) {
+            return hit;
+        }
+        let n = self.cfg.data_shards;
+        let parity_rows: Vec<usize> = (n..n + self.cfg.parity_shards).collect();
+        let sub: GfMatrix = match &key {
+            PartialKey::Column(i) => {
+                self.matrix.select_rows(&parity_rows).select_cols(&[*i])
+            }
+            PartialKey::Rows(rows) => {
+                let abs: Vec<usize> = rows.iter().map(|&r| n + r).collect();
+                self.matrix.select_rows(&abs)
+            }
+        };
+        let bits = bitmatrix::BitMatrix::expand_gf_matrix(&sub);
+        let slp = optimize(&slp::binary_slp_from_bitmatrix(&bits), self.cfg.opt);
+        let prog = ExecProgram::compile(&slp, self.cfg.blocksize, self.cfg.kernel);
+        let entry = Arc::new(PartialProgram { slp, prog });
+        lock(&self.partial_cache).insert(key, entry.clone());
+        entry
+    }
+
+    /// Validate and normalize a parity-row subset: ascending, in-range,
+    /// non-empty. Returns `None` when the subset is the *full* row set —
+    /// the caller then uses the already-compiled encode program.
+    fn normalize_rows(&self, rows: &[usize]) -> Result<Option<Vec<usize>>, EcError> {
+        let p = self.cfg.parity_shards;
+        if rows.is_empty() {
+            return Err(EcError::InvalidParams(
+                "parity row subset must not be empty".into(),
+            ));
+        }
+        if !rows.windows(2).all(|w| w[0] < w[1]) {
+            return Err(EcError::InvalidParams(
+                "parity rows must be strictly increasing".into(),
+            ));
+        }
+        if *rows.last().expect("non-empty") >= p {
+            return Err(EcError::InvalidParams(format!(
+                "parity row index out of range (parity shards: {p})"
+            )));
+        }
+        if rows.len() == p {
+            return Ok(None); // 0..p in order: the full encode program
+        }
+        Ok(Some(rows.to_vec()))
+    }
+
+    /// Delta parity update: after data shard `shard_index` changes from
+    /// `old` to `new`, bring **all** `p` parity shards up to date in
+    /// place — without touching the other `n − 1` data shards.
+    ///
+    /// Parity is linear in the data, so
+    /// `parity_j' = parity_j ⊕ P[j][i] · (old_i ⊕ new_i)`: the update
+    /// runs the cached *column* program of shard `i` over the data delta
+    /// (one column's XORs instead of all `n` columns') and accumulates
+    /// the result into `parity`. This is the read-modify-write fast path
+    /// of production erasure-coded storage: a single-shard write costs
+    /// `O(p)` shard reads/writes instead of a full-stripe re-encode.
+    ///
+    /// `old`, `new` and every parity shard must share one length, a
+    /// multiple of 8. Zero-length shards are a no-op.
+    pub fn update_parity(
+        &self,
+        shard_index: usize,
+        old: &[u8],
+        new: &[u8],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        if shard_index >= n {
+            return Err(EcError::InvalidParams(format!(
+                "data shard index {shard_index} out of range (data shards: {n})"
+            )));
+        }
+        let len = self.encode_prologue(&[old, new], parity, 2, p)?;
+        if len == 0 {
+            return Ok(());
+        }
+        // delta = old ⊕ new, then delta-parity = column program (delta),
+        // accumulated into `parity` in place — the shared runtime
+        // discipline keeps a steady-state update allocation-free.
+        self.partial_program(PartialKey::Column(shard_index))
+            .prog
+            .run_delta_striped(
+                layout::PACKETS_PER_SHARD,
+                old,
+                new,
+                parity,
+                self.pool.pool(),
+                self.pool.workers(),
+            )?;
+        Ok(())
+    }
+
+    /// Re-encode a *subset* of the parity shards from the full data.
+    ///
+    /// `rows` lists the parity rows to produce (0-based within the
+    /// parity block, strictly increasing); `parity[k]` receives row
+    /// `rows[k]`. Repairing one lost parity shard of an RS(n, p) code
+    /// this way costs one row's XOR program, not the whole `p`-row
+    /// encode. Passing all `p` rows is equivalent to
+    /// [`RsCodec::encode_parity`] and reuses its program.
+    pub fn encode_parity_partial(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        rows: &[usize],
+    ) -> Result<(), EcError> {
+        let n = self.cfg.data_shards;
+        let key = match self.normalize_rows(rows)? {
+            None => return self.encode_parity(data, parity),
+            Some(key) => key,
+        };
+        let len = self.encode_prologue(data, parity, n, key.len())?;
+        if len == 0 {
+            return Ok(());
+        }
+        let entry = self.partial_program(PartialKey::Rows(key));
+        let inputs: Vec<&[u8]> = data.iter().flat_map(|s| layout::packets(s)).collect();
+        let mut outputs: Vec<&mut [u8]> = parity
+            .iter_mut()
+            .flat_map(|s| layout::packets_mut(s))
+            .collect();
+        entry.prog.run_striped(
+            &inputs,
+            &mut outputs,
+            self.pool.pool(),
+            self.pool.workers(),
+        )?;
+        Ok(())
+    }
+
+    /// The optimized SLP of the delta-update column program for one data
+    /// shard (for metrics: its XOR count is what a single-shard write
+    /// pays, against [`RsCodec::encode_slp`] for the full stripe).
+    pub fn update_slp(&self, shard_index: usize) -> Result<Slp, EcError> {
+        let n = self.cfg.data_shards;
+        if shard_index >= n {
+            return Err(EcError::InvalidParams(format!(
+                "data shard index {shard_index} out of range (data shards: {n})"
+            )));
+        }
+        Ok(self.partial_program(PartialKey::Column(shard_index)).slp.clone())
+    }
+
+    /// The optimized SLP of a parity-row-subset program (for metrics).
+    /// The full row set returns the encode SLP itself.
+    pub fn partial_encode_slp(&self, rows: &[usize]) -> Result<Slp, EcError> {
+        match self.normalize_rows(rows)? {
+            None => Ok(self.enc_slp.clone()),
+            Some(key) => Ok(self.partial_program(PartialKey::Rows(key)).slp.clone()),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -348,22 +575,24 @@ impl RsCodec {
             }
         }
 
-        // Phase 2: re-encode missing parity shards (data is complete now).
-        let missing_parity: Vec<usize> = missing.iter().copied().filter(|&i| i >= n).collect();
-        if !missing_parity.is_empty() {
+        // Phase 2: re-encode only the *missing* parity rows (data is
+        // complete now) — repair work is proportional to what was lost,
+        // not to p.
+        let missing_rows: Vec<usize> =
+            missing.iter().filter(|&&i| i >= n).map(|&i| i - n).collect();
+        if !missing_rows.is_empty() {
             let data_refs: Vec<&[u8]> = shards[..n]
                 .iter()
                 .map(|s| s.as_deref().expect("data complete after phase 1"))
                 .collect();
-            let mut parity: Vec<Vec<u8>> = vec![vec![0u8; len]; p];
+            let mut rebuilt: Vec<Vec<u8>> = vec![vec![0u8; len]; missing_rows.len()];
             {
-                let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
-                self.encode_parity(&data_refs, &mut refs)?;
+                let mut refs: Vec<&mut [u8]> =
+                    rebuilt.iter_mut().map(Vec::as_mut_slice).collect();
+                self.encode_parity_partial(&data_refs, &mut refs, &missing_rows)?;
             }
-            for (j, shard) in parity.into_iter().enumerate() {
-                if shards[n + j].is_none() {
-                    shards[n + j] = Some(shard);
-                }
+            for (&r, shard) in missing_rows.iter().zip(rebuilt) {
+                shards[n + r] = Some(shard);
             }
         }
         Ok(())
@@ -434,19 +663,64 @@ impl RsCodec {
     }
 
     /// Verify that parity shards are consistent with the data shards.
+    ///
+    /// The comparison runs stripe by stripe: each chunk of `workers ×
+    /// blocksize` packet bytes of expected parity is computed (striped
+    /// across the pool, like encode) into a small reused scratch buffer
+    /// — one chunk's worth, not `p` full shards — and compared
+    /// immediately. The first mismatching chunk aborts the scan, so
+    /// detecting corruption near the front of a large stripe costs a few
+    /// blocks of work, not a full re-encode, while a clean scan keeps
+    /// the pool parallelism of the full encode.
     pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, EcError> {
         let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
         if shards.len() != n + p {
             return Err(EcError::ShardCount { expected: n + p, got: shards.len() });
         }
         let len = layout::common_shard_len(shards.iter().map(Vec::as_slice))?;
-        let data_refs: Vec<&[u8]> = shards[..n].iter().map(Vec::as_slice).collect();
-        let mut parity: Vec<Vec<u8>> = vec![vec![0u8; len]; p];
-        {
-            let mut refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
-            self.encode_parity(&data_refs, &mut refs)?;
+        if len == 0 {
+            return Ok(true);
         }
-        Ok(parity.iter().zip(&shards[n..]).all(|(a, b)| a == b))
+        let pl = len / layout::PACKETS_PER_SHARD;
+        let data_packets: Vec<&[u8]> =
+            shards[..n].iter().flat_map(|s| layout::packets(s)).collect();
+        let parity_packets: Vec<&[u8]> =
+            shards[n..].iter().flat_map(|s| layout::packets(s)).collect();
+
+        // Chunk width: one compiled block per pool worker, so each chunk
+        // re-encodes at full engine parallelism while the scratch (and
+        // the early-exit granularity) stays a bounded, reusable strip.
+        let workers = self.pool.workers();
+        let step = self
+            .enc_prog
+            .blocksize()
+            .saturating_mul(workers.max(1))
+            .min(pl)
+            .max(1);
+        xor_runtime::with_byte_scratch(parity_packets.len() * step, |scratch| {
+            let mut start = 0;
+            while start < pl {
+                let width = step.min(pl - start);
+                let r = start..start + width;
+                let inputs: Vec<&[u8]> =
+                    data_packets.iter().map(|s| &s[r.clone()]).collect();
+                let mut outputs: Vec<&mut [u8]> = scratch
+                    .chunks_exact_mut(step)
+                    .map(|c| &mut c[..width])
+                    .collect();
+                self.enc_prog
+                    .run_striped(&inputs, &mut outputs, self.pool.pool(), workers)?;
+                let mismatch = parity_packets
+                    .iter()
+                    .zip(scratch.chunks_exact(step))
+                    .any(|(actual, expected)| actual[r.clone()] != expected[..width]);
+                if mismatch {
+                    return Ok(false);
+                }
+                start += width;
+            }
+            Ok(true)
+        })
     }
 }
 
@@ -749,6 +1023,244 @@ mod tests {
         let p3 = codec.decode_program(&[1, 0]).unwrap();
         let p4 = codec.decode_program(&[0, 1]).unwrap();
         assert!(Arc::ptr_eq(&p3, &p4));
+    }
+
+    /// Full re-encode oracle for the delta-update identity.
+    fn full_parity(codec: &RsCodec, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let len = data[0].len();
+        let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        let mut parity = vec![vec![0u8; len]; codec.parity_shards()];
+        {
+            let mut prefs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            codec.encode_parity(&refs, &mut prefs).unwrap();
+        }
+        parity
+    }
+
+    #[test]
+    fn update_parity_matches_full_reencode_for_every_column() {
+        let codec = RsCodec::new(5, 3).unwrap();
+        let shard_len = 5 * 16;
+        let data: Vec<Vec<u8>> =
+            (0..5).map(|k| sample_data(shard_len + k).split_off(k)).collect();
+        let mut parity = full_parity(&codec, &data);
+        for i in 0..5 {
+            let mut new_data = data.clone();
+            new_data[i] = data[i].iter().map(|b| b.wrapping_mul(31).wrapping_add(7)).collect();
+            {
+                let mut prefs: Vec<&mut [u8]> =
+                    parity.iter_mut().map(Vec::as_mut_slice).collect();
+                codec
+                    .update_parity(i, &data[i], &new_data[i], &mut prefs)
+                    .unwrap();
+            }
+            assert_eq!(parity, full_parity(&codec, &new_data), "column {i}");
+            // Updating back restores the original parity (involution).
+            {
+                let mut prefs: Vec<&mut [u8]> =
+                    parity.iter_mut().map(Vec::as_mut_slice).collect();
+                codec
+                    .update_parity(i, &new_data[i], &data[i], &mut prefs)
+                    .unwrap();
+            }
+            assert_eq!(parity, full_parity(&codec, &data), "column {i} undone");
+        }
+    }
+
+    #[test]
+    fn update_parity_validates_inputs() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let shard = vec![0u8; 16];
+        let mut parity = vec![vec![0u8; 16]; 2];
+        let mut prefs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+        // shard index out of range
+        assert!(matches!(
+            codec.update_parity(4, &shard, &shard, &mut prefs),
+            Err(EcError::InvalidParams(_))
+        ));
+        // old/new length mismatch
+        let short = vec![0u8; 8];
+        assert!(matches!(
+            codec.update_parity(0, &shard, &short, &mut prefs),
+            Err(EcError::ShardLength(_))
+        ));
+        // unaligned length
+        let odd = vec![0u8; 10];
+        let mut odd_parity = vec![vec![0u8; 10]; 2];
+        let mut oprefs: Vec<&mut [u8]> =
+            odd_parity.iter_mut().map(Vec::as_mut_slice).collect();
+        assert!(matches!(
+            codec.update_parity(0, &odd, &odd, &mut oprefs),
+            Err(EcError::ShardLength(_))
+        ));
+        // wrong parity count
+        let mut one = [vec![0u8; 16]];
+        let mut onerefs: Vec<&mut [u8]> = one.iter_mut().map(Vec::as_mut_slice).collect();
+        assert!(matches!(
+            codec.update_parity(0, &shard, &shard, &mut onerefs),
+            Err(EcError::ShardCount { expected: 2, got: 1 })
+        ));
+        // zero-length shards are a no-op
+        let empty: Vec<u8> = Vec::new();
+        let mut zero = [Vec::new(), Vec::new()];
+        let mut zrefs: Vec<&mut [u8]> = zero.iter_mut().map(Vec::as_mut_slice).collect();
+        codec.update_parity(0, &empty, &empty, &mut zrefs).unwrap();
+    }
+
+    #[test]
+    fn encode_parity_partial_matches_full_rows() {
+        let codec = RsCodec::new(6, 3).unwrap();
+        let data: Vec<Vec<u8>> = (0..6).map(|k| sample_data(48 + 8 * k)[k..48 + k].to_vec()).collect();
+        let full = full_parity(&codec, &data);
+        let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        for rows in [vec![0], vec![1], vec![2], vec![0, 2], vec![1, 2], vec![0, 1, 2]] {
+            let mut out = vec![vec![0u8; 48]; rows.len()];
+            {
+                let mut orefs: Vec<&mut [u8]> =
+                    out.iter_mut().map(Vec::as_mut_slice).collect();
+                codec.encode_parity_partial(&refs, &mut orefs, &rows).unwrap();
+            }
+            for (k, &r) in rows.iter().enumerate() {
+                assert_eq!(out[k], full[r], "rows {rows:?} slot {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_parity_partial_rejects_bad_rows() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data: Vec<Vec<u8>> = (0..4).map(|_| vec![1u8; 16]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        let mut out = vec![vec![0u8; 16]; 1];
+        let mut orefs: Vec<&mut [u8]> = out.iter_mut().map(Vec::as_mut_slice).collect();
+        for rows in [vec![], vec![2], vec![1, 0], vec![0, 0]] {
+            assert!(
+                matches!(
+                    codec.encode_parity_partial(&refs, &mut orefs, &rows),
+                    Err(EcError::InvalidParams(_))
+                ),
+                "rows {rows:?}"
+            );
+        }
+        // parity slot count must match the row count
+        assert!(matches!(
+            codec.encode_parity_partial(&refs, &mut orefs, &[0, 1]),
+            Err(EcError::ShardCount { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn update_program_is_strictly_cheaper_than_full_encode() {
+        // The acceptance criterion of the delta-update subsystem: a
+        // single-shard write executes strictly fewer XOR instructions
+        // than re-encoding the world.
+        let codec = RsCodec::new(10, 4).unwrap();
+        let full = codec.encode_slp().xor_count();
+        for i in 0..10 {
+            let upd = codec.update_slp(i).unwrap().xor_count();
+            assert!(upd < full, "column {i}: {upd} XORs vs full {full}");
+        }
+        // Row-subset repair of one parity shard is cheaper than all four.
+        for r in 0..4 {
+            let one = codec.partial_encode_slp(&[r]).unwrap().xor_count();
+            assert!(one < full, "row {r}: {one} XORs vs full {full}");
+        }
+    }
+
+    #[test]
+    fn partial_cache_is_reused_and_bounded() {
+        let codec =
+            RsCodec::with_config(RsConfig::new(6, 2).partial_cache_cap(3)).unwrap();
+        assert_eq!(codec.partial_cache_capacity(), 3);
+        let a = codec.partial_program(PartialKey::Column(0));
+        let b = codec.partial_program(PartialKey::Column(0));
+        assert!(Arc::ptr_eq(&a, &b), "cache hit must return the same program");
+        // Fill past the cap with distinct columns: LRU evicts column 0.
+        for i in 1..4 {
+            let _ = codec.partial_program(PartialKey::Column(i));
+        }
+        assert_eq!(codec.partial_cache_len(), 3);
+        assert!(!lock(&codec.partial_cache).contains(&PartialKey::Column(0)));
+        let fresh = codec.partial_program(PartialKey::Column(0));
+        assert!(!Arc::ptr_eq(&a, &fresh), "evicted program must recompile");
+        // Row-subset keys share the same cache.
+        let _ = codec.partial_program(PartialKey::Rows(vec![1]));
+        assert!(codec.partial_cache_len() <= 3, "cache exceeded its cap");
+    }
+
+    #[test]
+    fn default_partial_cache_capacity_fits_columns_and_single_rows() {
+        let codec = RsCodec::new(10, 4).unwrap();
+        assert_eq!(codec.partial_cache_capacity(), 14);
+        assert_eq!(codec.partial_cache_len(), 0);
+    }
+
+    #[test]
+    fn reconstruct_single_parity_uses_one_row_program() {
+        let codec = RsCodec::new(6, 3).unwrap();
+        let data = sample_data(6 * 32);
+        let shards = codec.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> =
+            shards.iter().cloned().map(Some).collect();
+        received[7] = None; // parity row 1 only
+        codec.reconstruct(&mut received).unwrap();
+        assert_eq!(received[7].as_ref().unwrap(), &shards[7]);
+        // The repair compiled (and cached) exactly the one-row program —
+        // not the full encode, and nothing else.
+        assert_eq!(codec.partial_cache_len(), 1);
+        assert!(lock(&codec.partial_cache).contains(&PartialKey::Rows(vec![1])));
+        let prog = codec.partial_program(PartialKey::Rows(vec![1]));
+        assert_eq!(prog.prog.n_outputs(), layout::PACKETS_PER_SHARD);
+        assert!(prog.slp.xor_count() < codec.encode_slp().xor_count());
+    }
+
+    #[test]
+    fn encode_parity_mt_zero_length_is_a_noop() {
+        // encode_parity_mt shares encode_parity's prologue: zero-length
+        // shards succeed identically on both paths.
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data: Vec<Vec<u8>> = vec![Vec::new(); 4];
+        let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        let mut parity: Vec<Vec<u8>> = vec![Vec::new(); 2];
+        let mut prefs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+        codec.encode_parity_mt(&refs, &mut prefs, 4).unwrap();
+        let mut prefs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+        codec.encode_parity(&refs, &mut prefs).unwrap();
+    }
+
+    #[test]
+    fn decode_slp_parity_only_is_typed() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        assert_eq!(codec.decode_slp(&[4, 5]), Err(EcError::NoDataLost));
+        // Caller errors stay distinguishable.
+        assert!(matches!(
+            codec.decode_slp(&[9]),
+            Err(EcError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn verify_early_exit_still_correct_across_lengths() {
+        let codec = RsCodec::with_config(RsConfig::new(4, 2).blocksize(64)).unwrap();
+        // Lengths around the blocksize: single stripe, many stripes, tails.
+        for shard_len in [8usize, 64, 512, 520, 4096] {
+            let data = sample_data(4 * shard_len);
+            let mut shards = codec.encode(&data).unwrap();
+            assert!(codec.verify(&shards).unwrap(), "len {shard_len}");
+            // Corrupt the *last* byte of a parity shard: early exit must
+            // not skip the final (possibly partial) stripe.
+            let last = shards[5].len() - 1;
+            shards[5][last] ^= 1;
+            assert!(!codec.verify(&shards).unwrap(), "len {shard_len} tail");
+            shards[5][last] ^= 1;
+            // And the first byte of a data shard (first stripe).
+            shards[0][0] ^= 0x80;
+            assert!(!codec.verify(&shards).unwrap(), "len {shard_len} head");
+        }
+        // Zero-length shards verify trivially.
+        let empty: Vec<Vec<u8>> = vec![Vec::new(); 6];
+        assert!(codec.verify(&empty).unwrap());
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct RsConfig {
     /// Capacity of the per-erasure-pattern decode-program LRU cache:
     /// `0` = auto (every empty/single/double erasure pattern fits).
     pub decode_cache_cap: usize,
+    /// Capacity of the partial-program LRU cache (per-data-shard column
+    /// programs for delta parity updates and parity-row-subset programs
+    /// for partial repair): `0` = auto (every column program and every
+    /// single-row program fits, `n + p` entries).
+    pub partial_cache_cap: usize,
 }
 
 impl RsConfig {
@@ -55,6 +60,7 @@ impl RsConfig {
             kernel: Kernel::from_env().unwrap_or(Kernel::Auto),
             parallelism: xor_runtime::env_parallelism().unwrap_or(0),
             decode_cache_cap: 0,
+            partial_cache_cap: 0,
         }
     }
 
@@ -93,6 +99,12 @@ impl RsConfig {
         self.decode_cache_cap = cap;
         self
     }
+
+    /// Builder-style partial-program cache capacity override (`0` = auto).
+    pub fn partial_cache_cap(mut self, cap: usize) -> Self {
+        self.partial_cache_cap = cap;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +125,7 @@ mod tests {
             xor_runtime::env_parallelism().unwrap_or(0)
         );
         assert_eq!(c.decode_cache_cap, 0);
+        assert_eq!(c.partial_cache_cap, 0);
     }
 
     #[test]
@@ -123,12 +136,14 @@ mod tests {
             .kernel(Kernel::Scalar)
             .opt(OptConfig::BASE)
             .parallelism(2)
-            .decode_cache_cap(7);
+            .decode_cache_cap(7)
+            .partial_cache_cap(5);
         assert_eq!(c.matrix, MatrixKind::Cauchy);
         assert_eq!(c.blocksize, 2048);
         assert_eq!(c.kernel, Kernel::Scalar);
         assert_eq!(c.opt, OptConfig::BASE);
         assert_eq!(c.parallelism, 2);
         assert_eq!(c.decode_cache_cap, 7);
+        assert_eq!(c.partial_cache_cap, 5);
     }
 }

@@ -14,6 +14,11 @@ pub enum EcError {
     ShardLength(String),
     /// More shards are missing than the parity count can repair.
     TooManyErasures { missing: usize, parity: usize },
+    /// The erasure pattern contains no data shards, so there is nothing
+    /// to decode (parity-only loss is repaired by re-encoding, not by a
+    /// decode program). A typed variant so callers can tell "nothing to
+    /// do" apart from caller error.
+    NoDataLost,
     /// The survivor submatrix is singular — the chosen coding matrix is
     /// not MDS for this erasure pattern (switch to `MatrixKind::Cauchy`).
     SingularPattern { lost: Vec<usize> },
@@ -33,6 +38,10 @@ impl fmt::Display for EcError {
             EcError::TooManyErasures { missing, parity } => write!(
                 f,
                 "{missing} shards missing but only {parity} parity shards available"
+            ),
+            EcError::NoDataLost => write!(
+                f,
+                "no data shards lost; decoding is a no-op (re-encode to repair parity)"
             ),
             EcError::SingularPattern { lost } => write!(
                 f,

@@ -55,6 +55,14 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.insert(k, (self.tick, v));
     }
 
+    /// True iff `k` is cached, *without* touching recency (a peek, not a
+    /// use — eviction tests and introspection must not perturb the order
+    /// they are observing).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -103,6 +111,19 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&1), Some(11));
         assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn contains_does_not_refresh_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Peeking at 1 must NOT save it from eviction.
+        assert!(c.contains(&1));
+        c.insert(3, 30); // evicts 1 (oldest by *use*, not by peek)
+        assert!(!c.contains(&1));
+        assert!(c.contains(&2));
+        assert!(c.contains(&3));
     }
 
     #[test]

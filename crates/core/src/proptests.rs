@@ -1,7 +1,7 @@
 //! Property tests of the codec: roundtrips under random data, lengths and
-//! erasure patterns.
+//! erasure patterns, and the delta-update identity.
 
-use crate::{OptConfig, RsCodec, RsConfig};
+use crate::{EcError, Kernel, OptConfig, RsCodec, RsConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -65,6 +65,119 @@ proptest! {
                 .unwrap()
         });
         prop_assert_eq!(base.encode(&data).unwrap(), full.encode(&data).unwrap());
+    }
+
+    /// The delta-update identity: updating parity for one changed data
+    /// shard lands on exactly the parity a full re-encode of the new
+    /// stripe produces — across random code shapes, shard lengths
+    /// (including zero), every available kernel, and both serial and
+    /// auto parallelism. Unaligned lengths must error identically to the
+    /// full-encode path.
+    #[test]
+    fn update_parity_equals_full_reencode(
+        (n, p) in (1usize..7, 1usize..5),
+        packet_len in 0usize..24,
+        shard_seed in any::<usize>(),
+        old_bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        new_bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let shard_len = packet_len * 8;
+        let shard_index = shard_seed % n;
+        let mk_shard = |seed: usize| -> Vec<u8> {
+            (0..shard_len).map(|i| (i * 37 + seed * 101 + 13) as u8).collect()
+        };
+        let resize = |bytes: &[u8]| -> Vec<u8> {
+            (0..shard_len).map(|i| *bytes.get(i).unwrap_or(&0x5A)).collect()
+        };
+
+        #[allow(unused_mut)]
+        let mut kernels = vec![Kernel::Scalar, Kernel::Wide64];
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            kernels.push(Kernel::Avx2);
+        }
+        for kernel in kernels {
+            for parallelism in [1usize, 0] {
+                let codec = RsCodec::with_config(
+                    RsConfig::new(n, p)
+                        .kernel(kernel)
+                        .parallelism(parallelism)
+                        .blocksize(64),
+                )
+                .unwrap();
+
+                let mut data: Vec<Vec<u8>> = (0..n).map(mk_shard).collect();
+                data[shard_index] = resize(&old_bytes);
+                let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+                let mut parity = vec![vec![0u8; shard_len]; p];
+                {
+                    let mut prefs: Vec<&mut [u8]> =
+                        parity.iter_mut().map(Vec::as_mut_slice).collect();
+                    codec.encode_parity(&refs, &mut prefs).unwrap();
+                }
+
+                let new_shard = resize(&new_bytes);
+                {
+                    let mut prefs: Vec<&mut [u8]> =
+                        parity.iter_mut().map(Vec::as_mut_slice).collect();
+                    codec
+                        .update_parity(shard_index, &data[shard_index], &new_shard, &mut prefs)
+                        .unwrap();
+                }
+
+                let mut new_data = data.clone();
+                new_data[shard_index] = new_shard;
+                let new_refs: Vec<&[u8]> = new_data.iter().map(Vec::as_slice).collect();
+                let mut expected = vec![vec![0u8; shard_len]; p];
+                {
+                    let mut erefs: Vec<&mut [u8]> =
+                        expected.iter_mut().map(Vec::as_mut_slice).collect();
+                    codec.encode_parity(&new_refs, &mut erefs).unwrap();
+                }
+                prop_assert_eq!(
+                    &parity, &expected,
+                    "n={} p={} shard={} len={} kernel={:?} par={}",
+                    n, p, shard_index, shard_len, kernel, parallelism
+                );
+
+                // Unaligned shard lengths are rejected, same as full encode.
+                if shard_len > 0 {
+                    let odd_old = vec![0u8; shard_len + 1];
+                    let odd_new = vec![1u8; shard_len + 1];
+                    let mut odd_parity = vec![vec![0u8; shard_len + 1]; p];
+                    let mut oprefs: Vec<&mut [u8]> =
+                        odd_parity.iter_mut().map(Vec::as_mut_slice).collect();
+                    prop_assert!(matches!(
+                        codec.update_parity(shard_index, &odd_old, &odd_new, &mut oprefs),
+                        Err(EcError::ShardLength(_))
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Partial re-encode of any parity-row subset matches the full
+    /// encode's rows (the repair path of `reconstruct`).
+    #[test]
+    fn partial_rows_equal_full_encode_rows(
+        data in proptest::collection::vec(any::<u8>(), 1..500),
+        keep in proptest::sample::subsequence((0..4usize).collect::<Vec<_>>(), 2),
+    ) {
+        use std::sync::OnceLock;
+        static CODEC: OnceLock<RsCodec> = OnceLock::new();
+        let codec = CODEC.get_or_init(|| RsCodec::new(10, 4).unwrap());
+
+        let shards = codec.encode(&data).unwrap();
+        let len = shards[0].len();
+        let refs: Vec<&[u8]> = shards[..10].iter().map(Vec::as_slice).collect();
+        let mut out = vec![vec![0u8; len]; keep.len()];
+        {
+            let mut orefs: Vec<&mut [u8]> = out.iter_mut().map(Vec::as_mut_slice).collect();
+            codec.encode_parity_partial(&refs, &mut orefs, &keep).unwrap();
+        }
+        for (k, &r) in keep.iter().enumerate() {
+            prop_assert_eq!(&out[k], &shards[10 + r], "row {}", r);
+        }
     }
 
     #[test]

@@ -101,6 +101,23 @@ impl GfMatrix {
         m
     }
 
+    /// New matrix consisting of the given columns of `self`, in the given
+    /// order.
+    ///
+    /// This is the delta-update "one data shard's parity contribution"
+    /// operation: column `i` of the parity block scales the `i`-th data
+    /// shard's change into every parity shard.
+    pub fn select_cols(&self, indices: &[usize]) -> GfMatrix {
+        let mut m = GfMatrix::zero(self.rows, indices.len());
+        for i in 0..self.rows {
+            for (dst, &src) in indices.iter().enumerate() {
+                assert!(src < self.cols, "column index {src} out of bounds");
+                m[(i, dst)] = self[(i, src)];
+            }
+        }
+        m
+    }
+
     /// Vertical concatenation: `self` on top of `other`.
     ///
     /// # Panics
@@ -337,6 +354,23 @@ mod tests {
         let v = m.vstack(&s);
         assert_eq!(v.rows(), 6);
         assert_eq!(v.row(4), m.row(3));
+    }
+
+    #[test]
+    fn select_cols_matches_transpose_select_rows() {
+        let m = GfMatrix::from_fn(3, 5, |i, j| Gf((7 * i + 3 * j + 1) as u8));
+        let s = m.select_cols(&[4, 0, 2]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 3);
+        let via_t = m.transpose().select_rows(&[4, 0, 2]).transpose();
+        assert_eq!(s, via_t);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index")]
+    fn select_cols_out_of_bounds_panics() {
+        let m = GfMatrix::zero(2, 3);
+        let _ = m.select_cols(&[3]);
     }
 
     #[test]

@@ -218,9 +218,53 @@ impl StripedBuf {
     }
 }
 
+thread_local! {
+    /// The calling thread's reusable byte scratch (see
+    /// [`with_byte_scratch`]): grows to the largest request and is then
+    /// reused, so steady-state hot paths (delta updates, stripe-wise
+    /// verify) allocate nothing.
+    static BYTE_SCRATCH: std::cell::RefCell<Vec<u8>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` over `need` bytes of this thread's persistent scratch buffer.
+///
+/// The scratch contents are whatever a previous caller left there —
+/// treat the slice as uninitialized and overwrite before reading. Not
+/// re-entrant: `f` must not itself call `with_byte_scratch` on the same
+/// thread (the codec hot paths that use this never nest).
+pub fn with_byte_scratch<R>(need: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+    BYTE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < need {
+            buf.resize(need, 0);
+        }
+        f(&mut buf[..need])
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn byte_scratch_grows_and_is_reused() {
+        let p1 = with_byte_scratch(100, |buf| {
+            assert_eq!(buf.len(), 100);
+            buf.fill(0xEE);
+            buf.as_ptr() as usize
+        });
+        // A larger request grows the buffer; a smaller one reuses it.
+        with_byte_scratch(1000, |buf| assert_eq!(buf.len(), 1000));
+        let p2 = with_byte_scratch(50, |buf| {
+            assert_eq!(buf.len(), 50);
+            buf.as_ptr() as usize
+        });
+        // After the grow the backing allocation is stable.
+        let p3 = with_byte_scratch(1000, |buf| buf.as_ptr() as usize);
+        assert_eq!(p2, p3);
+        let _ = p1;
+    }
 
     #[test]
     fn aligned_buf_is_page_aligned_and_zeroed() {

@@ -187,6 +187,28 @@ pub fn xor_slices(kernel: Kernel, dst: &mut [u8], srcs: &[&[u8]]) {
     unsafe { xor_into(kernel, dst.as_mut_ptr(), &ptrs, dst.len()) }
 }
 
+/// In-place accumulation `dst ^= src` with the given kernel.
+///
+/// Delta parity updates end with exactly this step: XOR a freshly
+/// computed delta-parity strip into the stored parity shard. The
+/// destination aliases itself as the first source at the *same* address,
+/// the one aliasing form every kernel supports (pebble reuse).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn xor_accumulate(kernel: Kernel, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    if dst.is_empty() {
+        return;
+    }
+    // Derive the aliased read pointer from the *mutable* borrow so both
+    // pointers share one provenance (a later as_mut_ptr would invalidate
+    // a shared as_ptr tag under Stacked Borrows).
+    let d = dst.as_mut_ptr();
+    let srcs = [d as *const u8, src.as_ptr()];
+    unsafe { xor_into(kernel, d, &srcs, dst.len()) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +261,19 @@ mod tests {
             let ptrs = [p.as_ptr(), q.as_ptr()];
             unsafe { xor_into(k, p.as_mut_ptr(), &ptrs, 100) };
             assert_eq!(p, expect, "kernel {k:?}");
+        }
+    }
+
+    #[test]
+    fn xor_accumulate_matches_manual_xor() {
+        for k in all_kernels() {
+            for len in [0usize, 1, 7, 64, 100, 1025] {
+                let mut dst: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+                let src: Vec<u8> = (0..len).map(|i| (i * 31 + 5) as u8).collect();
+                let expect: Vec<u8> = dst.iter().zip(&src).map(|(a, b)| a ^ b).collect();
+                xor_accumulate(k, &mut dst, &src);
+                assert_eq!(dst, expect, "kernel {k:?} len {len}");
+            }
         }
     }
 

@@ -30,9 +30,9 @@ mod kernels;
 mod partition;
 mod pool;
 
-pub use arena::{AlignedBuf, StripedBuf, VarArena, CACHE_PAGE};
+pub use arena::{with_byte_scratch, AlignedBuf, StripedBuf, VarArena, CACHE_PAGE};
 pub use exec::{ExecError, ExecProgram};
-pub use kernels::{xor_into, xor_slices, Kernel};
+pub use kernels::{xor_accumulate, xor_into, xor_slices, Kernel};
 pub use partition::{plan_stripes, StripePlan};
 pub use pool::{
     default_parallelism, env_parallelism, lock_unpoisoned, ExecPool, PoolChoice, ScopedTask,

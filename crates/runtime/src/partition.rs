@@ -10,8 +10,9 @@
 //! instead of degenerating to per-byte splits, and stripe boundaries are
 //! `B`-aligned so each worker's blocked loop sees no mid-block seams.
 
-use crate::arena::VarArena;
+use crate::arena::{with_byte_scratch, VarArena};
 use crate::exec::{ExecError, ExecProgram};
+use crate::kernels::{xor_accumulate, xor_slices};
 use crate::pool::{lock_unpoisoned, ExecPool, ScopedTask};
 use std::cell::RefCell;
 use std::ops::Range;
@@ -158,6 +159,51 @@ impl ExecProgram {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// The delta-update execution discipline shared by the codecs: run
+    /// this program over `old ⊕ new` (each shard split into `pps` equal
+    /// packets) and XOR its outputs into `shards` in place.
+    ///
+    /// Everything transient — the delta shard and the program outputs —
+    /// lives in the calling thread's persistent byte scratch, so a
+    /// steady-state update allocates nothing and memsets nothing (the
+    /// program overwrites its outputs in full before they are read).
+    ///
+    /// The caller has already validated shapes: `old`, `new` and every
+    /// shard share one length, a positive multiple of `pps`, and the
+    /// packet counts match the program (`pps` inputs, `shards.len() ×
+    /// pps` outputs).
+    pub fn run_delta_striped(
+        &self,
+        pps: usize,
+        old: &[u8],
+        new: &[u8],
+        shards: &mut [&mut [u8]],
+        pool: &ExecPool,
+        max_stripes: usize,
+    ) -> Result<(), ExecError> {
+        let len = old.len();
+        if len == 0 {
+            return Ok(());
+        }
+        let pl = len / pps;
+        with_byte_scratch((shards.len() + 1) * len, |scratch| {
+            let (delta, dp) = scratch.split_at_mut(len);
+            xor_slices(self.kernel(), delta, &[old, new]);
+            {
+                let inputs: Vec<&[u8]> = delta.chunks_exact(pl).collect();
+                let mut outputs: Vec<&mut [u8]> = dp
+                    .chunks_exact_mut(len)
+                    .flat_map(|s| s.chunks_exact_mut(pl))
+                    .collect();
+                self.run_striped(&inputs, &mut outputs, pool, max_stripes)?;
+            }
+            for (shard, d) in shards.iter_mut().zip(dp.chunks_exact(len)) {
+                xor_accumulate(self.kernel(), shard, d);
+            }
+            Ok(())
+        })
     }
 }
 

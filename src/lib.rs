@@ -39,7 +39,35 @@
 //! // …and the data comes back
 //! assert_eq!(codec.decode(&received, data.len()).unwrap(), data);
 //! ```
+//!
+//! ## Delta updates
+//!
+//! Parity is linear in the data, so a single-shard write never needs a
+//! full re-encode: [`RsCodec::update_parity`] runs the cached *column*
+//! program of the changed shard over `old ⊕ new` and accumulates the
+//! result into the parity shards, and
+//! [`RsCodec::encode_parity_partial`] re-encodes only a chosen subset of
+//! parity rows (partial repair).
+//!
+//! ```
+//! use xorslp_ec::RsCodec;
+//!
+//! let codec = RsCodec::new(4, 2).unwrap();
+//! let data: Vec<Vec<u8>> = (0..4u8).map(|k| vec![k; 64]).collect();
+//! let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+//! let mut parity = vec![vec![0u8; 64]; 2];
+//! {
+//!     let mut prefs: Vec<&mut [u8]> =
+//!         parity.iter_mut().map(Vec::as_mut_slice).collect();
+//!     codec.encode_parity(&refs, &mut prefs).unwrap();
+//!
+//!     // Overwrite shard 1 and pay one column's XORs, not four.
+//!     let new_shard = vec![0xA5u8; 64];
+//!     codec.update_parity(1, &data[1], &new_shard, &mut prefs).unwrap();
+//! }
+//! ```
 
+pub use array_codes::{ArrayCodec, ArrayCodecError};
 pub use ec_core::{
     Compression, EcError, Kernel, MatrixKind, OptConfig, RsCodec, RsConfig, Scheduling,
 };
