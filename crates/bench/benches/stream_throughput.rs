@@ -1,0 +1,92 @@
+//! Streaming-archive throughput: MB/s of `StreamEncoder` vs chunk size,
+//! single-threaded vs pooled execution.
+//!
+//! The chunk size trades memory (`O(chunk × (n + p))`) against engine
+//! utilization: tiny chunks fall into the single-stripe inline path and
+//! pay per-chunk framing overhead, large chunks feed the striped pool
+//! enough packet bytes to parallelize. Sinks are null writers, so the
+//! numbers isolate the encode + framing pipeline from disk speed.
+//!
+//! ```text
+//! cargo bench --bench stream_throughput
+//! ```
+//!
+//! Knobs: `BENCH_MB`, `BENCH_REPS` (see `ec_bench`).
+
+use ec_bench::{print_env_header, reps, rule, time_per_rep, workload_bytes};
+use ec_core::{RsCodec, RsConfig};
+use ec_stream::StreamEncoder;
+use std::io::{Seek, SeekFrom, Write};
+
+/// Swallow frames, count bytes: isolates codec + framing from disk.
+struct NullSink(u64);
+
+impl Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Seek for NullSink {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        if let SeekFrom::Start(o) = pos {
+            self.0 = o;
+        }
+        Ok(self.0)
+    }
+}
+
+fn main() {
+    print_env_header("Streaming archive encode throughput vs chunk size");
+
+    let (n, p) = (10usize, 4usize);
+    let total = workload_bytes().max(1 << 20);
+    let input: Vec<u8> = (0..total).map(|i| (i * 131 + i / 9 + 3) as u8).collect();
+    println!(
+        "workload: {} MB through RS({n}, {p}) per rep | reps: {}",
+        total / 1_000_000,
+        reps()
+    );
+    println!();
+    println!(
+        "{:>10} | {:>14} | {:>14} | {:>8}",
+        "chunk", "single MB/s", "pooled MB/s", "speedup"
+    );
+    println!("{}", rule(56));
+
+    for chunk in [64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        let mut rates = [0.0f64; 2];
+        for (slot, parallelism) in [(0usize, 1usize), (1, 0)] {
+            let codec = RsCodec::with_config(
+                RsConfig::new(n, p).parallelism(parallelism),
+            )
+            .expect("valid params");
+            let secs = time_per_rep(reps(), || {
+                let sinks: Vec<NullSink> =
+                    (0..codec.total_shards()).map(|_| NullSink(0)).collect();
+                let mut enc =
+                    StreamEncoder::new(&codec, chunk, sinks).expect("encoder");
+                enc.write_all(&input).expect("stream");
+                enc.finalize().expect("finalize");
+            });
+            rates[slot] = total as f64 / secs / 1e6;
+        }
+        println!(
+            "{:>7} KiB | {:>14.0} | {:>14.0} | {:>7.2}x",
+            chunk >> 10,
+            rates[0],
+            rates[1],
+            rates[1] / rates[0]
+        );
+    }
+    println!();
+    println!(
+        "single = parallelism(1) (inline, allocation-free steady state); \
+         pooled = parallelism(0) (striped across the global pool)"
+    );
+}

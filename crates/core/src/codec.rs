@@ -254,24 +254,65 @@ impl RsCodec {
         Ok(())
     }
 
+    /// The shard length [`RsCodec::encode`] and [`RsCodec::encode_into`]
+    /// produce for `data_len` bytes of input: the smallest packet-aligned
+    /// length whose `n` shards cover the data.
+    pub fn shard_len(&self, data_len: usize) -> usize {
+        layout::shard_len_for(data_len, self.cfg.data_shards)
+    }
+
     /// Encode a byte buffer into `n + p` shards (convenience allocation
     /// path). The data is split across `n` shards, zero-padding the tail;
     /// use the original length with [`RsCodec::decode`] to strip padding.
     pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, EcError> {
-        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
-        let shard_len = layout::shard_len_for(data.len(), n);
-        let mut shards = vec![vec![0u8; shard_len]; n + p];
-        for (i, shard) in shards.iter_mut().take(n).enumerate() {
-            let lo = (i * shard_len).min(data.len());
-            let hi = ((i + 1) * shard_len).min(data.len());
-            shard[..hi - lo].copy_from_slice(&data[lo..hi]);
-        }
-        let (data_part, parity_part) = shards.split_at_mut(n);
-        let data_refs: Vec<&[u8]> = data_part.iter().map(Vec::as_slice).collect();
-        let mut parity_refs: Vec<&mut [u8]> =
-            parity_part.iter_mut().map(Vec::as_mut_slice).collect();
-        self.encode_parity(&data_refs, &mut parity_refs)?;
+        let mut shards = vec![Vec::new(); self.total_shards()];
+        self.encode_into(data, &mut shards)?;
         Ok(shards)
+    }
+
+    /// [`RsCodec::encode`] into caller-owned shard buffers: each of the
+    /// `n + p` vectors is resized to [`RsCodec::shard_len`] and filled
+    /// (data split + zero padding, then parity).
+    ///
+    /// This is the steady-state streaming entry point: buffer capacity is
+    /// retained across calls, the packet-reference lists live in
+    /// thread-local scratch ([`xor_runtime::with_ref_scratch`]), and a
+    /// single-stripe execution plan runs inline on the caller's
+    /// persistent arena — so re-encoding same-sized chunks into the same
+    /// buffers performs **zero allocations** after the first call (with
+    /// `parallelism = 1`; pooled execution hands stripes to workers,
+    /// whose arenas are persistent too, but task submission allocates).
+    pub fn encode_into(&self, data: &[u8], shards: &mut [Vec<u8>]) -> Result<(), EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        if shards.len() != n + p {
+            return Err(EcError::ShardCount { expected: n + p, got: shards.len() });
+        }
+        let len = self.shard_len(data.len());
+        for (i, shard) in shards.iter_mut().take(n).enumerate() {
+            let lo = (i * len).min(data.len());
+            let hi = ((i + 1) * len).min(data.len());
+            shard.clear();
+            shard.extend_from_slice(&data[lo..hi]);
+            shard.resize(len, 0);
+        }
+        for shard in shards.iter_mut().skip(n) {
+            // Size only — no clear(): the XOR program overwrites every
+            // parity byte, and re-zeroing p × len per chunk is wasted
+            // bandwidth on the steady-state streaming path.
+            shard.resize(len, 0);
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        let pl = len / layout::PACKETS_PER_SHARD;
+        let (data_part, parity_part) = shards.split_at_mut(n);
+        xor_runtime::with_ref_scratch(|inputs, outputs| {
+            inputs.extend(data_part.iter().flat_map(|s| s.chunks_exact(pl)));
+            outputs.extend(parity_part.iter_mut().flat_map(|s| s.chunks_exact_mut(pl)));
+            self.enc_prog
+                .run_striped(inputs, outputs, self.pool.pool(), self.pool.workers())
+        })?;
+        Ok(())
     }
 
     /// [`RsCodec::encode_parity`] with an explicit stripe-count ceiling:
@@ -866,6 +907,35 @@ mod tests {
         assert!(RsCodec::new(2, 0).is_err());
         assert!(RsCodec::new(200, 100).is_err());
         assert!(RsCodec::with_config(RsConfig::new(4, 2).blocksize(0)).is_err());
+    }
+
+    #[test]
+    fn shard_len_matches_encode_output() {
+        let codec = RsCodec::new(10, 4).unwrap();
+        for data_len in [0usize, 1, 79, 80, 81, 1000, 4096] {
+            let data = sample_data(data_len);
+            let shards = codec.encode(&data).unwrap();
+            assert_eq!(shards[0].len(), codec.shard_len(data_len), "len {data_len}");
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_and_matches_encode() {
+        let codec = RsCodec::new(5, 2).unwrap();
+        // One set of buffers reused across different data and lengths:
+        // stale contents and stale sizes must not leak through.
+        let mut shards = vec![vec![0xFFu8; 123]; 7];
+        for data_len in [5 * 40, 17, 0, 5 * 40 + 3] {
+            let data = sample_data(data_len);
+            codec.encode_into(&data, &mut shards).unwrap();
+            assert_eq!(shards, codec.encode(&data).unwrap(), "len {data_len}");
+        }
+        // Wrong buffer count is rejected.
+        let mut six = vec![Vec::new(); 6];
+        assert!(matches!(
+            codec.encode_into(&[1, 2, 3], &mut six),
+            Err(EcError::ShardCount { expected: 7, got: 6 })
+        ));
     }
 
     #[test]

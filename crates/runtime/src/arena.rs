@@ -243,6 +243,56 @@ pub fn with_byte_scratch<R>(need: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
     })
 }
 
+/// The resting form of the [`with_ref_scratch`] vectors: always empty,
+/// so the `'static` lifetime is never attached to a live reference.
+type RefScratch = (Vec<&'static [u8]>, Vec<&'static mut [u8]>);
+
+thread_local! {
+    /// Reusable slice-reference scratch (see [`with_ref_scratch`]): the
+    /// packet-ref lists the codecs build per call. At rest both vectors
+    /// are always empty; only their capacity persists.
+    static REF_SCRATCH: std::cell::RefCell<RefScratch> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Run `f` with this thread's persistent pair of slice-reference vectors
+/// (immutable inputs, mutable outputs), both empty on entry.
+///
+/// The codec hot paths flatten shards into per-packet slice lists on
+/// every call; collecting those into fresh `Vec`s is the last per-call
+/// allocation on the steady-state encode path. This helper lends out
+/// capacity-retaining vectors instead — the `with_byte_scratch`
+/// discipline applied to reference lists. Not re-entrant: a nested call
+/// simply sees empty fresh vectors (graceful, but unshared).
+pub fn with_ref_scratch<'a, R>(
+    f: impl FnOnce(&mut Vec<&'a [u8]>, &mut Vec<&'a mut [u8]>) -> R,
+) -> R {
+    let (ins, outs) = REF_SCRATCH.with(|cell| {
+        let mut b = cell.borrow_mut();
+        (std::mem::take(&mut b.0), std::mem::take(&mut b.1))
+    });
+    // SAFETY: both vectors are empty (emptied before being stored back,
+    // and `mem::take` above leaves empties behind), so this transmute
+    // only changes the lifetime parameter of a `Vec` holding no
+    // elements. Lifetimes do not affect layout.
+    let mut ins: Vec<&'a [u8]> = unsafe { std::mem::transmute::<Vec<&'static [u8]>, _>(ins) };
+    let mut outs: Vec<&'a mut [u8]> =
+        unsafe { std::mem::transmute::<Vec<&'static mut [u8]>, _>(outs) };
+    let r = f(&mut ins, &mut outs);
+    ins.clear();
+    outs.clear();
+    // SAFETY: cleared above — empty again, lifetime-only transmute back.
+    let ins: Vec<&'static [u8]> = unsafe { std::mem::transmute::<Vec<&'a [u8]>, _>(ins) };
+    let outs: Vec<&'static mut [u8]> =
+        unsafe { std::mem::transmute::<Vec<&'a mut [u8]>, _>(outs) };
+    REF_SCRATCH.with(|cell| {
+        let mut b = cell.borrow_mut();
+        b.0 = ins;
+        b.1 = outs;
+    });
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +314,25 @@ mod tests {
         let p3 = with_byte_scratch(1000, |buf| buf.as_ptr() as usize);
         assert_eq!(p2, p3);
         let _ = p1;
+    }
+
+    #[test]
+    fn ref_scratch_is_empty_on_entry_and_reuses_capacity() {
+        let data = vec![1u8; 8];
+        let mut out = vec![0u8; 8];
+        let cap = with_ref_scratch(|ins, outs| {
+            assert!(ins.is_empty() && outs.is_empty());
+            for _ in 0..32 {
+                ins.push(&data);
+            }
+            outs.push(&mut out);
+            ins.capacity()
+        });
+        // The next borrow sees empty vectors backed by the same capacity.
+        with_ref_scratch(|ins: &mut Vec<&[u8]>, outs| {
+            assert!(ins.is_empty() && outs.is_empty());
+            assert_eq!(ins.capacity(), cap);
+        });
     }
 
     #[test]

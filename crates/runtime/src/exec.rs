@@ -13,6 +13,16 @@ enum Slot {
     Var(u32),
 }
 
+thread_local! {
+    /// Per-thread reusable pointer tables for [`ExecProgram::run_with_arena`]:
+    /// resolved input bases, variable bases, and the per-instruction source
+    /// list. Raw pointers never escape a single call; keeping the vectors
+    /// thread-local (pool workers and inline callers alike) makes a
+    /// steady-state run allocation-free.
+    static PTR_SCRATCH: std::cell::RefCell<(Vec<*const u8>, Vec<*mut u8>, Vec<*const u8>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
 #[derive(Clone, Debug)]
 struct CompiledInstr {
     dst: u32,
@@ -189,79 +199,89 @@ impl ExecProgram {
             );
         }
 
-        // Resolve every variable to its backing pointer: a caller output
-        // buffer when the variable is returned, an arena strip otherwise.
-        let var_ptrs: Vec<*mut u8> = (0..self.n_vars)
-            .map(|v| match self.var_out[v] {
+        // The pointer tables live in thread-local scratch (capacity
+        // retained across calls) so repeated runs allocate nothing.
+        PTR_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (input_ptrs, var_ptrs, srcs) = &mut *scratch;
+
+            // Resolve every variable to its backing pointer: a caller
+            // output buffer when the variable is returned, an arena strip
+            // otherwise.
+            var_ptrs.clear();
+            var_ptrs.extend((0..self.n_vars).map(|v| match self.var_out[v] {
                 Some(slot) => outputs[slot as usize].as_mut_ptr(),
                 None => arena.var_ptr(v),
-            })
-            .collect();
-        let input_ptrs: Vec<*const u8> = inputs.iter().map(|a| a.as_ptr()).collect();
+            }));
+            input_ptrs.clear();
+            input_ptrs.extend(inputs.iter().map(|a| a.as_ptr()));
+            srcs.clear();
+            srcs.reserve(self.max_arity);
 
-        let resolve = |s: Slot, off: usize| -> *const u8 {
-            // SAFETY: offsets stay within `len` by loop construction.
-            match s {
-                Slot::Input(k) => unsafe { input_ptrs[k as usize].add(off) },
-                Slot::Var(v) => unsafe { var_ptrs[v as usize].add(off) as *const u8 },
-            }
-        };
-
-        let mut srcs: Vec<*const u8> = Vec::with_capacity(self.max_arity);
-        let mut start = 0;
-        while start < len {
-            let chunk = self.blocksize.min(len - start);
-            for instr in &self.instrs {
-                srcs.clear();
-                for &a in &instr.args {
-                    srcs.push(resolve(a, start));
+            let resolve = |s: Slot, off: usize| -> *const u8 {
+                // SAFETY: offsets stay within `len` by loop construction.
+                match s {
+                    Slot::Input(k) => unsafe { input_ptrs[k as usize].add(off) },
+                    Slot::Var(v) => unsafe { var_ptrs[v as usize].add(off) as *const u8 },
                 }
-                // SAFETY: pointers valid for `chunk` bytes; destination may
-                // only alias a source exactly (pebble reuse), which the
-                // kernels support; buffers are otherwise disjoint (borrow
-                // rules for inputs/outputs, arena construction for vars).
-                unsafe {
-                    xor_into(
-                        self.kernel,
-                        var_ptrs[instr.dst as usize].add(start),
-                        &srcs,
-                        chunk,
-                    )
-                };
-            }
-            start += chunk;
-        }
+            };
 
-        // Materialize outputs that are not backed in place: constants and
-        // duplicate returns of one variable.
-        for (j, &slot) in self.outputs.iter().enumerate() {
-            match slot {
-                Slot::Input(k) => {
-                    // SAFETY: input and output buffers cannot overlap
-                    // (shared vs unique borrows), lengths match.
+            let mut start = 0;
+            while start < len {
+                let chunk = self.blocksize.min(len - start);
+                for instr in &self.instrs {
+                    srcs.clear();
+                    for &a in &instr.args {
+                        srcs.push(resolve(a, start));
+                    }
+                    // SAFETY: pointers valid for `chunk` bytes; destination
+                    // may only alias a source exactly (pebble reuse), which
+                    // the kernels support; buffers are otherwise disjoint
+                    // (borrow rules for inputs/outputs, arena construction
+                    // for vars).
                     unsafe {
-                        std::ptr::copy_nonoverlapping(
-                            input_ptrs[k as usize],
-                            outputs[j].as_mut_ptr(),
-                            len,
+                        xor_into(
+                            self.kernel,
+                            var_ptrs[instr.dst as usize].add(start),
+                            srcs,
+                            chunk,
                         )
                     };
                 }
-                Slot::Var(v) => {
-                    let bound = self.var_out[v as usize].expect("returned var is bound");
-                    if bound as usize != j {
-                        // SAFETY: distinct output buffers are disjoint.
+                start += chunk;
+            }
+
+            // Materialize outputs that are not backed in place: constants
+            // and duplicate returns of one variable.
+            for (j, &slot) in self.outputs.iter().enumerate() {
+                match slot {
+                    Slot::Input(k) => {
+                        // SAFETY: input and output buffers cannot overlap
+                        // (shared vs unique borrows), lengths match.
                         unsafe {
                             std::ptr::copy_nonoverlapping(
-                                var_ptrs[v as usize] as *const u8,
+                                input_ptrs[k as usize],
                                 outputs[j].as_mut_ptr(),
                                 len,
                             )
                         };
                     }
+                    Slot::Var(v) => {
+                        let bound = self.var_out[v as usize].expect("returned var is bound");
+                        if bound as usize != j {
+                            // SAFETY: distinct output buffers are disjoint.
+                            unsafe {
+                                std::ptr::copy_nonoverlapping(
+                                    var_ptrs[v as usize] as *const u8,
+                                    outputs[j].as_mut_ptr(),
+                                    len,
+                                )
+                            };
+                        }
+                    }
                 }
             }
-        }
+        });
         Ok(())
     }
 

@@ -105,16 +105,20 @@ pub unsafe fn xor_into(kernel: Kernel, dst: *mut u8, srcs: &[*const u8], len: us
         return;
     }
     match kernel {
-        Kernel::Scalar => xor_scalar(dst, srcs, len),
-        Kernel::Wide64 => xor_wide64(dst, srcs, len),
+        Kernel::Scalar => xor_scalar(dst, srcs, 0, len),
+        Kernel::Wide64 => xor_wide64(dst, srcs, 0, len),
         #[cfg(target_arch = "x86_64")]
         Kernel::Avx2 => xor_avx2(dst, srcs, len),
         Kernel::Auto => xor_into(kernel.resolve(), dst, srcs, len),
     }
 }
 
-unsafe fn xor_scalar(dst: *mut u8, srcs: &[*const u8], len: usize) {
-    for i in 0..len {
+// The inner kernels take a base offset instead of pre-shifted pointer
+// arrays, so tail handoffs (wide → scalar) never materialize a shifted
+// copy of `srcs` — the executor's inner loop stays allocation-free.
+
+unsafe fn xor_scalar(dst: *mut u8, srcs: &[*const u8], base: usize, len: usize) {
+    for i in base..base + len {
         let mut acc = *srcs[0].add(i);
         for s in &srcs[1..] {
             acc ^= *s.add(i);
@@ -123,10 +127,10 @@ unsafe fn xor_scalar(dst: *mut u8, srcs: &[*const u8], len: usize) {
     }
 }
 
-unsafe fn xor_wide64(dst: *mut u8, srcs: &[*const u8], len: usize) {
+unsafe fn xor_wide64(dst: *mut u8, srcs: &[*const u8], base: usize, len: usize) {
     let words = len / 8;
     for w in 0..words {
-        let off = w * 8;
+        let off = base + w * 8;
         let mut acc = (srcs[0].add(off) as *const u64).read_unaligned();
         for s in &srcs[1..] {
             acc ^= (s.add(off) as *const u64).read_unaligned();
@@ -135,7 +139,7 @@ unsafe fn xor_wide64(dst: *mut u8, srcs: &[*const u8], len: usize) {
     }
     let tail = words * 8;
     if tail < len {
-        xor_scalar(dst.add(tail), &shift(srcs, tail), len - tail);
+        xor_scalar(dst, srcs, base + tail, len - tail);
     }
 }
 
@@ -165,13 +169,8 @@ unsafe fn xor_avx2(dst: *mut u8, srcs: &[*const u8], len: usize) {
         off += 32;
     }
     if off < len {
-        xor_wide64(dst.add(off), &shift(srcs, off), len - off);
+        xor_wide64(dst, srcs, off, len - off);
     }
-}
-
-/// Advance every source pointer by `off` (tail handling helper).
-fn shift(srcs: &[*const u8], off: usize) -> Vec<*const u8> {
-    srcs.iter().map(|&s| unsafe { s.add(off) }).collect()
 }
 
 /// Safe convenience wrapper over slices, used by tests and small callers.

@@ -30,7 +30,7 @@ mod kernels;
 mod partition;
 mod pool;
 
-pub use arena::{with_byte_scratch, AlignedBuf, StripedBuf, VarArena, CACHE_PAGE};
+pub use arena::{with_byte_scratch, with_ref_scratch, AlignedBuf, StripedBuf, VarArena, CACHE_PAGE};
 pub use exec::{ExecError, ExecProgram};
 pub use kernels::{xor_accumulate, xor_into, xor_slices, Kernel};
 pub use partition::{plan_stripes, StripePlan};

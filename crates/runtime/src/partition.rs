@@ -120,16 +120,20 @@ impl ExecProgram {
             return Err(ExecError::LengthMismatch);
         }
 
-        let plan = plan_stripes(len, self.blocksize(), max_stripes);
-        if plan.is_empty() {
+        if len == 0 {
             return Ok(());
         }
-        if plan.len() == 1 {
-            // Serial plan: run inline on the caller with its thread-local
-            // arena — same per-worker-arena guarantees, no pool handoff.
+        // Serial fast path, decided without materializing a plan (keeps
+        // the single-stripe case — short shards, `parallelism = 1` —
+        // allocation-free): run inline on the caller with its
+        // thread-local arena, same per-worker-arena guarantees, no pool
+        // handoff.
+        let blocks = len.div_ceil(self.blocksize().max(1));
+        if max_stripes.max(1).min(blocks) == 1 {
             return CALLER_ARENA
                 .with(|a| self.run_with_arena(inputs, outputs, &mut a.borrow_mut()));
         }
+        let plan = plan_stripes(len, self.blocksize(), max_stripes);
 
         // Split every packet at the same offsets. Outputs are peeled off
         // front-to-back with split_at_mut so each stripe owns its slices.

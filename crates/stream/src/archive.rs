@@ -1,0 +1,438 @@
+//! [`Archive`]: erasure-coded cold storage on a directory of shard
+//! files, with verify / scrub / repair maintenance verbs.
+//!
+//! An archive of RS(n, p) is `n + p` files `shard-000.ecs …` in one
+//! directory, each in the self-describing format of [`crate::format`].
+//! Opening needs no side-channel metadata: the parameters are read back
+//! from the shard headers themselves (majority vote across the surviving
+//! files, each header CRC-protected).
+
+use crate::decode::{refill_shards, ChunkScanner, ExtractReport, StreamDecoder};
+use crate::encode::StreamEncoder;
+use crate::error::StreamError;
+use crate::format::{ArchiveMeta, ShardHeader};
+use crate::crc::crc32;
+use ec_core::{RsCodec, RsConfig};
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of shard `index` within an archive directory.
+pub fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:03}.ecs")
+}
+
+/// Parse a shard file name back to its index.
+fn parse_shard_file_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("shard-")?.strip_suffix(".ecs")?;
+    if digits.len() != 3 {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Integrity state of one shard file, as diagnosed by
+/// [`Archive::verify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardState {
+    /// Header, length and every chunk CRC check out.
+    Ok,
+    /// The file is absent (or unopenable).
+    Missing,
+    /// The header does not parse, or describes a different archive /
+    /// shard index.
+    BadHeader,
+    /// The file length does not match the header's geometry (truncation,
+    /// or trailing garbage).
+    WrongLength { expected: u64, actual: u64 },
+    /// One or more chunk payloads fail their CRC-32.
+    Corrupt { chunks: Vec<u64> },
+}
+
+impl ShardState {
+    /// True iff the shard needs no repair.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ShardState::Ok)
+    }
+}
+
+impl std::fmt::Display for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardState::Ok => write!(f, "ok"),
+            ShardState::Missing => write!(f, "missing"),
+            ShardState::BadHeader => write!(f, "bad header"),
+            ShardState::WrongLength { expected, actual } => {
+                write!(f, "wrong length ({actual} bytes, expected {expected})")
+            }
+            ShardState::Corrupt { chunks } => {
+                write!(f, "corrupt ({} bad chunks: {chunks:?})", chunks.len())
+            }
+        }
+    }
+}
+
+/// Per-shard diagnosis of an archive.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// `shards[i]` is the state of shard file `i`.
+    pub shards: Vec<ShardState>,
+}
+
+impl VerifyReport {
+    /// True iff every shard file is intact.
+    pub fn all_ok(&self) -> bool {
+        self.shards.iter().all(ShardState::is_ok)
+    }
+
+    /// Indices of the shard files needing repair.
+    pub fn damaged(&self) -> Vec<usize> {
+        (0..self.shards.len()).filter(|&i| !self.shards[i].is_ok()).collect()
+    }
+}
+
+/// Result of a deep scrub: the per-shard verify diagnosis plus chunks
+/// whose shards all pass their CRCs but disagree with the code (parity
+/// inconsistent with data — e.g. a shard rewritten wholesale with its
+/// CRC "fixed" to match).
+#[derive(Clone, Debug)]
+pub struct ScrubReport {
+    pub verify: VerifyReport,
+    pub inconsistent_chunks: Vec<u64>,
+}
+
+impl ScrubReport {
+    /// True iff the archive is fully healthy.
+    pub fn clean(&self) -> bool {
+        self.verify.all_ok() && self.inconsistent_chunks.is_empty()
+    }
+}
+
+/// Result of a repair pass.
+#[derive(Clone, Debug, Default)]
+pub struct RepairReport {
+    /// Shard files that were rewritten.
+    pub repaired: Vec<usize>,
+    /// Chunks that needed reconstruction (vs straight re-framing of
+    /// surviving bytes).
+    pub chunks_rebuilt: u64,
+}
+
+/// A streaming erasure-coded archive rooted at a directory.
+pub struct Archive {
+    dir: PathBuf,
+    meta: ArchiveMeta,
+    codec: RsCodec,
+}
+
+impl Archive {
+    /// Archive `input` into `dir` as RS(`data_shards`, `parity_shards`)
+    /// with the paper's default codec configuration.
+    pub fn create(
+        input: &Path,
+        dir: &Path,
+        data_shards: usize,
+        parity_shards: usize,
+        chunk_size: usize,
+    ) -> Result<Archive, StreamError> {
+        Archive::create_with_config(input, dir, RsConfig::new(data_shards, parity_shards), chunk_size)
+    }
+
+    /// [`Archive::create`] with an explicit codec configuration (kernel,
+    /// parallelism, blocksize — none of it affects the bytes on disk).
+    pub fn create_with_config(
+        input: &Path,
+        dir: &Path,
+        cfg: RsConfig,
+        chunk_size: usize,
+    ) -> Result<Archive, StreamError> {
+        let codec = RsCodec::with_config(cfg)?;
+        // Open the input before touching any existing shard file: a
+        // mistyped path must not truncate a previous archive in `dir`.
+        let mut reader = BufReader::new(File::open(input)?);
+        fs::create_dir_all(dir)?;
+        // Claim the directory's whole shard namespace: indices 0..n+p
+        // are overwritten below, and stale files a previous, larger
+        // archive left beyond them would make `open` see two archives.
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(idx) = entry.file_name().to_str().and_then(parse_shard_file_name) {
+                if idx >= codec.total_shards() {
+                    fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        let sinks = (0..codec.total_shards())
+            .map(|i| Ok(BufWriter::new(File::create(dir.join(shard_file_name(i)))?)))
+            .collect::<Result<Vec<_>, std::io::Error>>()?;
+        let mut enc = StreamEncoder::new(&codec, chunk_size, sinks)?;
+        enc.pump(&mut reader)?;
+        let (meta, _sinks) = enc.finalize()?;
+        Ok(Archive { dir: dir.to_path_buf(), meta, codec })
+    }
+
+    /// Open an existing archive from its shard files alone: headers are
+    /// collected from every readable `shard-*.ecs` in `dir` and the
+    /// strict-majority metadata wins (headers are CRC-protected, so a
+    /// minority is damage, not ambiguity). A *tie* between two distinct
+    /// metadata values is an error, not a coin flip: it means the
+    /// directory holds shards of two different archives, and repairing
+    /// under the wrong one would overwrite good data.
+    pub fn open(dir: &Path) -> Result<Archive, StreamError> {
+        let mut votes: HashMap<ArchiveMeta, usize> = HashMap::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_shard_file_name(name).is_none() {
+                continue;
+            }
+            let Ok(file) = File::open(entry.path()) else { continue };
+            if let Ok(h) = ShardHeader::read_from(&mut BufReader::new(file)) {
+                *votes.entry(h.meta).or_insert(0) += 1;
+            }
+        }
+        let best = votes.values().copied().max().ok_or_else(|| {
+            StreamError::Format(format!("no readable shard headers in {}", dir.display()))
+        })?;
+        let mut leaders = votes.into_iter().filter(|&(_, c)| c == best).map(|(m, _)| m);
+        let meta = leaders.next().expect("max came from the map");
+        if leaders.next().is_some() {
+            return Err(StreamError::Format(format!(
+                "ambiguous archive: {best} shard headers each describe two different \
+                 archives in {} (mixed generations?)",
+                dir.display()
+            )));
+        }
+        let codec = RsCodec::new(meta.data_shards as usize, meta.parity_shards as usize)?;
+        Ok(Archive { dir: dir.to_path_buf(), meta, codec })
+    }
+
+    /// The archive-wide metadata (codec params, chunk geometry, length).
+    pub fn meta(&self) -> &ArchiveMeta {
+        &self.meta
+    }
+
+    /// The codec this archive handle encodes/decodes with.
+    pub fn codec(&self) -> &RsCodec {
+        &self.codec
+    }
+
+    /// Path of shard file `index`.
+    pub fn shard_path(&self, index: usize) -> PathBuf {
+        self.dir.join(shard_file_name(index))
+    }
+
+    /// Open shard `index` for reading as a trusted source: the header
+    /// must parse and match this archive's metadata and the shard's
+    /// index. Returns the reader positioned at the first frame.
+    fn open_source(&self, index: usize) -> Option<BufReader<File>> {
+        let mut r = BufReader::new(File::open(self.shard_path(index)).ok()?);
+        let h = ShardHeader::read_from(&mut r).ok()?;
+        (h.meta == self.meta && h.shard_index as usize == index).then_some(r)
+    }
+
+    /// Extract the archived data to `output`, decoding around any
+    /// missing or corrupt shards (up to `p` per chunk).
+    ///
+    /// The data is written to a temporary file next to `output` and
+    /// renamed into place only when extraction succeeds end to end — a
+    /// failure (e.g. unrecoverable damage in a late chunk) neither
+    /// clobbers a pre-existing file at `output` nor leaves a silent
+    /// partial one.
+    pub fn extract(&self, output: &Path) -> Result<ExtractReport, StreamError> {
+        let sources = (0..self.meta.total_shards()).map(|i| self.open_source(i)).collect();
+        let mut dec = StreamDecoder::new(&self.codec, self.meta, sources)?;
+        let mut tmp = output.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let result = (|| {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            let report = dec.pump(&mut out)?;
+            out.into_inner().map_err(std::io::IntoInnerError::into_error)?;
+            fs::rename(&tmp, output)?;
+            Ok(report)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Diagnose every shard file: header, length, per-chunk CRCs. Reads
+    /// each file once, sequentially; no parity math.
+    pub fn verify(&self) -> Result<VerifyReport, StreamError> {
+        Ok(self.scan(false)?.0)
+    }
+
+    /// Deep scan: [`Archive::verify`] plus a parity-consistency check of
+    /// every chunk whose `n + p` frames all pass their CRCs. Catches
+    /// damage a checksum scan cannot — a slice rewritten together with
+    /// its CRC — at the cost of re-encoding the stripe chunk by chunk.
+    /// Still one sequential read per shard file: the CRC walk and the
+    /// consistency re-encode share the same pass.
+    pub fn scrub(&self) -> Result<ScrubReport, StreamError> {
+        let (verify, inconsistent_chunks) = self.scan(true)?;
+        Ok(ScrubReport { verify, inconsistent_chunks })
+    }
+
+    /// The single-pass diagnosis behind `verify` and `scrub`: header and
+    /// length checks up front (O(1) per file), then one chunk-wise CRC
+    /// walk over the structurally sound files, optionally re-encoding
+    /// each fully intact chunk to check parity consistency.
+    fn scan(&self, consistency: bool) -> Result<(VerifyReport, Vec<u64>), StreamError> {
+        let t = self.meta.total_shards();
+        let expected = self.meta.shard_file_len();
+        // `None` state = structurally sound so far; the CRC walk decides
+        // between `Ok` and `Corrupt`.
+        let mut states: Vec<Option<ShardState>> = Vec::with_capacity(t);
+        let mut readers: Vec<Option<BufReader<File>>> = Vec::with_capacity(t);
+        for i in 0..t {
+            let (state, reader) = match File::open(self.shard_path(i)) {
+                Err(_) => (Some(ShardState::Missing), None),
+                Ok(file) => {
+                    let actual = file.metadata().map(|m| m.len());
+                    let mut r = BufReader::new(file);
+                    match (ShardHeader::read_from(&mut r), actual) {
+                        (Ok(h), _) if h.meta != self.meta || h.shard_index as usize != i => {
+                            (Some(ShardState::BadHeader), None)
+                        }
+                        (Err(_), _) => (Some(ShardState::BadHeader), None),
+                        (Ok(_), Ok(actual)) if actual == expected => (None, Some(r)),
+                        (Ok(_), Ok(actual)) => {
+                            (Some(ShardState::WrongLength { expected, actual }), None)
+                        }
+                        (Ok(_), Err(_)) => (Some(ShardState::Missing), None),
+                    }
+                }
+            };
+            states.push(state);
+            readers.push(reader);
+        }
+        let present: Vec<bool> = readers.iter().map(Option::is_some).collect();
+        let mut bad_chunks: Vec<Vec<u64>> = vec![Vec::new(); t];
+        let mut inconsistent = Vec::new();
+        if !present.iter().any(|&p| p) {
+            // Nothing to walk (every file already diagnosed) — and a
+            // hostile header claiming astronomical chunk counts must not
+            // spin the empty loop.
+            let shards = states.into_iter().map(|s| s.expect("all diagnosed")).collect();
+            return Ok((VerifyReport { shards }, inconsistent));
+        }
+        let mut scanner = ChunkScanner::new(self.meta, readers);
+        for c in 0..self.meta.chunk_count {
+            scanner.read_chunk(c);
+            for i in 0..t {
+                if present[i] && !scanner.good[i] {
+                    bad_chunks[i].push(c);
+                }
+            }
+            if consistency
+                && scanner.good.iter().all(|&g| g)
+                && !self.codec.verify(&scanner.slices)?
+            {
+                inconsistent.push(c);
+            }
+        }
+        let shards = states
+            .into_iter()
+            .zip(bad_chunks)
+            .map(|(state, bad)| match state {
+                Some(s) => s,
+                None if bad.is_empty() => ShardState::Ok,
+                None => ShardState::Corrupt { chunks: bad },
+            })
+            .collect();
+        Ok((VerifyReport { shards }, inconsistent))
+    }
+
+    /// Rewrite every damaged shard file from the survivors.
+    ///
+    /// Damage is re-diagnosed ([`Archive::verify`]), then the archive is
+    /// walked chunk by chunk: slices that fail their CRC are
+    /// reconstructed (missing parity rows via the partial row-subset
+    /// programs — a single bad parity shard costs one row program per
+    /// chunk, not a full re-encode) and every damaged file is rewritten
+    /// whole, re-framing its surviving good chunks as-is. Replacement
+    /// files are written next to the originals and renamed into place
+    /// only after the full pass succeeds.
+    ///
+    /// Repair reads the archive twice by design: the damaged-file set
+    /// must be known *before* the rebuild walk (replacement writers are
+    /// created up front), and CRC-level damage is only discoverable by
+    /// reading everything — a diagnose pass cannot be folded into the
+    /// rebuild pass without buffering whole shard files.
+    pub fn repair(&self) -> Result<RepairReport, StreamError> {
+        let damaged = self.verify()?.damaged();
+        if damaged.is_empty() {
+            return Ok(RepairReport::default());
+        }
+        let p = self.meta.parity_shards as usize;
+
+        // Every file with a trusted header feeds the scan — including
+        // damaged ones, whose surviving chunks still count as sources.
+        let sources = (0..self.meta.total_shards()).map(|i| self.open_source(i)).collect();
+        let mut scanner = ChunkScanner::new(self.meta, sources);
+
+        let tmp_path = |i: usize| self.dir.join(format!("{}.tmp", shard_file_name(i)));
+        let mut writers = damaged
+            .iter()
+            .map(|&i| {
+                let mut w = BufWriter::new(File::create(tmp_path(i))?);
+                ShardHeader { meta: self.meta, shard_index: i as u16 }.write_to(&mut w)?;
+                Ok((i, w))
+            })
+            .collect::<Result<Vec<_>, std::io::Error>>()
+            .inspect_err(|_| self.discard_tmps(&damaged, tmp_path))?;
+
+        let mut chunks_rebuilt = 0u64;
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; self.meta.total_shards()];
+        let mut spare: Vec<Vec<u8>> = Vec::new();
+        for c in 0..self.meta.chunk_count {
+            scanner.read_chunk(c);
+            let missing = self.meta.total_shards() - scanner.good_count();
+            let result = (|| -> Result<(), StreamError> {
+                if missing > 0 {
+                    if missing > p {
+                        return Err(StreamError::TooDamaged { chunk: c, missing, parity: p });
+                    }
+                    refill_shards(&mut shards, &mut spare, &scanner.slices, &scanner.good);
+                    self.codec.reconstruct(&mut shards)?;
+                    chunks_rebuilt += 1;
+                }
+                for &mut (i, ref mut w) in &mut writers {
+                    let slice: &[u8] = if scanner.good[i] {
+                        &scanner.slices[i]
+                    } else {
+                        shards[i].as_deref().expect("reconstructed above")
+                    };
+                    w.write_all(slice)?;
+                    w.write_all(&crc32(slice).to_le_bytes())?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = result {
+                drop(writers);
+                self.discard_tmps(&damaged, tmp_path);
+                return Err(e);
+            }
+        }
+
+        for (i, w) in writers {
+            let into = |e: std::io::Error| {
+                self.discard_tmps(&damaged, tmp_path);
+                StreamError::Io(e)
+            };
+            w.into_inner().map_err(|e| into(e.into_error()))?;
+            fs::rename(tmp_path(i), self.shard_path(i)).map_err(into)?;
+        }
+        Ok(RepairReport { repaired: damaged, chunks_rebuilt })
+    }
+
+    fn discard_tmps(&self, damaged: &[usize], tmp_path: impl Fn(usize) -> PathBuf) {
+        for &i in damaged {
+            let _ = fs::remove_file(tmp_path(i));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the integrity checksum
+//! of the shard format.
+//!
+//! Implemented here (table-driven, table built at compile time) rather
+//! than pulled in as a dependency: the workspace builds offline, and the
+//! format spec (`docs/FORMAT.md`) pins the exact algorithm so shards stay
+//! readable by any implementation.
+
+/// The reflected polynomial of CRC-32 (IEEE).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// A running CRC-32 digest for incremental (streaming) updates.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh digest.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feed bytes into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 + 7) as u8).collect();
+        let mut c = Crc32::new();
+        for part in data.chunks(13) {
+            c.update(part);
+        }
+        assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data: Vec<u8> = (0..64u8).collect();
+        let clean = crc32(&data);
+        for i in [0usize, 13, 63] {
+            data[i] ^= 0x10;
+            assert_ne!(crc32(&data), clean, "flip at {i}");
+            data[i] ^= 0x10;
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! [`StreamDecoder`]: rebuild the original byte stream from whatever
+//! shard streams survive, chunk by chunk, in bounded memory.
+
+use crate::crc::crc32;
+use crate::error::StreamError;
+use crate::format::{ArchiveMeta, FRAME_TRAILER_LEN};
+use ec_core::RsCodec;
+use std::io::{Read, Write};
+
+/// Chunk-wise frame reader over a set of shard sources, shared by
+/// extraction, scrub and repair.
+///
+/// Each call to [`ChunkScanner::read_chunk`] reads one frame from every
+/// live source into the reusable `slices` buffers and records per-shard
+/// integrity in `good`. A source that fails to produce a full frame
+/// (truncation, I/O error) is dropped for good — its framing is lost —
+/// while a CRC mismatch only poisons the current chunk.
+pub(crate) struct ChunkScanner<R: Read> {
+    meta: ArchiveMeta,
+    sources: Vec<Option<R>>,
+    /// Per-shard payload of the chunk last read (valid iff `good`).
+    pub slices: Vec<Vec<u8>>,
+    /// Per-shard integrity of the chunk last read.
+    pub good: Vec<bool>,
+}
+
+impl<R: Read> ChunkScanner<R> {
+    /// `sources[i]` must be positioned at shard `i`'s first frame (just
+    /// past the header), or `None` when the shard is unavailable.
+    pub fn new(meta: ArchiveMeta, sources: Vec<Option<R>>) -> ChunkScanner<R> {
+        let t = meta.total_shards();
+        assert_eq!(sources.len(), t, "one source slot per shard");
+        ChunkScanner {
+            meta,
+            sources,
+            slices: vec![Vec::new(); t],
+            good: vec![false; t],
+        }
+    }
+
+    /// Read chunk `chunk`'s frame from every live source. Chunks must be
+    /// requested in order (`0, 1, 2, …`) — sources are plain readers and
+    /// are never rewound.
+    pub fn read_chunk(&mut self, chunk: u64) {
+        let slen = self.meta.slice_len(chunk);
+        let mut trailer = [0u8; FRAME_TRAILER_LEN];
+        for i in 0..self.sources.len() {
+            self.good[i] = false;
+            let Some(src) = &mut self.sources[i] else { continue };
+            self.slices[i].resize(slen, 0);
+            let ok = src.read_exact(&mut self.slices[i]).is_ok()
+                && src.read_exact(&mut trailer).is_ok();
+            if !ok {
+                // Short read: this source's framing is gone; drop it.
+                self.sources[i] = None;
+                continue;
+            }
+            self.good[i] = u32::from_le_bytes(trailer) == crc32(&self.slices[i]);
+        }
+    }
+
+    /// Number of shards whose current-chunk frame passed its CRC.
+    pub fn good_count(&self) -> usize {
+        self.good.iter().filter(|&&g| g).count()
+    }
+}
+
+/// Refill a reusable `Option<Vec<u8>>` shard set from a scanner's chunk:
+/// good slices are copied into slots (reusing slot/spare capacity), bad
+/// slots become `None` with their buffer parked in `spare`. Keeps the
+/// degraded (erasure-decoding) path free of per-chunk slice
+/// allocations across a long archive walk.
+pub(crate) fn refill_shards(
+    shards: &mut [Option<Vec<u8>>],
+    spare: &mut Vec<Vec<u8>>,
+    slices: &[Vec<u8>],
+    good: &[bool],
+) {
+    for ((slot, slice), &g) in shards.iter_mut().zip(slices).zip(good) {
+        if g {
+            let mut v = slot.take().or_else(|| spare.pop()).unwrap_or_default();
+            v.clear();
+            v.extend_from_slice(slice);
+            *slot = Some(v);
+        } else if let Some(v) = slot.take() {
+            spare.push(v);
+        }
+    }
+}
+
+/// Statistics of one extraction pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtractReport {
+    /// Chunks processed (the archive's chunk count).
+    pub chunks: u64,
+    /// Chunks that needed erasure decoding (some data slice was missing
+    /// or failed its CRC).
+    pub chunks_repaired: u64,
+    /// Original-data bytes written out.
+    pub bytes_written: u64,
+}
+
+/// A chunked streaming decoder over `n + p` shard sources.
+///
+/// The dual of [`crate::StreamEncoder`]: reads one frame per shard per
+/// chunk, verifies each payload against its CRC-32, and writes the
+/// original bytes out. Intact chunks cost a CRC scan and a copy; a chunk
+/// with missing or corrupt data slices is erasure-decoded from any `n`
+/// surviving slices. Memory stays `O(chunk × (n + p))`.
+pub struct StreamDecoder<'c, R: Read> {
+    codec: &'c RsCodec,
+    scanner: ChunkScanner<R>,
+    /// Reusable shard set + parked buffers for the degraded path.
+    shards: Vec<Option<Vec<u8>>>,
+    spare: Vec<Vec<u8>>,
+}
+
+impl<'c, R: Read> StreamDecoder<'c, R> {
+    /// `sources[i]` must be positioned at shard `i`'s first frame (just
+    /// past the header), or `None` for a lost shard. The codec's `(n, p)`
+    /// must match the metadata.
+    pub fn new(
+        codec: &'c RsCodec,
+        meta: ArchiveMeta,
+        sources: Vec<Option<R>>,
+    ) -> Result<StreamDecoder<'c, R>, StreamError> {
+        if codec.data_shards() != meta.data_shards as usize
+            || codec.parity_shards() != meta.parity_shards as usize
+        {
+            return Err(StreamError::Format(format!(
+                "codec RS({}, {}) does not match archive RS({}, {})",
+                codec.data_shards(),
+                codec.parity_shards(),
+                meta.data_shards,
+                meta.parity_shards
+            )));
+        }
+        if sources.len() != meta.total_shards() {
+            return Err(StreamError::Format(format!(
+                "need one source slot per shard: {} shards, {} sources",
+                meta.total_shards(),
+                sources.len()
+            )));
+        }
+        let t = meta.total_shards();
+        Ok(StreamDecoder {
+            codec,
+            scanner: ChunkScanner::new(meta, sources),
+            shards: vec![None; t],
+            spare: Vec::new(),
+        })
+    }
+
+    /// Decode the whole stream into `out`.
+    ///
+    /// Fails with [`StreamError::TooDamaged`] if any chunk has more than
+    /// `p` missing/corrupt slices.
+    pub fn pump(&mut self, out: &mut impl Write) -> Result<ExtractReport, StreamError> {
+        let meta = self.scanner.meta;
+        let n = meta.data_shards as usize;
+        let p = meta.parity_shards as usize;
+        let mut report = ExtractReport { chunks: meta.chunk_count, ..Default::default() };
+        for c in 0..meta.chunk_count {
+            self.scanner.read_chunk(c);
+            let data_len = meta.chunk_data_len(c);
+            if self.scanner.good[..n].iter().all(|&g| g) {
+                // Fast path: every data slice intact — stitch and go.
+                let mut remaining = data_len;
+                for slice in &self.scanner.slices[..n] {
+                    let take = remaining.min(slice.len());
+                    out.write_all(&slice[..take])?;
+                    remaining -= take;
+                }
+            } else {
+                let missing = meta.total_shards() - self.scanner.good_count();
+                if missing > p {
+                    return Err(StreamError::TooDamaged {
+                        chunk: c,
+                        missing,
+                        parity: p,
+                    });
+                }
+                refill_shards(
+                    &mut self.shards,
+                    &mut self.spare,
+                    &self.scanner.slices,
+                    &self.scanner.good,
+                );
+                out.write_all(&self.codec.decode(&self.shards, data_len)?)?;
+                report.chunks_repaired += 1;
+            }
+            report.bytes_written += data_len as u64;
+        }
+        out.flush()?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::StreamEncoder;
+    use crate::format::HEADER_LEN;
+    use std::io::Cursor;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 89 + 17 + i / 11) as u8).collect()
+    }
+
+    fn encode(codec: &RsCodec, chunk: usize, data: &[u8]) -> (ArchiveMeta, Vec<Vec<u8>>) {
+        let sinks: Vec<Cursor<Vec<u8>>> =
+            (0..codec.total_shards()).map(|_| Cursor::new(Vec::new())).collect();
+        let mut enc = StreamEncoder::new(codec, chunk, sinks).unwrap();
+        enc.write_all(data).unwrap();
+        let (meta, sinks) = enc.finalize().unwrap();
+        (meta, sinks.into_iter().map(Cursor::into_inner).collect())
+    }
+
+    fn sources(files: &[Vec<u8>], drop: &[usize]) -> Vec<Option<Cursor<Vec<u8>>>> {
+        files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                (!drop.contains(&i)).then(|| {
+                    let mut c = Cursor::new(f.clone());
+                    c.set_position(HEADER_LEN as u64);
+                    c
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_with_losses_and_flips() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data = sample(4 * 512 * 3 + 200);
+        let (meta, mut files) = encode(&codec, 4 * 512, &data);
+
+        // Clean roundtrip.
+        let mut dec = StreamDecoder::new(&codec, meta, sources(&files, &[])).unwrap();
+        let mut out = Vec::new();
+        let rep = dec.pump(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(rep.chunks_repaired, 0);
+        assert_eq!(rep.bytes_written, data.len() as u64);
+
+        // Two lost shard streams (p = 2).
+        let mut dec = StreamDecoder::new(&codec, meta, sources(&files, &[0, 5])).unwrap();
+        let mut out = Vec::new();
+        let rep = dec.pump(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(rep.chunks_repaired, meta.chunk_count);
+
+        // One lost stream plus a bit flip in another: still within p,
+        // only the flipped chunk pays the decode.
+        files[2][HEADER_LEN + 10] ^= 0x80; // chunk 0 payload of shard 2
+        let mut dec = StreamDecoder::new(&codec, meta, sources(&files, &[4])).unwrap();
+        let mut out = Vec::new();
+        let rep = dec.pump(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert!(rep.chunks_repaired >= 1);
+    }
+
+    #[test]
+    fn too_much_damage_is_typed() {
+        let codec = RsCodec::new(4, 2).unwrap();
+        let data = sample(4096);
+        let (meta, files) = encode(&codec, 1024, &data);
+        let mut dec =
+            StreamDecoder::new(&codec, meta, sources(&files, &[0, 1, 2])).unwrap();
+        match dec.pump(&mut Vec::new()) {
+            Err(StreamError::TooDamaged { chunk: 0, missing: 3, parity: 2 }) => {}
+            other => panic!("expected TooDamaged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_source_is_dropped_midstream() {
+        let codec = RsCodec::new(3, 2).unwrap();
+        let data = sample(3 * 800);
+        let (meta, mut files) = encode(&codec, 600, &data);
+        assert_eq!(meta.chunk_count, 4);
+        // Cut shard 1 off after two chunks: its first chunks still serve,
+        // later chunks decode without it.
+        let keep = HEADER_LEN + 2 * (meta.slice_len(0) + FRAME_TRAILER_LEN);
+        files[1].truncate(keep);
+        let mut dec = StreamDecoder::new(&codec, meta, sources(&files, &[])).unwrap();
+        let mut out = Vec::new();
+        let rep = dec.pump(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(rep.chunks_repaired, 2);
+    }
+
+    #[test]
+    fn mismatched_codec_rejected() {
+        let codec = RsCodec::new(5, 2).unwrap();
+        let meta = ArchiveMeta::new(4, 2, 1024, 100);
+        let srcs: Vec<Option<Cursor<Vec<u8>>>> = (0..6).map(|_| None).collect();
+        assert!(matches!(
+            StreamDecoder::new(&codec, meta, srcs),
+            Err(StreamError::Format(_))
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! Peak-memory bound of the streaming archive: creating and extracting a
+//! multi-chunk file holds `O(chunk × (n + p))` live bytes, never
+//! `O(file)`.
+//!
+//! Pinned with a live-byte-tracking global allocator (own test binary so
+//! no other test's allocations pollute the measurement): the input file
+//! is 16 MiB, the per-phase allocation high-water mark must stay under a
+//! few multiples of `chunk × (n + p)` ≈ 1.5 MiB.
+
+use ec_stream::Archive;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fs;
+use std::io::Write;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+fn track(delta: i64) {
+    let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+struct Tracking;
+
+// SAFETY: delegates straight to `System`; only adds counters.
+unsafe impl GlobalAlloc for Tracking {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track(layout.size() as i64);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track(-(layout.size() as i64));
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        track(new_size as i64 - layout.size() as i64);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static TRACKING: Tracking = Tracking;
+
+/// Run `f` and return its allocation high-water mark relative to the
+/// live bytes at entry.
+fn peak_delta(f: impl FnOnce()) -> i64 {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed) - base
+}
+
+#[test]
+fn create_and_extract_memory_is_bounded_by_chunk_not_file() {
+    const FILE_LEN: usize = 16 << 20; // 16 MiB
+    const CHUNK: usize = 256 << 10; // 256 KiB
+    const N: usize = 4;
+    const P: usize = 2;
+    // The working set is ~chunk (staging) + chunk×(n+p)/n (slices) plus
+    // codec programs and I/O buffers; 4× chunk×(n+p) is generous slack
+    // while still 10× below the file size.
+    const BOUND: i64 = (4 * CHUNK * (N + P)) as i64;
+
+    let dir = std::env::temp_dir().join(format!("xorslp_peak_mem_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("input.bin");
+
+    // Generate the input streamingly — materializing it would defeat the
+    // measurement.
+    {
+        let mut w = std::io::BufWriter::new(fs::File::create(&input).unwrap());
+        let block: Vec<u8> = (0..4096usize).map(|i| (i * 89 + 31) as u8).collect();
+        for i in 0..FILE_LEN / block.len() {
+            w.write_all(&block).unwrap();
+            w.write_all(&[(i * 7) as u8]).unwrap(); // keep chunks distinct
+        }
+        w.flush().unwrap();
+    }
+
+    let shards = dir.join("shards");
+    let create_peak = peak_delta(|| {
+        Archive::create(&input, &shards, N, P, CHUNK).unwrap();
+    });
+    assert!(
+        create_peak < BOUND,
+        "create peaked at {create_peak} bytes (bound {BOUND}, file {FILE_LEN})"
+    );
+
+    let restored = dir.join("restored.bin");
+    let extract_peak = peak_delta(|| {
+        let archive = Archive::open(&shards).unwrap();
+        archive.extract(&restored).unwrap();
+    });
+    assert!(
+        extract_peak < BOUND,
+        "extract peaked at {extract_peak} bytes (bound {BOUND}, file {FILE_LEN})"
+    );
+
+    // And the roundtrip is still byte-identical.
+    assert_eq!(fs::read(&input).unwrap(), fs::read(&restored).unwrap());
+    fs::remove_dir_all(&dir).unwrap();
+}

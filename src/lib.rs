@@ -18,6 +18,7 @@
 //! | [`opt`] | `slp-optimizer` | RePair/XorRePair, fusion, schedulers |
 //! | [`runtime`] | `xor-runtime` | XOR kernels, arenas, blocked executor, [`ExecPool`] |
 //! | [`baseline`] | `gf-baseline` | ISA-L-style table-driven codec |
+//! | [`stream`] | `ec-stream` | streaming archives: shard format, scrub & repair |
 //!
 //! ## Quick start
 //!
@@ -66,10 +67,22 @@
 //!     codec.update_parity(1, &data[1], &new_shard, &mut prefs).unwrap();
 //! }
 //! ```
+//!
+//! ## Streaming archives
+//!
+//! Files of any size stream through the codec in bounded memory:
+//! [`Archive`] writes `n + p` self-describing shard files (per-chunk
+//! CRC-32, CRC-protected header — see `docs/FORMAT.md`), survives the
+//! loss of any `p` of them, and its `verify` / `scrub` / `repair` verbs
+//! detect and fix truncated or bit-flipped shards in place. The
+//! `xorslp-archive` binary wires the same verbs for the command line.
 
 pub use array_codes::{ArrayCodec, ArrayCodecError};
 pub use ec_core::{
     Compression, EcError, Kernel, MatrixKind, OptConfig, RsCodec, RsConfig, Scheduling,
+};
+pub use ec_stream::{
+    Archive, ArchiveMeta, ShardState, StreamDecoder, StreamEncoder, StreamError,
 };
 pub use xor_runtime::{plan_stripes, ExecPool, PoolChoice, StripePlan};
 
@@ -114,4 +127,11 @@ pub mod baseline {
 /// of `array-codes`).
 pub mod arrays {
     pub use array_codes::*;
+}
+
+/// Streaming erasure-coded archives: chunked encoder/decoder, the
+/// self-describing shard-file format, and the scrub & repair [`Archive`]
+/// API (re-export of `ec-stream`).
+pub mod stream {
+    pub use ec_stream::*;
 }
