@@ -1,0 +1,181 @@
+//! Object-store throughput over loopback: PUT/GET MB/s and ops/s for
+//! healthy reads, degraded reads and delta overwrites, single client vs
+//! 8 concurrent clients.
+//!
+//! A plain-main bench (harness = false): spins up an in-process RS(4, 2)
+//! cluster of 6 loopback shard nodes and measures wall-clock through the
+//! real sockets, framing, CRCs and disk-backed blob stores.
+//!
+//! ```text
+//! cargo bench --bench store_throughput
+//! ```
+
+use ec_core::RsConfig;
+use ec_store::{Cluster, NodeHandle, OverwriteMode};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 4;
+const P: usize = 2;
+const OBJECT_BYTES: usize = 1 << 20; // 1 MiB objects
+const OBJECTS: usize = 24;
+
+struct Fixture {
+    root: PathBuf,
+    nodes: Vec<Option<NodeHandle>>,
+    addrs: Vec<String>,
+}
+
+impl Fixture {
+    fn spawn() -> Fixture {
+        let root = std::env::temp_dir().join(format!(
+            "ec_store_bench_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let nodes: Vec<Option<NodeHandle>> = (0..N + P)
+            .map(|i| {
+                Some(
+                    NodeHandle::spawn(&root.join(format!("node{i}")), "127.0.0.1:0", 4)
+                        .expect("spawn node"),
+                )
+            })
+            .collect();
+        let addrs = nodes
+            .iter()
+            .map(|n| n.as_ref().unwrap().addr().to_string())
+            .collect();
+        Fixture { root, nodes, addrs }
+    }
+
+    fn cluster(&self) -> Cluster {
+        Cluster::new(self.addrs.clone(), RsConfig::new(N, P))
+            .expect("cluster")
+            .with_timeout(Duration::from_secs(10))
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        for node in self.nodes.iter_mut().filter_map(Option::take) {
+            node.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn payload(seed: usize) -> Vec<u8> {
+    (0..OBJECT_BYTES).map(|i| ((i * 31 + seed * 131) % 251) as u8).collect()
+}
+
+fn name(k: usize) -> String {
+    format!("bench-{k:03}")
+}
+
+struct Row {
+    label: &'static str,
+    clients: usize,
+    ops: usize,
+    bytes: usize,
+    elapsed: Duration,
+}
+
+impl Row {
+    fn print(&self) {
+        let secs = self.elapsed.as_secs_f64();
+        println!(
+            "{:<28} {:>2} client(s)  {:>7.1} MB/s  {:>8.1} ops/s",
+            self.label,
+            self.clients,
+            self.bytes as f64 / secs / 1e6,
+            self.ops as f64 / secs,
+        );
+    }
+}
+
+/// Run `ops` operations split across `clients` threads, returning the
+/// wall-clock of the slowest thread span.
+fn timed(
+    label: &'static str,
+    clients: usize,
+    ops: usize,
+    bytes_per_op: usize,
+    cluster: &Arc<Cluster>,
+    op: impl Fn(&Cluster, usize) + Send + Sync + 'static,
+) -> Row {
+    let op = Arc::new(op);
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|t| {
+            let cluster = cluster.clone();
+            let op = op.clone();
+            std::thread::spawn(move || {
+                let mut k = t;
+                while k < ops {
+                    op(&cluster, k);
+                    k += clients;
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("bench client");
+    }
+    Row { label, clients, ops, bytes: ops * bytes_per_op, elapsed: start.elapsed() }
+}
+
+fn main() {
+    let mut fx = Fixture::spawn();
+    let cluster = Arc::new(fx.cluster());
+    println!(
+        "store_throughput: RS({N}, {P}) over {} loopback nodes, {} x {} MiB objects\n",
+        N + P,
+        OBJECTS,
+        OBJECT_BYTES >> 20,
+    );
+
+    // PUT: encode + 6 shard ships + manifest replication, per object.
+    timed("PUT", 1, OBJECTS, OBJECT_BYTES, &cluster, |c, k| {
+        c.put(&name(k), &payload(k)).expect("put");
+    })
+    .print();
+
+    // Healthy GET (data shards only, no reconstruction).
+    for clients in [1usize, 8] {
+        timed("GET healthy", clients, OBJECTS, OBJECT_BYTES, &cluster, |c, k| {
+            let (data, report) = c.get_with_report(&name(k)).expect("get");
+            assert_eq!(data.len(), OBJECT_BYTES);
+            assert!(!report.degraded());
+        })
+        .print();
+    }
+
+    // Delta overwrite: one shard's worth of change per object.
+    let shard_len = cluster.codec().shard_len(OBJECT_BYTES);
+    timed("OVERWRITE delta (1/4 shards)", 1, OBJECTS, shard_len + 2 * shard_len, &cluster, move |c, k| {
+        let mut v2 = payload(k);
+        for b in &mut v2[..256] {
+            *b ^= 0x5A;
+        }
+        let report = c.overwrite(&name(k), &v2).expect("overwrite");
+        assert_eq!(report.mode, OverwriteMode::Delta);
+    })
+    .print();
+
+    // Kill one node: every read now reconstructs around it.
+    fx.nodes[0].take().expect("alive").shutdown();
+    for clients in [1usize, 8] {
+        timed("GET degraded (1 node dead)", clients, OBJECTS, OBJECT_BYTES, &cluster, |c, k| {
+            let data = c.get(&name(k)).expect("degraded get");
+            assert_eq!(data.len(), OBJECT_BYTES);
+        })
+        .print();
+    }
+
+    println!(
+        "\n(delta overwrite bytes/op counts the shipped shards: 1 changed data \
+         shard + {P} parity; a full re-put ships {} shards)",
+        N + P,
+    );
+}

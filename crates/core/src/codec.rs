@@ -261,6 +261,22 @@ impl RsCodec {
         layout::shard_len_for(data_len, self.cfg.data_shards)
     }
 
+    /// Split `data` into the `n` padded data shards [`RsCodec::encode`]
+    /// would produce, without computing parity. This is the one
+    /// authoritative definition of the data→shard layout — callers that
+    /// diff against stored shards (e.g. delta overwrites) use it so the
+    /// split can never drift from the encode path.
+    pub fn split_data(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let len = self.shard_len(data.len());
+        (0..self.cfg.data_shards)
+            .map(|i| {
+                let mut shard = Vec::new();
+                fill_data_shard(&mut shard, data, i, len);
+                shard
+            })
+            .collect()
+    }
+
     /// Encode a byte buffer into `n + p` shards (convenience allocation
     /// path). The data is split across `n` shards, zero-padding the tail;
     /// use the original length with [`RsCodec::decode`] to strip padding.
@@ -289,11 +305,7 @@ impl RsCodec {
         }
         let len = self.shard_len(data.len());
         for (i, shard) in shards.iter_mut().take(n).enumerate() {
-            let lo = (i * len).min(data.len());
-            let hi = ((i + 1) * len).min(data.len());
-            shard.clear();
-            shard.extend_from_slice(&data[lo..hi]);
-            shard.resize(len, 0);
+            fill_data_shard(shard, data, i, len);
         }
         for shard in shards.iter_mut().skip(n) {
             // Size only — no clear(): the XOR program overwrites every
@@ -765,6 +777,16 @@ impl RsCodec {
     }
 }
 
+/// Fill `shard` with slot `i`'s slice of `data`, zero-padded to `len`
+/// (the layout shared by `encode_into` and `split_data`).
+fn fill_data_shard(shard: &mut Vec<u8>, data: &[u8], i: usize, len: usize) {
+    let lo = (i * len).min(data.len());
+    let hi = ((i + 1) * len).min(data.len());
+    shard.clear();
+    shard.extend_from_slice(&data[lo..hi]);
+    shard.resize(len, 0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -936,6 +958,17 @@ mod tests {
             codec.encode_into(&[1, 2, 3], &mut six),
             Err(EcError::ShardCount { expected: 7, got: 6 })
         ));
+    }
+
+    #[test]
+    fn split_data_matches_encode_layout() {
+        let codec = RsCodec::new(5, 2).unwrap();
+        for data_len in [0usize, 1, 17, 5 * 40, 5 * 40 + 3] {
+            let data = sample_data(data_len);
+            let split = codec.split_data(&data);
+            let encoded = codec.encode(&data).unwrap();
+            assert_eq!(&split[..], &encoded[..5], "len {data_len}");
+        }
     }
 
     #[test]

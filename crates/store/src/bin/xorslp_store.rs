@@ -1,0 +1,357 @@
+//! `xorslp-store` — the networked erasure-coded object store from the
+//! command line.
+//!
+//! ```text
+//! xorslp-store serve  <dir> <addr> [--workers N]
+//! xorslp-store put    <cluster> <object> <file>   [-n N] [-p P]
+//! xorslp-store get    <cluster> <object> <file>   [-n N] [-p P]
+//! xorslp-store ...
+//! ```
+//!
+//! `<cluster>` is a comma-separated list of node addresses; the same
+//! list (same order) must be given to every client so rendezvous
+//! placement agrees.
+
+use ec_core::RsConfig;
+use ec_store::{Cluster, NodeHandle, OverwriteMode, StoreError};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+xorslp-store — networked erasure-coded object store (RS over XOR SLPs)
+
+USAGE:
+    xorslp-store serve     <dir> <addr> [--workers N]
+    xorslp-store put       <cluster> <object> <file> [-n N] [-p P]
+    xorslp-store get       <cluster> <object> <file> [-n N] [-p P]
+    xorslp-store overwrite <cluster> <object> <file> [-n N] [-p P]
+    xorslp-store delete    <cluster> <object>        [-n N] [-p P]
+    xorslp-store list      <cluster>                 [-n N] [-p P]
+    xorslp-store health    <cluster>                 [-n N] [-p P]
+    xorslp-store scrub     <cluster> [--repair]      [-n N] [-p P]
+    xorslp-store repair    <cluster> --dead ADDR [--replacement ADDR] [-n N] [-p P]
+
+ARGS:
+    <cluster>  comma-separated node addresses, e.g. 127.0.0.1:7501,127.0.0.1:7502
+    -n / -p    RS geometry (defaults: -n 3 -p 2); must match across all clients
+
+VERBS:
+    serve      run a shard node: store blobs under <dir>, listen on <addr>
+    put        erasure-code <file> across the cluster as <object>
+    get        fetch <object> into <file>; degrades over up to P dead nodes
+    overwrite  replace <object> with <file>, shipping deltas when possible
+    delete     remove <object> from all nodes
+    list       all objects known to the cluster
+    health     per-node liveness and usage
+    scrub      verify every object end-to-end; exit 1 on damage
+               (--repair: rebuild damaged shards in place first)
+    repair     rebuild a dead node's shards onto --replacement (default:
+               the same address, e.g. after restarting it empty)
+";
+
+enum CliError {
+    Usage(String),
+    Store(StoreError),
+}
+
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        CliError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Store(StoreError::Io(e))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Store(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed common options: positional args, geometry, named flags.
+struct Opts {
+    positional: Vec<String>,
+    n: usize,
+    p: usize,
+    workers: usize,
+    repair: bool,
+    dead: Option<String>,
+    replacement: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
+    let mut opts = Opts {
+        positional: Vec::new(),
+        n: 3,
+        p: 2,
+        workers: 0,
+        repair: false,
+        dead: None,
+        replacement: None,
+    };
+    let mut i = 0;
+    let num = |args: &[String], i: &mut usize, flag: &str| -> Result<usize, CliError> {
+        *i += 1;
+        args.get(*i)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a numeric argument")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" => opts.n = num(args, &mut i, "-n")?,
+            "-p" => opts.p = num(args, &mut i, "-p")?,
+            "--workers" => opts.workers = num(args, &mut i, "--workers")?,
+            "--repair" => opts.repair = true,
+            "--dead" | "--replacement" => {
+                let flag = args[i].clone();
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs an address")))?
+                    .clone();
+                if flag == "--dead" {
+                    opts.dead = Some(value);
+                } else {
+                    opts.replacement = Some(value);
+                }
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn cluster_from(opts: &Opts, which: usize) -> Result<Cluster, CliError> {
+    let spec = opts
+        .positional
+        .get(which)
+        .ok_or_else(|| CliError::Usage("missing <cluster> argument".into()))?;
+    let nodes: Vec<String> = spec.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+    Ok(Cluster::new(nodes, RsConfig::new(opts.n, opts.p))?
+        .with_timeout(Duration::from_secs(10)))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    let Some(verb) = args.first() else {
+        print!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let opts = parse_opts(&args[1..])?;
+    match verb.as_str() {
+        "serve" => serve(&opts),
+        "put" => put(&opts),
+        "get" => get(&opts),
+        "overwrite" => overwrite(&opts),
+        "delete" => delete(&opts),
+        "list" => list(&opts),
+        "health" => health(&opts),
+        "scrub" => scrub(&opts),
+        "repair" => repair(&opts),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => {
+            eprintln!("unknown verb `{other}`\n\n{USAGE}");
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+fn serve(opts: &Opts) -> Result<ExitCode, CliError> {
+    let [dir, addr] = &opts.positional[..] else {
+        return Err(CliError::Usage("serve needs <dir> and <addr>".into()));
+    };
+    let node = NodeHandle::spawn(Path::new(dir), addr, opts.workers)?;
+    println!("serving {dir} on {}", node.addr());
+    // Serve until killed; the acceptor and workers do all the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn object_file(opts: &Opts, verb: &str) -> Result<(String, String), CliError> {
+    match &opts.positional[..] {
+        [_cluster, object, file] => Ok((object.clone(), file.clone())),
+        _ => Err(CliError::Usage(format!(
+            "{verb} needs <cluster>, <object> and <file>"
+        ))),
+    }
+}
+
+fn put(opts: &Opts) -> Result<ExitCode, CliError> {
+    let cluster = cluster_from(opts, 0)?;
+    let (object, file) = object_file(opts, "put")?;
+    let data = std::fs::read(&file)?;
+    let report = cluster.put(&object, &data)?;
+    println!(
+        "stored `{object}` ({} bytes) as {} shards of {} bytes \
+         (manifest on {} nodes)",
+        data.len(),
+        report.shards_written,
+        report.shard_len,
+        report.manifest_replicas
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn get(opts: &Opts) -> Result<ExitCode, CliError> {
+    let cluster = cluster_from(opts, 0)?;
+    let (object, file) = object_file(opts, "get")?;
+    let (data, report) = cluster.get_with_report(&object)?;
+    // Temp-then-rename: a mid-write failure (disk full, kill) must not
+    // clobber a pre-existing output file.
+    let tmp = format!("{file}.{}.tmp", std::process::id());
+    std::fs::write(&tmp, &data)?;
+    if let Err(e) = std::fs::rename(&tmp, &file) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if report.degraded() {
+        println!(
+            "fetched `{object}` ({} bytes) DEGRADED — reconstructed around \
+             missing shards {:?}",
+            data.len(),
+            report.missing
+        );
+    } else {
+        println!("fetched `{object}` ({} bytes), all shards healthy", data.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn overwrite(opts: &Opts) -> Result<ExitCode, CliError> {
+    let cluster = cluster_from(opts, 0)?;
+    let (object, file) = object_file(opts, "overwrite")?;
+    let data = std::fs::read(&file)?;
+    let report = cluster.overwrite(&object, &data)?;
+    match report.mode {
+        OverwriteMode::Delta => println!(
+            "delta overwrite of `{object}`: {} changed data shards, {} shards \
+             shipped, {} XORs vs {} for a full re-encode ({:.1}x cheaper)",
+            report.changed.len(),
+            report.shards_written,
+            report.xor_count,
+            report.full_xor_count,
+            report.full_xor_count as f64 / report.xor_count.max(1) as f64,
+        ),
+        OverwriteMode::Full => println!(
+            "full overwrite of `{object}` ({} shards shipped)",
+            report.shards_written
+        ),
+        OverwriteMode::NoChange => println!("`{object}` unchanged; nothing written"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn delete(opts: &Opts) -> Result<ExitCode, CliError> {
+    let cluster = cluster_from(opts, 0)?;
+    let object = opts
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("delete needs <cluster> and <object>".into()))?;
+    let removed = cluster.delete(object)?;
+    println!("deleted `{object}` ({removed} shard blobs removed)");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn list(opts: &Opts) -> Result<ExitCode, CliError> {
+    let cluster = cluster_from(opts, 0)?;
+    let objects = cluster.objects()?;
+    for object in &objects {
+        println!("{object}");
+    }
+    eprintln!("{} objects", objects.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn health(opts: &Opts) -> Result<ExitCode, CliError> {
+    let cluster = cluster_from(opts, 0)?;
+    let mut dead = 0;
+    for (addr, health) in cluster.health().nodes {
+        match health {
+            Some(h) => println!("{addr}: alive, {} blobs, {} bytes", h.blobs, h.bytes),
+            None => {
+                println!("{addr}: UNREACHABLE");
+                dead += 1;
+            }
+        }
+    }
+    Ok(if dead == 0 { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
+    let cluster = cluster_from(opts, 0)?;
+    let report = if opts.repair {
+        let (_, repairs) = cluster.scrub_and_repair()?;
+        for (object, outcome) in &repairs {
+            match outcome {
+                Ok(report) => {
+                    println!("repaired `{object}`: shards {:?}", report.repaired)
+                }
+                Err(reason) => println!("`{object}` NOT repaired: {reason}"),
+            }
+        }
+        // Re-scrub so the exit code reflects the post-repair state.
+        cluster.scrub()?
+    } else {
+        cluster.scrub()?
+    };
+    for addr in &report.dead_nodes {
+        println!("node {addr}: UNREACHABLE");
+    }
+    for object in &report.objects {
+        if object.clean() {
+            continue;
+        }
+        println!(
+            "object `{}`: damaged shards {:?}, parity consistent: {:?}",
+            object.object,
+            object.damaged(),
+            object.parity_consistent
+        );
+    }
+    for (object, err) in &report.failed_objects {
+        println!("object `{object}`: scrub failed: {err}");
+    }
+    if report.clean() {
+        println!("scrub clean: {} objects verified", report.objects.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("damage found");
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn repair(opts: &Opts) -> Result<ExitCode, CliError> {
+    let mut cluster = cluster_from(opts, 0)?;
+    let dead = opts
+        .dead
+        .clone()
+        .ok_or_else(|| CliError::Usage("repair needs --dead ADDR".into()))?;
+    let replacement = opts.replacement.clone().unwrap_or_else(|| dead.clone());
+    let report = cluster.repair_node(&dead, &replacement)?;
+    println!(
+        "repaired {} shards ({} bytes) across {} objects onto {replacement}",
+        report.shards_rebuilt, report.bytes_rebuilt, report.objects_scanned
+    );
+    for (object, err) in &report.failed {
+        println!("object `{object}`: NOT repaired: {err}");
+    }
+    Ok(if report.failed.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}

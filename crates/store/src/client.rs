@@ -1,0 +1,172 @@
+//! Client side of the node protocol: one [`NodeClient`] per TCP
+//! connection, with typed request methods and uniform timeouts.
+
+use crate::blob::BlobStat;
+use crate::error::StoreError;
+use crate::proto::{
+    op, parse_err, put_str, read_frame, status, write_frame, FrameError, PayloadReader,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A node's `HEALTH` answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// Number of blobs stored.
+    pub blobs: u64,
+    /// Total payload bytes stored (framing excluded).
+    pub bytes: u64,
+}
+
+/// One connection to one shard node. Requests are serial
+/// (request/response per frame); several requests may reuse the
+/// connection. All operations observe the connect/read/write timeout
+/// given at [`NodeClient::connect`].
+pub struct NodeClient {
+    stream: TcpStream,
+}
+
+impl NodeClient {
+    /// Connect to `addr` (a `host:port` string) with `timeout` applied
+    /// to the connect itself and to every subsequent read and write.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<NodeClient, StoreError> {
+        let sock = addr
+            .to_socket_addrs()
+            .map_err(|e| {
+                StoreError::InvalidArg(format!("cannot resolve node address `{addr}`: {e}"))
+            })?
+            .next()
+            .ok_or_else(|| {
+                StoreError::InvalidArg(format!("node address `{addr}` resolves to nothing"))
+            })?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(NodeClient { stream })
+    }
+
+    /// Send one request frame and return the `OK` payload (a typed
+    /// [`StoreError::Remote`] for `ERR` answers).
+    fn request(&mut self, tag: u8, parts: &[&[u8]]) -> Result<Vec<u8>, StoreError> {
+        let payload_len: usize = parts.iter().map(|p| p.len()).sum();
+        if payload_len + 2 > crate::proto::MAX_BODY {
+            // Checked here so an oversized blob is a typed error, not a
+            // panic of `write_frame`'s contract assert.
+            return Err(StoreError::InvalidArg(format!(
+                "request payload of {payload_len} bytes exceeds the \
+                 {}-byte frame cap",
+                crate::proto::MAX_BODY
+            )));
+        }
+        write_frame(&mut self.stream, tag, parts)?;
+        let frame = read_frame(&mut self.stream).map_err(|e| match e {
+            FrameError::Eof => {
+                StoreError::Protocol("node closed the connection mid-request".into())
+            }
+            other => other.into(),
+        })?;
+        match frame.tag {
+            status::OK => Ok(frame.payload),
+            status::ERR => Err(parse_err(&frame.payload)),
+            other => Err(StoreError::Protocol(format!(
+                "unexpected response tag {other:#04x}"
+            ))),
+        }
+    }
+
+    /// Store `data` under `key` on the node.
+    pub fn put(&mut self, key: &str, data: &[u8]) -> Result<(), StoreError> {
+        let mut head = Vec::with_capacity(2 + key.len());
+        put_str(&mut head, key);
+        let payload = self.request(op::PUT_SHARD, &[&head, data])?;
+        expect_empty(&payload)
+    }
+
+    /// Fetch the blob under `key`.
+    pub fn get(&mut self, key: &str) -> Result<Vec<u8>, StoreError> {
+        self.request(op::GET_SHARD, &[&keyed(key)])
+    }
+
+    /// Delete the blob under `key`; returns whether it existed.
+    pub fn delete(&mut self, key: &str) -> Result<bool, StoreError> {
+        let payload = self.request(op::DELETE, &[&keyed(key)])?;
+        match payload[..] {
+            [existed] => Ok(existed != 0),
+            _ => Err(StoreError::Protocol("malformed DELETE response".into())),
+        }
+    }
+
+    /// All keys on the node starting with `prefix`.
+    pub fn list(&mut self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let payload = self.request(op::LIST, &[&keyed_allow_empty(prefix)])?;
+        let mut r = PayloadReader::new(&payload);
+        let parse = |r: &mut PayloadReader| -> Result<Vec<String>, String> {
+            let count = r.u32()? as usize;
+            // The frame cap already bounds the payload; this only guards
+            // a lying count against a huge up-front reservation.
+            let mut keys = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                keys.push(r.str_bounded(crate::proto::MAX_KEY, "key")?.to_string());
+            }
+            Ok(keys)
+        };
+        let keys = parse(&mut r)
+            .map_err(|e| StoreError::Protocol(format!("malformed LIST response: {e}")))?;
+        r.finish()
+            .map_err(|e| StoreError::Protocol(format!("malformed LIST response: {e}")))?;
+        Ok(keys)
+    }
+
+    /// Size and integrity of the blob under `key`, without transferring
+    /// it.
+    pub fn stat(&mut self, key: &str) -> Result<BlobStat, StoreError> {
+        let payload = self.request(op::STAT, &[&keyed(key)])?;
+        let mut r = PayloadReader::new(&payload);
+        let parse = |r: &mut PayloadReader| -> Result<BlobStat, String> {
+            let len = r.u64()?;
+            let crc = r.u32()?;
+            let ok = r.u8()? != 0;
+            Ok(BlobStat { len, crc, ok })
+        };
+        let stat = parse(&mut r)
+            .map_err(|e| StoreError::Protocol(format!("malformed STAT response: {e}")))?;
+        r.finish()
+            .map_err(|e| StoreError::Protocol(format!("malformed STAT response: {e}")))?;
+        Ok(stat)
+    }
+
+    /// Node liveness and usage.
+    pub fn health(&mut self) -> Result<NodeHealth, StoreError> {
+        let payload = self.request(op::HEALTH, &[])?;
+        let mut r = PayloadReader::new(&payload);
+        let parse = |r: &mut PayloadReader| -> Result<NodeHealth, String> {
+            let blobs = r.u64()?;
+            let bytes = r.u64()?;
+            Ok(NodeHealth { blobs, bytes })
+        };
+        let health = parse(&mut r)
+            .map_err(|e| StoreError::Protocol(format!("malformed HEALTH response: {e}")))?;
+        r.finish()
+            .map_err(|e| StoreError::Protocol(format!("malformed HEALTH response: {e}")))?;
+        Ok(health)
+    }
+}
+
+fn keyed(key: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(2 + key.len());
+    put_str(&mut payload, key);
+    payload
+}
+
+fn keyed_allow_empty(prefix: &str) -> Vec<u8> {
+    keyed(prefix) // the wire shape is identical; only validation differs
+}
+
+fn expect_empty(payload: &[u8]) -> Result<(), StoreError> {
+    if payload.is_empty() {
+        Ok(())
+    } else {
+        Err(StoreError::Protocol("unexpected payload in empty response".into()))
+    }
+}

@@ -1,0 +1,1180 @@
+//! The cluster client: erasure-coded objects across shard nodes.
+//!
+//! * `put` stripes an object into `n + p` shards (one `encode` through
+//!   the SLP-optimized codec), places them on the `n + p` top-ranked
+//!   nodes of the object's rendezvous ordering, and replicates a
+//!   [`Manifest`] to every node;
+//! * `get` reads the data shards, and *degrades* transparently: any `n`
+//!   retrievable shards reconstruct the object through the codec's
+//!   cached decode programs;
+//! * `overwrite` is the delta path: only changed data shards ship, and
+//!   parity is brought up to date with the cached per-column programs
+//!   (`old ⊕ new`, not the world);
+//! * `repair_node` rebuilds a dead node's shards onto a replacement from
+//!   any `n` survivors (lost parity goes through the row-subset partial
+//!   programs inside `reconstruct`);
+//! * `scrub` + `repair_object` verify end-to-end CRCs and chunk-wise
+//!   parity consistency, attributing damage per shard via the manifest
+//!   checksums.
+
+use crate::client::{NodeClient, NodeHealth};
+use crate::error::{RemoteErrorCode, StoreError};
+use crate::manifest::{
+    self, manifest_key, shard_key, validate_object_name, Manifest, ManifestRecord,
+};
+use crate::placement;
+use crate::proto::{MAX_BODY, MAX_KEY};
+use ec_core::{RsCodec, RsConfig};
+use ec_wire::crc32;
+use std::collections::{BTreeSet, HashMap};
+use std::time::Duration;
+
+/// Default network timeout (connect + each read/write).
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A pool of at-most-one connection per node address, scoped to one
+/// cluster operation. Connect failures mark the node dead for the rest
+/// of the operation (no per-shard reconnect storms against a down
+/// node); request failures drop the possibly-desynced connection and
+/// the next use reconnects. Typed `ERR` answers keep the connection —
+/// the stream is intact, the node just said no.
+struct ConnSet {
+    timeout: Duration,
+    conns: HashMap<String, Option<NodeClient>>,
+}
+
+impl ConnSet {
+    fn new(timeout: Duration) -> ConnSet {
+        ConnSet { timeout, conns: HashMap::new() }
+    }
+
+    fn with<T>(
+        &mut self,
+        addr: &str,
+        f: impl FnOnce(&mut NodeClient) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut conn = match self.conns.remove(addr) {
+            Some(None) => {
+                self.conns.insert(addr.to_string(), None);
+                return Err(StoreError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    format!("node {addr} is unreachable (marked dead this operation)"),
+                )));
+            }
+            Some(Some(conn)) => conn,
+            None => match NodeClient::connect(addr, self.timeout) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    self.conns.insert(addr.to_string(), None);
+                    return Err(e);
+                }
+            },
+        };
+        match f(&mut conn) {
+            Ok(v) => {
+                self.conns.insert(addr.to_string(), Some(conn));
+                Ok(v)
+            }
+            Err(e @ StoreError::Remote { .. }) => {
+                self.conns.insert(addr.to_string(), Some(conn));
+                Err(e)
+            }
+            // Transport/framing failure: the connection may be desynced;
+            // drop it and let the next use reconnect.
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Result of a [`Cluster::put`].
+#[derive(Clone, Debug)]
+pub struct PutReport {
+    /// Shards stored (`n + p`).
+    pub shards_written: usize,
+    /// Bytes per shard.
+    pub shard_len: usize,
+    /// Nodes holding a manifest replica after the put.
+    pub manifest_replicas: usize,
+}
+
+/// Result of a [`Cluster::get_with_report`].
+#[derive(Clone, Debug)]
+pub struct GetReport {
+    /// Shard indices that could not be retrieved (or failed their
+    /// manifest checksum) and were reconstructed around.
+    pub missing: Vec<usize>,
+}
+
+impl GetReport {
+    /// Whether the read had to reconstruct (any shard missing).
+    pub fn degraded(&self) -> bool {
+        !self.missing.is_empty()
+    }
+}
+
+/// How an [`Cluster::overwrite`] was executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverwriteMode {
+    /// Changed data shards + delta parity updates (the cheap path).
+    Delta,
+    /// Full re-encode and re-put (size changed, too much changed, or
+    /// prerequisites for the delta were unavailable).
+    Full,
+    /// The new bytes equal the stored bytes; nothing was written.
+    NoChange,
+}
+
+/// Result of a [`Cluster::overwrite`].
+#[derive(Clone, Debug)]
+pub struct OverwriteReport {
+    pub mode: OverwriteMode,
+    /// Data-shard indices whose content changed.
+    pub changed: Vec<usize>,
+    /// Shards actually shipped to nodes (changed data + parity for the
+    /// delta path; `n + p` for the full path; `0` for no change).
+    pub shards_written: usize,
+    /// XOR instructions the executed path costs per packet-byte
+    /// (column programs of the changed shards for delta; the full
+    /// encode program otherwise). Comparing the two *proves* the delta
+    /// win — the acceptance metric of the delta-update subsystem.
+    pub xor_count: usize,
+    /// XOR count of the full encode program, for comparison.
+    pub full_xor_count: usize,
+}
+
+/// Tally of one manifest-record election across the nodes.
+#[derive(Default)]
+struct RecordVote {
+    /// Highest-generation live manifest seen.
+    live: Option<Manifest>,
+    /// Highest tombstone generation seen.
+    tombstone: Option<u64>,
+    /// Nodes that answered (with a record or a clean NotFound).
+    reachable: usize,
+    /// A replica that exists but fails its checks (kept for honest
+    /// attribution when nothing usable is found).
+    rot_err: Option<StoreError>,
+    /// A transport-level failure.
+    conn_err: Option<StoreError>,
+}
+
+impl RecordVote {
+    /// The generation a fresh write must carry to win this election.
+    fn next_generation(&self) -> u64 {
+        let live = self.live.as_ref().map_or(0, |m| m.generation);
+        live.max(self.tombstone.unwrap_or(0)) + 1
+    }
+
+    /// The live manifest, unless a tombstone supersedes it.
+    fn current(self) -> Option<Manifest> {
+        let tomb = self.tombstone.unwrap_or(0);
+        self.live.filter(|m| m.generation > tomb)
+    }
+}
+
+/// Why one shard fetch failed, typed so scrub can attribute damage.
+enum ShardFault {
+    /// Bytes exist but are wrong (frame/checksum/length failure).
+    Corrupt(String),
+    /// Unreachable node or absent blob.
+    Missing(String),
+}
+
+impl From<ShardFault> for ShardHealth {
+    fn from(f: ShardFault) -> ShardHealth {
+        match f {
+            ShardFault::Corrupt(msg) => ShardHealth::Corrupt(msg),
+            ShardFault::Missing(msg) => ShardHealth::Missing(msg),
+        }
+    }
+}
+
+/// Health of one shard as seen by scrub.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Retrieved and matches the manifest checksum.
+    Ok,
+    /// Unreachable or absent (reason recorded).
+    Missing(String),
+    /// Retrieved (or stored) bytes that fail the manifest checksum or
+    /// the node's own frame check.
+    Corrupt(String),
+}
+
+impl ShardHealth {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ShardHealth::Ok)
+    }
+}
+
+/// One object's scrub result.
+#[derive(Clone, Debug)]
+pub struct ObjectScrub {
+    pub object: String,
+    pub shards: Vec<ShardHealth>,
+    /// `Some(false)` when every shard is individually intact yet data
+    /// and parity disagree (possible only if the manifest itself lies);
+    /// `None` when damage prevented the chunk-wise re-encode check.
+    pub parity_consistent: Option<bool>,
+}
+
+impl ObjectScrub {
+    /// Indices of damaged shards.
+    pub fn damaged(&self) -> Vec<usize> {
+        (0..self.shards.len()).filter(|&i| !self.shards[i].is_ok()).collect()
+    }
+
+    /// Whether the object is fully healthy.
+    pub fn clean(&self) -> bool {
+        self.damaged().is_empty() && self.parity_consistent == Some(true)
+    }
+}
+
+/// Result of a [`Cluster::scrub`].
+#[derive(Clone, Debug)]
+pub struct ClusterScrubReport {
+    /// Nodes that did not answer `HEALTH`.
+    pub dead_nodes: Vec<String>,
+    /// Per-object results.
+    pub objects: Vec<ObjectScrub>,
+    /// Objects whose manifest could not be fetched or parsed.
+    pub failed_objects: Vec<(String, String)>,
+}
+
+impl ClusterScrubReport {
+    /// Objects with at least one damaged shard or a consistency
+    /// failure.
+    pub fn damaged_objects(&self) -> Vec<&ObjectScrub> {
+        self.objects.iter().filter(|o| !o.clean()).collect()
+    }
+
+    /// Whether the whole cluster is healthy.
+    pub fn clean(&self) -> bool {
+        self.dead_nodes.is_empty()
+            && self.failed_objects.is_empty()
+            && self.objects.iter().all(ObjectScrub::clean)
+    }
+}
+
+/// Result of a [`Cluster::repair_object`].
+#[derive(Clone, Debug, Default)]
+pub struct ObjectRepairReport {
+    /// Shard indices rebuilt and re-stored.
+    pub repaired: Vec<usize>,
+    /// Shard indices that were rebuilt but whose node did not accept
+    /// the write.
+    pub unplaced: Vec<usize>,
+}
+
+/// Per-object outcome of a [`Cluster::scrub_and_repair`] pass: the
+/// object name and either its repair report or the reason repair
+/// failed (so objects that *stayed* broken are visible).
+pub type RepairOutcome = (String, Result<ObjectRepairReport, String>);
+
+/// Result of a [`Cluster::repair_node`].
+#[derive(Clone, Debug, Default)]
+pub struct NodeRepairReport {
+    /// Objects whose manifests were examined.
+    pub objects_scanned: usize,
+    /// Shards rebuilt onto the replacement node.
+    pub shards_rebuilt: usize,
+    /// Bytes rebuilt onto the replacement node.
+    pub bytes_rebuilt: u64,
+    /// Objects that could not be repaired (too few survivors right
+    /// now), with the reason.
+    pub failed: Vec<(String, String)>,
+}
+
+/// Per-node health as seen by [`Cluster::health`].
+#[derive(Clone, Debug)]
+pub struct ClusterHealth {
+    /// `(address, health)` per node; `None` for unreachable nodes.
+    pub nodes: Vec<(String, Option<NodeHealth>)>,
+}
+
+/// A client of a set of shard nodes, holding the codec and the node
+/// membership. All read-side operations take `&self` and the cluster is
+/// `Send + Sync` — share it behind an `Arc` across client threads.
+///
+/// **Write concurrency**: writes to *different* objects may run
+/// concurrently, but writes to one object (`put` / `overwrite` /
+/// `delete`) must be serialized by the caller — shard replacement is
+/// not transactional across nodes, and the delta-overwrite path is a
+/// read-modify-write of parity with no cross-client locking.
+pub struct Cluster {
+    codec: RsCodec,
+    nodes: Vec<String>,
+    timeout: Duration,
+}
+
+impl Cluster {
+    /// Build a client for `nodes` with the codec configured by `cfg`
+    /// (`cfg.data_shards + cfg.parity_shards` must not exceed the node
+    /// count; extra nodes are spare capacity that rendezvous placement
+    /// will use object-by-object).
+    pub fn new(nodes: Vec<String>, cfg: RsConfig) -> Result<Cluster, StoreError> {
+        let total = cfg.data_shards + cfg.parity_shards;
+        if nodes.len() < total {
+            return Err(StoreError::InvalidArg(format!(
+                "{} nodes cannot host {} shards per object (n + p = {total})",
+                nodes.len(),
+                total,
+            )));
+        }
+        let distinct: BTreeSet<&String> = nodes.iter().collect();
+        if distinct.len() != nodes.len() {
+            return Err(StoreError::InvalidArg("duplicate node address".into()));
+        }
+        if let Some(addr) = nodes.iter().find(|a| a.len() > crate::manifest::MAX_ADDR) {
+            return Err(StoreError::InvalidArg(format!(
+                "node address of {} bytes exceeds the cap of {}",
+                addr.len(),
+                crate::manifest::MAX_ADDR
+            )));
+        }
+        let codec = RsCodec::with_config(cfg)?;
+        Ok(Cluster { codec, nodes, timeout: DEFAULT_TIMEOUT })
+    }
+
+    /// Override the network timeout (connect and each read/write).
+    pub fn with_timeout(mut self, timeout: Duration) -> Cluster {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The codec backing this cluster (e.g. for SLP/cache metrics).
+    pub fn codec(&self) -> &RsCodec {
+        &self.codec
+    }
+
+    /// Current node membership, in configuration order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    fn conns(&self) -> ConnSet {
+        ConnSet::new(self.timeout)
+    }
+
+    /// The `n + p` node addresses hosting `object`, shard-index order.
+    fn placement_for(&self, object: &str) -> Vec<String> {
+        let total = self.codec.total_shards();
+        placement::rank_nodes(object, &self.nodes)[..total]
+            .iter()
+            .map(|&i| self.nodes[i].clone())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Store `data` under `object`, replacing any previous version.
+    ///
+    /// Writes to one object must be serialized by the caller (single
+    /// writer per object): replacement is not transactional across
+    /// nodes, so concurrent writers of the *same* object can interleave
+    /// shard generations. Concurrent writers of different objects are
+    /// safe.
+    ///
+    /// Replacement is also not crash-atomic: new shards overwrite old
+    /// ones in place, so a client that dies mid-re-put after rewriting
+    /// more than `p` shards leaves neither generation reconstructable
+    /// (the surviving manifest's checksums reject the new shards).
+    /// Treat a re-put that errored midway as damage and re-drive it to
+    /// completion; generation-suffixed shard keys are the planned fix
+    /// (see ROADMAP).
+    pub fn put(&self, object: &str, data: &[u8]) -> Result<PutReport, StoreError> {
+        validate_object_name(object)?;
+        let mut conns = self.conns();
+        // Replacing an existing (or deleted) object must advance its
+        // generation past every live replica *and* every tombstone, so
+        // stale records lose the freshest-record vote.
+        let vote = self.fetch_record(&mut conns, object, None);
+        let generation = vote.next_generation();
+        let prior = vote.current();
+        self.put_inner(&mut conns, object, data, generation, prior)
+    }
+
+    /// [`Cluster::put`] with the generation election already decided
+    /// (the overwrite fallbacks fetched the manifest; no second
+    /// cluster-wide sweep). `prior` is the superseded live manifest,
+    /// used to reclaim shards its placement orphans.
+    fn put_inner(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+        data: &[u8],
+        generation: u64,
+        prior: Option<Manifest>,
+    ) -> Result<PutReport, StoreError> {
+        let shard_len = self.codec.shard_len(data.len());
+        if shard_len + MAX_KEY + 64 > MAX_BODY {
+            return Err(StoreError::InvalidArg(format!(
+                "object of {} bytes needs {shard_len}-byte shards, beyond the \
+                 {MAX_BODY}-byte frame cap — archive it with ec-stream instead",
+                data.len()
+            )));
+        }
+        let shards = self.codec.encode(data)?;
+        let placement = self.placement_for(object);
+        let manifest = Manifest {
+            data_shards: self.codec.data_shards() as u16,
+            parity_shards: self.codec.parity_shards() as u16,
+            generation,
+            object_len: data.len() as u64,
+            shard_len: shard_len as u64,
+            placement: placement.clone(),
+            shard_crc: shards.iter().map(|s| crc32(s)).collect(),
+        };
+        for (i, shard) in shards.iter().enumerate() {
+            conns.with(&placement[i], |c| c.put(&shard_key(object, i), shard))?;
+        }
+        let replicas = self.replicate_manifest(conns, object, &manifest)?;
+        // Membership churn between writes moves placements: shard blobs
+        // at ex-locations would otherwise be orphaned forever (invisible
+        // to `get`/`delete`, but consuming disk). Best-effort reclaim.
+        if let Some(prior) = prior {
+            for (i, addr) in prior.placement.iter().enumerate() {
+                if placement.get(i) != Some(addr) {
+                    let _ = conns.with(addr, |c| c.delete(&shard_key(object, i)));
+                }
+            }
+        }
+        Ok(PutReport {
+            shards_written: shards.len(),
+            shard_len,
+            manifest_replicas: replicas,
+        })
+    }
+
+    /// Write the manifest to every node: mandatory on the placement
+    /// nodes (they are what repair trusts), best-effort elsewhere.
+    fn replicate_manifest(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+        manifest: &Manifest,
+    ) -> Result<usize, StoreError> {
+        let bytes = manifest.to_bytes();
+        let key = manifest_key(object);
+        let mut replicas = 0;
+        for addr in &self.nodes {
+            match conns.with(addr, |c| c.put(&key, &bytes)) {
+                Ok(()) => replicas += 1,
+                Err(e) if manifest.placement.contains(addr) => return Err(e),
+                Err(_) => {}
+            }
+        }
+        Ok(replicas)
+    }
+
+    /// Delete `object` everywhere. Returns the number of shard blobs
+    /// removed (unreachable nodes are skipped).
+    ///
+    /// Deletion is recorded as a *tombstone* under the manifest key —
+    /// a higher-generation grave marker — rather than by removing the
+    /// manifests: a node that slept through the delete would otherwise
+    /// resurrect the object with its surviving replica and wedge every
+    /// scrub cycle on an unreconstructable ghost.
+    pub fn delete(&self, object: &str) -> Result<usize, StoreError> {
+        validate_object_name(object)?;
+        let mut conns = self.conns();
+        let manifest = self.fetch_manifest(&mut conns, object, None)?;
+        let mut removed = 0;
+        for (i, addr) in manifest.placement.iter().enumerate() {
+            if let Ok(true) = conns.with(addr, |c| c.delete(&shard_key(object, i))) {
+                removed += 1;
+            }
+        }
+        let tomb = manifest::tombstone_bytes(manifest.generation + 1);
+        let key = manifest_key(object);
+        let mut accepted = 0;
+        for addr in &self.nodes {
+            if conns.with(addr, |c| c.put(&key, &tomb)).is_ok() {
+                accepted += 1;
+            }
+        }
+        if accepted == 0 {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "no node accepted the delete tombstone",
+            )));
+        }
+        Ok(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Poll every node (skipping `exclude`) for the object's manifest
+    /// record and tally the generation election.
+    fn fetch_record(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+        exclude: Option<&str>,
+    ) -> RecordVote {
+        let key = manifest_key(object);
+        let mut vote = RecordVote::default();
+        for addr in &self.nodes {
+            if Some(addr.as_str()) == exclude {
+                continue;
+            }
+            match conns.with(addr, |c| c.get(&key)) {
+                Ok(bytes) => {
+                    vote.reachable += 1;
+                    match manifest::parse_record(&bytes) {
+                        Ok(ManifestRecord::Live(m))
+                            if vote
+                                .live
+                                .as_ref()
+                                .is_none_or(|b| m.generation > b.generation) =>
+                        {
+                            vote.live = Some(m)
+                        }
+                        Ok(ManifestRecord::Live(_)) => {}
+                        Ok(ManifestRecord::Tombstone { generation }) => {
+                            vote.tombstone =
+                                Some(vote.tombstone.unwrap_or(0).max(generation));
+                        }
+                        Err(e) => vote.rot_err = Some(e),
+                    }
+                }
+                Err(StoreError::Remote { code: RemoteErrorCode::NotFound, .. }) => {
+                    vote.reachable += 1;
+                }
+                Err(e @ StoreError::Remote { .. }) => vote.rot_err = Some(e),
+                Err(e) => vote.conn_err = Some(e),
+            }
+        }
+        vote
+    }
+
+    /// The freshest *live* manifest: the highest-generation valid copy
+    /// wins (a node that slept through a write cannot serve a stale
+    /// shard map), unless a tombstone of equal or higher generation
+    /// supersedes it — then the object is deleted. Corrupt replicas are
+    /// skipped, not fatal, but are reported honestly when no usable
+    /// replica exists (rot must not masquerade as "not found").
+    fn fetch_manifest(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+        exclude: Option<&str>,
+    ) -> Result<Manifest, StoreError> {
+        let vote = self.fetch_record(conns, object, exclude);
+        let tomb = vote.tombstone.unwrap_or(0);
+        match vote.live {
+            Some(m) if m.generation > tomb => return Ok(m),
+            Some(_) => return Err(StoreError::NotFound(object.to_string())),
+            None if vote.tombstone.is_some() => {
+                return Err(StoreError::NotFound(object.to_string()))
+            }
+            None => {}
+        }
+        if let Some(e) = vote.rot_err {
+            return Err(e);
+        }
+        if vote.reachable == 0 {
+            if let Some(e) = vote.conn_err {
+                return Err(e); // every node unreachable: that's the story
+            }
+        }
+        Err(StoreError::NotFound(object.to_string()))
+    }
+
+    /// Check that a fetched manifest matches this cluster's codec.
+    fn check_geometry(&self, object: &str, m: &Manifest) -> Result<(), StoreError> {
+        if m.data_shards as usize != self.codec.data_shards()
+            || m.parity_shards as usize != self.codec.parity_shards()
+        {
+            return Err(StoreError::Manifest(format!(
+                "object `{object}` is stored as RS({}, {}) but the cluster is \
+                 configured as RS({}, {})",
+                m.data_shards,
+                m.parity_shards,
+                self.codec.data_shards(),
+                self.codec.parity_shards()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fetch shard `i`, validating length and manifest checksum.
+    fn fetch_shard(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+        manifest: &Manifest,
+        i: usize,
+    ) -> Result<Vec<u8>, ShardFault> {
+        let addr = &manifest.placement[i];
+        match conns.with(addr, |c| c.get(&shard_key(object, i))) {
+            Ok(bytes) => {
+                if bytes.len() as u64 != manifest.shard_len {
+                    return Err(ShardFault::Corrupt(format!(
+                        "node {addr} returned {} bytes, manifest says {}",
+                        bytes.len(),
+                        manifest.shard_len
+                    )));
+                }
+                if crc32(&bytes) != manifest.shard_crc[i] {
+                    return Err(ShardFault::Corrupt(format!(
+                        "shard bytes from {addr} fail the manifest checksum"
+                    )));
+                }
+                Ok(bytes)
+            }
+            Err(StoreError::Remote { code: RemoteErrorCode::CorruptBlob, message }) => {
+                Err(ShardFault::Corrupt(format!("{addr}: corrupt blob: {message}")))
+            }
+            Err(e) => Err(ShardFault::Missing(format!("{addr}: {e}"))),
+        }
+    }
+
+    /// Read `object` (degrading transparently over up to `p` missing
+    /// shards).
+    pub fn get(&self, object: &str) -> Result<Vec<u8>, StoreError> {
+        self.get_with_report(object).map(|(data, _)| data)
+    }
+
+    /// [`Cluster::get`] plus which shards had to be reconstructed
+    /// around.
+    pub fn get_with_report(
+        &self,
+        object: &str,
+    ) -> Result<(Vec<u8>, GetReport), StoreError> {
+        validate_object_name(object)?;
+        let mut conns = self.conns();
+        let manifest = self.fetch_manifest(&mut conns, object, None)?;
+        self.check_geometry(object, &manifest)?;
+        let (n, total) = (self.codec.data_shards(), manifest.total_shards());
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
+
+        // Data shards first: a healthy read never touches parity.
+        for (i, slot) in shards.iter_mut().enumerate().take(n) {
+            *slot = self.fetch_shard(&mut conns, object, &manifest, i).ok();
+        }
+        if shards[..n].iter().any(Option::is_none) {
+            for (i, slot) in shards.iter_mut().enumerate().take(total).skip(n) {
+                *slot = self.fetch_shard(&mut conns, object, &manifest, i).ok();
+            }
+        }
+        let missing: Vec<usize> = (0..total).filter(|&i| shards[i].is_none()).collect();
+        let have = total - missing.len();
+        // A healthy fast path never fetched parity: only the data-shard
+        // completeness matters there.
+        if shards[..n].iter().any(Option::is_none) && have < n {
+            return Err(StoreError::Unavailable {
+                object: object.to_string(),
+                needed: n,
+                have,
+            });
+        }
+        let data = self.codec.decode(&shards, manifest.object_len as usize)?;
+        let missing = if shards[n..].iter().all(Option::is_none) && have >= n {
+            // Fast path: parity was deliberately not fetched; report
+            // only genuinely-missing data shards (none).
+            missing.into_iter().filter(|&i| i < n).collect()
+        } else {
+            missing
+        };
+        Ok((data, GetReport { missing }))
+    }
+
+    // ------------------------------------------------------------------
+    // Delta overwrite
+    // ------------------------------------------------------------------
+
+    /// Replace `object`'s content, shipping deltas instead of the world
+    /// when possible: unchanged data shards are not rewritten, and
+    /// parity is updated with the cached per-column programs over
+    /// `old ⊕ new`. Falls back to a full re-put when the shard geometry
+    /// changes, every data shard changed, or the old shards/parity are
+    /// not all retrievable.
+    ///
+    /// Like [`Cluster::put`], writes to one object must be serialized
+    /// by the caller: the delta path is a read-modify-write of parity
+    /// with no cross-client locking, so two concurrent overwrites of
+    /// the same object can each apply only their own delta and leave
+    /// parity matching neither.
+    pub fn overwrite(
+        &self,
+        object: &str,
+        data: &[u8],
+    ) -> Result<OverwriteReport, StoreError> {
+        validate_object_name(object)?;
+        let full_xor = self.codec.encode_slp().xor_count();
+        // `prior` is the live manifest overwrite already fetched — it
+        // won the generation election, so `generation + 1` beats every
+        // replica and tombstone without a second cluster sweep.
+        let full = |this: &Cluster,
+                    conns: &mut ConnSet,
+                    prior: Manifest|
+         -> Result<OverwriteReport, StoreError> {
+            let generation = prior.generation + 1;
+            let report = this.put_inner(conns, object, data, generation, Some(prior))?;
+            Ok(OverwriteReport {
+                mode: OverwriteMode::Full,
+                changed: (0..this.codec.data_shards()).collect(),
+                shards_written: report.shards_written,
+                xor_count: full_xor,
+                full_xor_count: full_xor,
+            })
+        };
+
+        let mut conns = self.conns();
+        let mut manifest = match self.fetch_manifest(&mut conns, object, None) {
+            Ok(m) => m,
+            Err(StoreError::NotFound(_)) => {
+                // Absent (or tombstoned): a plain put re-runs the
+                // generation election and resurrects cleanly.
+                let report = self.put(object, data)?;
+                return Ok(OverwriteReport {
+                    mode: OverwriteMode::Full,
+                    changed: (0..self.codec.data_shards()).collect(),
+                    shards_written: report.shards_written,
+                    xor_count: full_xor,
+                    full_xor_count: full_xor,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        self.check_geometry(object, &manifest)?;
+        let (n, p) = (self.codec.data_shards(), self.codec.parity_shards());
+        if self.codec.shard_len(data.len()) as u64 != manifest.shard_len {
+            // Geometry changed: delta cannot apply.
+            return full(self, &mut conns, manifest);
+        }
+
+        // Old data shards (checksum-validated): without all of them the
+        // change set is unknowable — fall back.
+        let mut old: Vec<Vec<u8>> = Vec::with_capacity(n);
+        for i in 0..n {
+            match self.fetch_shard(&mut conns, object, &manifest, i) {
+                Ok(shard) => old.push(shard),
+                Err(_) => return full(self, &mut conns, manifest),
+            }
+        }
+        let new = self.codec.split_data(data);
+        let changed: Vec<usize> = (0..n).filter(|&i| old[i] != new[i]).collect();
+        if changed.is_empty() {
+            if data.len() as u64 != manifest.object_len {
+                // Same shard bytes, different logical length (padding
+                // collision): only the manifest needs refreshing.
+                manifest.object_len = data.len() as u64;
+                manifest.generation += 1;
+                self.replicate_manifest(&mut conns, object, &manifest)?;
+            }
+            return Ok(OverwriteReport {
+                mode: OverwriteMode::NoChange,
+                changed,
+                shards_written: 0,
+                xor_count: 0,
+                full_xor_count: full_xor,
+            });
+        }
+        if changed.len() == n {
+            // Nothing survives; re-encoding is strictly cheaper.
+            return full(self, &mut conns, manifest);
+        }
+        let delta_xor: usize = changed
+            .iter()
+            .map(|&i| self.codec.update_slp(i).map(|slp| slp.xor_count()))
+            .sum::<Result<usize, _>>()?;
+
+        // Parity RMW: all p parity shards must be present to update in
+        // place.
+        let mut parity: Vec<Vec<u8>> = Vec::with_capacity(p);
+        for j in 0..p {
+            match self.fetch_shard(&mut conns, object, &manifest, n + j) {
+                Ok(shard) => parity.push(shard),
+                Err(_) => return full(self, &mut conns, manifest),
+            }
+        }
+        {
+            let mut prefs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            for &i in &changed {
+                self.codec.update_parity(i, &old[i], &new[i], &mut prefs)?;
+            }
+        }
+
+        // Ship: changed data shards + all parity shards + the manifest.
+        for &i in &changed {
+            conns.with(&manifest.placement[i], |c| {
+                c.put(&shard_key(object, i), &new[i])
+            })?;
+            manifest.shard_crc[i] = crc32(&new[i]);
+        }
+        for (j, shard) in parity.iter().enumerate() {
+            conns.with(&manifest.placement[n + j], |c| {
+                c.put(&shard_key(object, n + j), shard)
+            })?;
+            manifest.shard_crc[n + j] = crc32(shard);
+        }
+        manifest.object_len = data.len() as u64;
+        manifest.generation += 1;
+        self.replicate_manifest(&mut conns, object, &manifest)?;
+        Ok(OverwriteReport {
+            mode: OverwriteMode::Delta,
+            shards_written: changed.len() + p,
+            changed,
+            xor_count: delta_xor,
+            full_xor_count: full_xor,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Discovery, health, scrub, repair
+    // ------------------------------------------------------------------
+
+    /// All object names known to any reachable node, via the replicated
+    /// manifests.
+    pub fn objects(&self) -> Result<Vec<String>, StoreError> {
+        let mut conns = self.conns();
+        let names = self.objects_via(&mut conns, None)?;
+        // Tombstoned (deleted) objects still hold an `m:` record on
+        // every node; the listing is by key, so filter them through the
+        // record election.
+        Ok(names
+            .into_iter()
+            .filter(|name| {
+                !matches!(
+                    self.fetch_manifest(&mut conns, name, None),
+                    Err(StoreError::NotFound(_))
+                )
+            })
+            .collect())
+    }
+
+    fn objects_via(
+        &self,
+        conns: &mut ConnSet,
+        exclude: Option<&str>,
+    ) -> Result<Vec<String>, StoreError> {
+        let mut names = BTreeSet::new();
+        let mut reachable = 0usize;
+        for addr in &self.nodes {
+            if Some(addr.as_str()) == exclude {
+                continue;
+            }
+            if let Ok(keys) = conns.with(addr, |c| c.list("m:")) {
+                reachable += 1;
+                for key in keys {
+                    names.insert(key["m:".len()..].to_string());
+                }
+            }
+        }
+        if reachable == 0 {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "no cluster node is reachable",
+            )));
+        }
+        Ok(names.into_iter().collect())
+    }
+
+    /// Per-node liveness and usage.
+    pub fn health(&self) -> ClusterHealth {
+        let mut conns = self.conns();
+        ClusterHealth {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|addr| {
+                    (addr.clone(), conns.with(addr, |c| c.health()).ok())
+                })
+                .collect(),
+        }
+    }
+
+    /// Verify every object end to end: per-shard manifest checksums
+    /// (bit-rot attribution) plus a chunk-wise data↔parity consistency
+    /// re-encode when all shards are intact.
+    pub fn scrub(&self) -> Result<ClusterScrubReport, StoreError> {
+        self.scrub_via(&mut self.conns())
+    }
+
+    /// One ConnSet for the whole sweep: a node found dead by the health
+    /// probe fast-fails every later touch this cycle instead of paying
+    /// a fresh connect timeout per damaged object.
+    fn scrub_via(&self, conns: &mut ConnSet) -> Result<ClusterScrubReport, StoreError> {
+        let dead_nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|addr| conns.with(addr, |c| c.health()).is_err())
+            .cloned()
+            .collect();
+        let mut report = ClusterScrubReport {
+            dead_nodes,
+            objects: Vec::new(),
+            failed_objects: Vec::new(),
+        };
+        for object in self.objects_via(conns, None)? {
+            match self.scrub_object(conns, &object) {
+                Ok(scrub) => report.objects.push(scrub),
+                // Tombstoned (deleted) — the key listing can't filter
+                // these; they are not damage.
+                Err(StoreError::NotFound(_)) => {}
+                Err(e) => report.failed_objects.push((object, e.to_string())),
+            }
+        }
+        Ok(report)
+    }
+
+    fn scrub_object(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+    ) -> Result<ObjectScrub, StoreError> {
+        let manifest = self.fetch_manifest(conns, object, None)?;
+        self.check_geometry(object, &manifest)?;
+        let total = manifest.total_shards();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
+        let mut health = Vec::with_capacity(total);
+        for (i, slot) in shards.iter_mut().enumerate() {
+            match self.fetch_shard(conns, object, &manifest, i) {
+                Ok(bytes) => {
+                    *slot = Some(bytes);
+                    health.push(ShardHealth::Ok);
+                }
+                Err(fault) => health.push(fault.into()),
+            }
+        }
+        let parity_consistent = if health.iter().all(ShardHealth::is_ok) {
+            let owned: Vec<Vec<u8>> =
+                shards.into_iter().map(|s| s.expect("all present")).collect();
+            Some(self.codec.verify(&owned)?)
+        } else {
+            None
+        };
+        Ok(ObjectScrub { object: object.to_string(), shards: health, parity_consistent })
+    }
+
+    /// Rebuild every damaged shard of `object` from the survivors and
+    /// re-store them on their placement nodes.
+    pub fn repair_object(&self, object: &str) -> Result<ObjectRepairReport, StoreError> {
+        self.repair_object_via(&mut self.conns(), object)
+    }
+
+    fn repair_object_via(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+    ) -> Result<ObjectRepairReport, StoreError> {
+        validate_object_name(object)?;
+        let manifest = self.fetch_manifest(conns, object, None)?;
+        self.check_geometry(object, &manifest)?;
+        let total = manifest.total_shards();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
+        for (i, slot) in shards.iter_mut().enumerate() {
+            *slot = self.fetch_shard(conns, object, &manifest, i).ok();
+        }
+        let damaged: Vec<usize> = (0..total).filter(|&i| shards[i].is_none()).collect();
+        if damaged.is_empty() {
+            return Ok(ObjectRepairReport::default());
+        }
+        let have = total - damaged.len();
+        if have < self.codec.data_shards() {
+            return Err(StoreError::Unavailable {
+                object: object.to_string(),
+                needed: self.codec.data_shards(),
+                have,
+            });
+        }
+        self.codec.reconstruct(&mut shards)?;
+        let mut manifest = manifest;
+        let mut report = ObjectRepairReport::default();
+        let mut retargeted = Vec::new();
+        for &i in &damaged {
+            // A damaged shard placed on an address that is no longer a
+            // member (e.g. its node was replaced while this object's
+            // repair failed transiently) would be rebuilt and dropped
+            // every scrub cycle: re-target it to a live member first.
+            if !self.nodes.contains(&manifest.placement[i]) {
+                if let Some(target) = self.spare_member(object, &manifest.placement) {
+                    manifest.placement[i] = target;
+                    retargeted.push(i);
+                }
+            }
+            let shard = shards[i].as_deref().expect("reconstructed");
+            match conns.with(&manifest.placement[i], |c| {
+                c.put(&shard_key(object, i), shard)
+            }) {
+                Ok(()) => report.repaired.push(i),
+                Err(_) => report.unplaced.push(i),
+            }
+        }
+        if !retargeted.is_empty() {
+            // The shard map changed: publish it. Required on the nodes
+            // that just accepted re-targeted shards (they proved alive;
+            // without the manifest their shards are undiscoverable),
+            // best-effort elsewhere.
+            manifest.generation += 1;
+            let bytes = manifest.to_bytes();
+            let key = manifest_key(object);
+            for addr in &self.nodes {
+                let required = retargeted
+                    .iter()
+                    .any(|&i| &manifest.placement[i] == addr && report.repaired.contains(&i));
+                match conns.with(addr, |c| c.put(&key, &bytes)) {
+                    Ok(()) => {}
+                    Err(e) if required => return Err(e),
+                    Err(_) => {}
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// The highest-ranked member (for `object`'s rendezvous ordering)
+    /// not already in `placement` — the natural home for a shard whose
+    /// recorded node left the cluster.
+    fn spare_member(&self, object: &str, placement: &[String]) -> Option<String> {
+        placement::rank_nodes(object, &self.nodes)
+            .into_iter()
+            .map(|i| self.nodes[i].clone())
+            .find(|addr| !placement.contains(addr))
+    }
+
+    /// Run a scrub and repair every damaged object it found. Returns
+    /// the scrub report and the per-object repair outcomes — including
+    /// failed attempts, so an object that *stayed* broken is
+    /// distinguishable from one never attempted.
+    pub fn scrub_and_repair(
+        &self,
+    ) -> Result<(ClusterScrubReport, Vec<RepairOutcome>), StoreError> {
+        let mut conns = self.conns();
+        let scrub = self.scrub_via(&mut conns)?;
+        let mut repairs = Vec::new();
+        for damaged in scrub.damaged_objects() {
+            let outcome = self
+                .repair_object_via(&mut conns, &damaged.object)
+                .map_err(|e| e.to_string());
+            repairs.push((damaged.object.clone(), outcome));
+        }
+        Ok((scrub, repairs))
+    }
+
+    /// Rebuild every shard that lived on `dead` onto `replacement`
+    /// (which may equal `dead` for a node that came back empty), update
+    /// the manifests, and swap the membership. Objects that cannot be
+    /// repaired right now (too few survivors) are reported, not fatal.
+    pub fn repair_node(
+        &mut self,
+        dead: &str,
+        replacement: &str,
+    ) -> Result<NodeRepairReport, StoreError> {
+        let dead_pos = self.nodes.iter().position(|a| a == dead);
+        let replacement_member = self.nodes.iter().any(|a| a == replacement);
+        match dead_pos {
+            Some(_) => {
+                if replacement != dead && replacement_member {
+                    return Err(StoreError::InvalidArg(format!(
+                        "{replacement} is already a cluster member"
+                    )));
+                }
+            }
+            // Retry path: an earlier (partially failed) repair already
+            // swapped the membership. Re-running with the same pair is
+            // allowed and finishes the objects that failed then.
+            None if replacement_member => {}
+            None => {
+                return Err(StoreError::InvalidArg(format!(
+                    "{dead} is not a cluster member"
+                )));
+            }
+        }
+        if replacement.len() > crate::manifest::MAX_ADDR {
+            return Err(StoreError::InvalidArg("replacement address too long".into()));
+        }
+        let mut conns = self.conns();
+        let objects = self.objects_via(&mut conns, Some(dead))?;
+        let mut report = NodeRepairReport::default();
+        for object in &objects {
+            report.objects_scanned += 1;
+            match self.repair_object_onto(&mut conns, object, dead, replacement, &mut report) {
+                Ok(()) => {}
+                // Tombstoned (deleted) objects need no repair.
+                Err(StoreError::NotFound(_)) => {}
+                Err(e) => report.failed.push((object.clone(), e.to_string())),
+            }
+        }
+        if let Some(pos) = dead_pos {
+            self.nodes[pos] = replacement.to_string();
+        }
+        Ok(report)
+    }
+
+    fn repair_object_onto(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+        dead: &str,
+        replacement: &str,
+        report: &mut NodeRepairReport,
+    ) -> Result<(), StoreError> {
+        let mut manifest = self.fetch_manifest(conns, object, Some(dead))?;
+        self.check_geometry(object, &manifest)?;
+        let total = manifest.total_shards();
+        let affected: Vec<usize> =
+            (0..total).filter(|&i| manifest.placement[i] == dead).collect();
+        if !affected.is_empty() {
+            let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
+            for (i, slot) in shards.iter_mut().enumerate() {
+                if manifest.placement[i] == dead {
+                    continue; // that's the node we're replacing
+                }
+                *slot = self.fetch_shard(conns, object, &manifest, i).ok();
+            }
+            let have = shards.iter().flatten().count();
+            if have < self.codec.data_shards() {
+                return Err(StoreError::Unavailable {
+                    object: object.to_string(),
+                    needed: self.codec.data_shards(),
+                    have,
+                });
+            }
+            // `reconstruct` rebuilds every missing shard; only the dead
+            // node's shards are (re)placed here — other damage belongs
+            // to other repairs.
+            self.codec.reconstruct(&mut shards)?;
+            for &i in &affected {
+                let shard = shards[i].as_deref().expect("reconstructed");
+                conns.with(replacement, |c| c.put(&shard_key(object, i), shard))?;
+                manifest.placement[i] = replacement.to_string();
+                report.shards_rebuilt += 1;
+                report.bytes_rebuilt += shard.len() as u64;
+            }
+        }
+        let key = manifest_key(object);
+        if affected.is_empty() {
+            // Nothing moved: the manifest is unchanged, so no
+            // generation bump and no cluster-wide republish — the
+            // replacement just needs its discovery copy seeded.
+            let bytes = manifest.to_bytes();
+            conns.with(replacement, |c| c.put(&key, &bytes))?;
+            return Ok(());
+        }
+        // The shard map changed: refresh it on the post-repair
+        // membership. Only the replacement is *required* to accept it
+        // (it just proved alive; without a manifest its new shards are
+        // undiscoverable) — other nodes may themselves be dead
+        // mid-multi-failure, and their stale replicas lose the
+        // generation vote until their own repair refreshes them.
+        manifest.generation += 1;
+        let bytes = manifest.to_bytes();
+        for addr in self.nodes.iter().map(String::as_str) {
+            let addr = if addr == dead { replacement } else { addr };
+            match conns.with(addr, |c| c.put(&key, &bytes)) {
+                Ok(()) => {}
+                Err(e) if addr == replacement => return Err(e),
+                Err(_) => {}
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,75 @@
+//! `ec-store` — a networked erasure-coded object store on top of the
+//! `ec-core` codec: the HDFS-style deployment the paper's introduction
+//! motivates, where the SLP-optimized codec is fast enough that the
+//! *system around it* is what needs engineering.
+//!
+//! The pieces:
+//!
+//! * **shard node** ([`NodeHandle`]): a directory-backed blob store
+//!   served over a length-prefixed, CRC-framed binary protocol on plain
+//!   `std::net` TCP (`docs/STORE.md`) — acceptor + worker-thread model,
+//!   hostile-input hardened, blobs stored as CRC-trailed frames so
+//!   bit-rot is attributable per shard;
+//! * **cluster client** ([`Cluster`]): deterministic rendezvous
+//!   placement with replicated shard-map [`Manifest`]s, striped `put`,
+//!   `get` with **degraded reads** (any `n` of `n + p` live nodes
+//!   reconstruct through the decode-program LRU), delta `overwrite`
+//!   (changed shards + per-column parity updates, not a full re-put),
+//!   and online `repair_node` onto a replacement;
+//! * **scrub** ([`ScrubScheduler`]): periodic end-to-end verification —
+//!   per-shard manifest CRCs plus chunk-wise data↔parity re-encode —
+//!   with automatic repair of what it finds;
+//! * the `xorslp-store` CLI wiring `serve` / `put` / `get` / `overwrite`
+//!   / `delete` / `list` / `health` / `repair` / `scrub`.
+//!
+//! ```
+//! use ec_core::RsConfig;
+//! use ec_store::{Cluster, NodeHandle};
+//! use std::time::Duration;
+//!
+//! // Three in-process loopback nodes (dir-backed, ephemeral ports).
+//! let dir = std::env::temp_dir().join(format!("ec_store_doctest_{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut nodes: Vec<NodeHandle> = (0..3)
+//!     .map(|i| NodeHandle::spawn(&dir.join(format!("node{i}")), "127.0.0.1:0", 2).unwrap())
+//!     .collect();
+//! let addrs: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+//!
+//! // RS(2, 1): any single node may die.
+//! let cluster = Cluster::new(addrs, RsConfig::new(2, 1))
+//!     .unwrap()
+//!     .with_timeout(Duration::from_secs(2));
+//! let payload: Vec<u8> = (0..100_000u32).map(|i| (i * 7) as u8).collect();
+//! cluster.put("demo", &payload).unwrap();
+//!
+//! // Kill one node: reads degrade transparently.
+//! nodes.remove(0).shutdown();
+//! assert_eq!(cluster.get("demo").unwrap(), payload);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+mod blob;
+mod client;
+mod cluster;
+mod error;
+mod manifest;
+mod node;
+mod placement;
+pub mod proto;
+mod scrub;
+
+pub use blob::{BlobError, BlobStat, BlobStore, BLOB_MAGIC, BLOB_OVERHEAD};
+pub use client::{NodeClient, NodeHealth};
+pub use cluster::{
+    Cluster, ClusterHealth, ClusterScrubReport, GetReport, NodeRepairReport,
+    ObjectRepairReport, ObjectScrub, OverwriteMode, OverwriteReport, PutReport,
+    RepairOutcome, ShardHealth, DEFAULT_TIMEOUT,
+};
+pub use error::{RemoteErrorCode, StoreError};
+pub use manifest::{
+    manifest_key, parse_record, shard_key, tombstone_bytes, Manifest, ManifestRecord,
+    MANIFEST_MAGIC, MANIFEST_VERSION, MAX_OBJECT_NAME, TOMBSTONE_MAGIC,
+};
+pub use node::NodeHandle;
+pub use placement::{rank_nodes, score};
+pub use scrub::{ScrubCycle, ScrubScheduler};

@@ -1,0 +1,329 @@
+//! The shard-map manifest: where an object's shards live and what bytes
+//! they must contain.
+//!
+//! A manifest is written at `put` time and replicated to every cluster
+//! node under key `m:<object>`; each shard lives under `s:<idx>:<object>`
+//! on the node the manifest names. The per-shard CRC-32s recorded here
+//! are the *end-to-end* ground truth for scrub: a shard whose blob frame
+//! is internally consistent but whose content no longer matches the
+//! manifest is attributably damaged (rewritten or rotted before its
+//! frame CRC was computed), which is what lets scrub name the lying
+//! shard instead of only proving "data and parity disagree".
+
+use crate::error::StoreError;
+use crate::proto::{put_str, PayloadReader, MAX_KEY};
+use ec_wire::crc32;
+
+/// Magic prefix of the serialized manifest.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"XSLPECM1";
+
+/// Serialization version.
+pub const MANIFEST_VERSION: u8 = 1;
+
+/// Upper bound on one node address string in a manifest.
+pub const MAX_ADDR: usize = 256;
+
+/// Upper bound on an object name: the shard key `s:NNN:<object>` must
+/// fit the protocol's key cap.
+pub const MAX_OBJECT_NAME: usize = MAX_KEY - 7;
+
+/// Key of an object's manifest blob.
+pub fn manifest_key(object: &str) -> String {
+    format!("m:{object}")
+}
+
+/// Key of shard `index` of an object.
+pub fn shard_key(object: &str, index: usize) -> String {
+    format!("s:{index:03}:{object}")
+}
+
+/// Validate a caller-supplied object name against the key grammar.
+pub fn validate_object_name(object: &str) -> Result<(), StoreError> {
+    if object.is_empty() {
+        return Err(StoreError::InvalidArg("object name must not be empty".into()));
+    }
+    if object.len() > MAX_OBJECT_NAME {
+        return Err(StoreError::InvalidArg(format!(
+            "object name of {} bytes exceeds the cap of {MAX_OBJECT_NAME}",
+            object.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Magic prefix of a serialized tombstone: a deleted object's grave
+/// marker, stored under the object's manifest key. Deleting the `m:`
+/// blobs outright would let a node that slept through the delete
+/// resurrect the object with its surviving replica; a tombstone instead
+/// *outvotes* stale manifests in the generation election.
+pub const TOMBSTONE_MAGIC: [u8; 8] = *b"XSLPECT1";
+
+/// A stored manifest-key record: a live shard map or a tombstone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ManifestRecord {
+    Live(Manifest),
+    Tombstone { generation: u64 },
+}
+
+/// Serialize a tombstone at `generation`
+/// (`magic ‖ version ‖ u64 generation ‖ crc32`).
+pub fn tombstone_bytes(generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(TOMBSTONE_MAGIC.len() + 13);
+    out.extend_from_slice(&TOMBSTONE_MAGIC);
+    out.push(MANIFEST_VERSION);
+    out.extend_from_slice(&generation.to_le_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parse either record form stored under a manifest key.
+pub fn parse_record(bytes: &[u8]) -> Result<ManifestRecord, StoreError> {
+    if !bytes.starts_with(&TOMBSTONE_MAGIC) {
+        return Manifest::from_bytes(bytes).map(ManifestRecord::Live);
+    }
+    let expect = TOMBSTONE_MAGIC.len() + 1 + 8 + 4;
+    if bytes.len() != expect {
+        return Err(StoreError::Manifest(format!(
+            "tombstone of {} bytes, expected {expect}",
+            bytes.len()
+        )));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    if u32::from_le_bytes(trailer.try_into().expect("fixed slice")) != crc32(body) {
+        return Err(StoreError::Manifest("tombstone checksum mismatch".into()));
+    }
+    let version = body[TOMBSTONE_MAGIC.len()];
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::Manifest(format!(
+            "unsupported tombstone version {version} (this build reads {MANIFEST_VERSION})"
+        )));
+    }
+    let generation = u64::from_le_bytes(
+        body[TOMBSTONE_MAGIC.len() + 1..].try_into().expect("fixed slice"),
+    );
+    Ok(ManifestRecord::Tombstone { generation })
+}
+
+/// One object's shard map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Data shards `n` of the RS(n, p) code the object was encoded with.
+    pub data_shards: u16,
+    /// Parity shards `p`.
+    pub parity_shards: u16,
+    /// Monotonic write generation: every `put`, delta `overwrite` and
+    /// node repair bumps it, and readers prefer the highest-generation
+    /// replica — a node that slept through a write serves a *stale*
+    /// manifest, and without this counter stale and current replicas
+    /// are indistinguishable.
+    pub generation: u64,
+    /// Exact byte length of the object.
+    pub object_len: u64,
+    /// Byte length of every shard (packet-aligned; zero for an empty
+    /// object).
+    pub shard_len: u64,
+    /// `placement[i]` is the address of the node holding shard `i`
+    /// (`0..n` data, `n..n+p` parity).
+    pub placement: Vec<String>,
+    /// `shard_crc[i]` is the CRC-32 of shard `i`'s exact bytes.
+    pub shard_crc: Vec<u32>,
+}
+
+impl Manifest {
+    /// Total shards `n + p`.
+    pub fn total_shards(&self) -> usize {
+        self.data_shards as usize + self.parity_shards as usize
+    }
+
+    /// Serialize to the wire/blob form (little-endian fields, trailing
+    /// CRC-32 over everything before it).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.placement.len() * 32);
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.push(MANIFEST_VERSION);
+        out.extend_from_slice(&self.data_shards.to_le_bytes());
+        out.extend_from_slice(&self.parity_shards.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.object_len.to_le_bytes());
+        out.extend_from_slice(&self.shard_len.to_le_bytes());
+        for (addr, crc) in self.placement.iter().zip(&self.shard_crc) {
+            put_str(&mut out, addr);
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse and validate the wire/blob form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        let bad = |msg: String| StoreError::Manifest(msg);
+        if bytes.len() < MANIFEST_MAGIC.len() + 4 {
+            return Err(bad("manifest too short".into()));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("fixed slice"));
+        if stored != crc32(body) {
+            return Err(bad("manifest checksum mismatch".into()));
+        }
+        let mut r = PayloadReader::new(body);
+        let parse = |r: &mut PayloadReader| -> Result<Manifest, String> {
+            let mut magic = [0u8; 8];
+            for b in &mut magic {
+                *b = r.u8()?;
+            }
+            if magic != MANIFEST_MAGIC {
+                return Err("bad manifest magic".into());
+            }
+            let version = r.u8()?;
+            if version != MANIFEST_VERSION {
+                return Err(format!(
+                    "unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"
+                ));
+            }
+            let data_shards = r.u16()?;
+            let parity_shards = r.u16()?;
+            let generation = r.u64()?;
+            let object_len = r.u64()?;
+            let shard_len = r.u64()?;
+            let total = data_shards as usize + parity_shards as usize;
+            if data_shards == 0 || parity_shards == 0 || total > 255 {
+                return Err(format!(
+                    "invalid geometry RS({data_shards}, {parity_shards})"
+                ));
+            }
+            if shard_len % 8 != 0 {
+                return Err(format!("shard length {shard_len} is not packet-aligned"));
+            }
+            if shard_len.checked_mul(data_shards as u64).is_none_or(|c| c < object_len) {
+                return Err(format!(
+                    "{data_shards} shards of {shard_len} bytes cannot hold a \
+                     {object_len}-byte object"
+                ));
+            }
+            let mut placement = Vec::with_capacity(total);
+            let mut shard_crc = Vec::with_capacity(total);
+            for _ in 0..total {
+                placement.push(r.str_bounded(MAX_ADDR, "node address")?.to_string());
+                shard_crc.push(r.u32()?);
+            }
+            Ok(Manifest {
+                data_shards,
+                parity_shards,
+                generation,
+                object_len,
+                shard_len,
+                placement,
+                shard_crc,
+            })
+        };
+        let manifest = parse(&mut r).map_err(bad)?;
+        r.finish().map_err(bad)?;
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            data_shards: 4,
+            parity_shards: 2,
+            generation: 3,
+            object_len: 1000,
+            shard_len: 256,
+            placement: (0..6).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect(),
+            shard_crc: (0..6).map(|i| 0xDEAD_0000 + i).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let m = sample();
+        assert_eq!(Manifest::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_object_roundtrips() {
+        let m = Manifest { object_len: 0, shard_len: 0, ..sample() };
+        assert_eq!(Manifest::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let bytes = sample().to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                Manifest::from_bytes(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_magnitudes_rejected() {
+        // CRC-valid but geometrically absurd manifests must fail the
+        // magnitude checks, not demand giant buffers downstream.
+        let absurd = Manifest {
+            data_shards: 200,
+            parity_shards: 200,
+            ..sample()
+        };
+        assert!(matches!(
+            Manifest::from_bytes(&absurd.to_bytes()),
+            Err(StoreError::Manifest(_))
+        ));
+        let cannot_hold = Manifest { object_len: u64::MAX, shard_len: 8, ..sample() };
+        assert!(Manifest::from_bytes(&cannot_hold.to_bytes()).is_err());
+        let unaligned = Manifest { shard_len: 12, ..sample() };
+        assert!(Manifest::from_bytes(&unaligned.to_bytes()).is_err());
+        let zero_parity = Manifest { parity_shards: 0, shard_crc: vec![0; 4], placement: sample().placement[..4].to_vec(), ..sample() };
+        assert!(Manifest::from_bytes(&zero_parity.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Manifest::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn tombstones_roundtrip_and_reject_damage() {
+        let bytes = tombstone_bytes(42);
+        assert_eq!(
+            parse_record(&bytes).unwrap(),
+            ManifestRecord::Tombstone { generation: 42 }
+        );
+        // A live manifest parses as Live through the same entry point.
+        assert_eq!(
+            parse_record(&sample().to_bytes()).unwrap(),
+            ManifestRecord::Live(sample())
+        );
+        // Any bit flip or truncation is detected.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x04;
+            assert!(parse_record(&bad).is_err(), "flip at byte {i}");
+        }
+        for cut in 8..bytes.len() {
+            assert!(parse_record(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn keys_and_names() {
+        assert_eq!(manifest_key("obj"), "m:obj");
+        assert_eq!(shard_key("obj", 7), "s:007:obj");
+        validate_object_name("obj").unwrap();
+        assert!(validate_object_name("").is_err());
+        assert!(validate_object_name(&"x".repeat(MAX_OBJECT_NAME + 1)).is_err());
+        validate_object_name(&"x".repeat(MAX_OBJECT_NAME)).unwrap();
+    }
+}

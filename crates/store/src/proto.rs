@@ -1,0 +1,454 @@
+//! The shard-node wire protocol: length-prefixed, CRC-framed request /
+//! response messages over TCP (`docs/STORE.md` is the normative spec).
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! ┌────────────┬──────────────────────────────┬───────────────┐
+//! │ u32 LE len │ body (len bytes)             │ u32 LE CRC-32 │
+//! │            │  [0] version  [1] tag        │ of the body   │
+//! │            │  [2..] payload               │               │
+//! └────────────┴──────────────────────────────┴───────────────┘
+//! ```
+//!
+//! The reader is hostile-input hardened: the length prefix is bounded by
+//! [`MAX_BODY`] *before* any allocation, the CRC covers the whole body,
+//! and every parse failure is a typed error — a node never panics on
+//! line noise and never allocates more than the cap for a single frame.
+
+use crate::error::{RemoteErrorCode, StoreError};
+use std::io::{Read, Write};
+
+/// Protocol version byte carried in every frame.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on a frame body (version + tag + payload). Shard payloads
+/// dominate; 64 MiB bounds a single object shard, and a hostile length
+/// prefix beyond it is rejected before any buffer is sized from it.
+pub const MAX_BODY: usize = 64 << 20;
+
+/// Upper bound on a blob key. Keys are hex-encoded into node-local file
+/// names, so this also keeps the encoded name well under the common
+/// 255-byte file-name limit.
+pub const MAX_KEY: usize = 100;
+
+/// Request opcodes (frame tag byte, client → node).
+pub mod op {
+    /// Store a blob: `[u16 key_len][key][payload…]`.
+    pub const PUT_SHARD: u8 = 0x01;
+    /// Fetch a blob: `[u16 key_len][key]`.
+    pub const GET_SHARD: u8 = 0x02;
+    /// Delete a blob: `[u16 key_len][key]`.
+    pub const DELETE: u8 = 0x03;
+    /// List keys by prefix: `[u16 prefix_len][prefix]`.
+    pub const LIST: u8 = 0x04;
+    /// Blob metadata + integrity: `[u16 key_len][key]`.
+    pub const STAT: u8 = 0x05;
+    /// Node liveness and usage: empty payload.
+    pub const HEALTH: u8 = 0x06;
+}
+
+/// Response tags (node → client).
+pub mod status {
+    /// Success; payload is operation-specific.
+    pub const OK: u8 = 0x80;
+    /// Failure; payload is `[u8 code][u16 msg_len][msg]`.
+    pub const ERR: u8 = 0x81;
+}
+
+/// Why reading a frame failed. `Eof` (clean close before the first
+/// length byte) is the normal end of a connection; everything else is a
+/// protocol violation or a transport failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly between frames.
+    Eof,
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_BODY`] (or is too short to hold
+    /// the version and tag bytes).
+    BadLength(u32),
+    /// The body checksum does not match.
+    BadCrc,
+    /// Unsupported protocol version byte.
+    BadVersion(u8),
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+}
+
+impl FrameError {
+    /// Human-readable detail for error responses and logs.
+    pub fn detail(&self) -> String {
+        match self {
+            FrameError::Eof => "connection closed".into(),
+            FrameError::Truncated => "stream ended mid-frame".into(),
+            FrameError::BadLength(len) => {
+                format!("frame length {len} outside 2..={MAX_BODY}")
+            }
+            FrameError::BadCrc => "frame checksum mismatch".into(),
+            FrameError::BadVersion(v) => {
+                format!("unsupported protocol version {v} (this build speaks {PROTO_VERSION})")
+            }
+            FrameError::Io(e) => format!("i/o error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+            _ => FrameError::Io(e),
+        }
+    }
+}
+
+impl From<FrameError> for StoreError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => StoreError::Io(io),
+            other => StoreError::Protocol(other.detail()),
+        }
+    }
+}
+
+/// A parsed frame: the tag byte and the payload after version + tag.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Frame {
+    pub tag: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Write one frame (`tag` + concatenated `parts`) to the stream.
+///
+/// Taking the payload in parts lets callers frame a shard without first
+/// copying it into one contiguous buffer.
+pub fn write_frame(w: &mut impl Write, tag: u8, parts: &[&[u8]]) -> std::io::Result<()> {
+    let payload_len: usize = parts.iter().map(|p| p.len()).sum();
+    let body_len = payload_len + 2;
+    assert!(body_len <= MAX_BODY, "frame payload exceeds MAX_BODY");
+    let mut crc = ec_wire::Crc32::new();
+    crc.update(&[PROTO_VERSION, tag]);
+    for part in parts {
+        crc.update(part);
+    }
+    w.write_all(&(body_len as u32).to_le_bytes())?;
+    w.write_all(&[PROTO_VERSION, tag])?;
+    for part in parts {
+        w.write_all(part)?;
+    }
+    w.write_all(&crc.finish().to_le_bytes())?;
+    w.flush()
+}
+
+/// Read and validate one frame.
+///
+/// The length prefix is checked against [`MAX_BODY`] before the body
+/// buffer is allocated, so a hostile peer cannot make the node reserve
+/// more than the cap.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    read_exact_or_eof(r, &mut len_bytes)?;
+    let body_len = u32::from_le_bytes(len_bytes);
+    if body_len < 2 || body_len as usize > MAX_BODY {
+        return Err(FrameError::BadLength(body_len));
+    }
+    // Version + tag are read separately so the payload lands in its own
+    // exact-size buffer — no post-hoc drain() memmove of a potentially
+    // 64 MiB shard to strip two header bytes.
+    let mut head = [0u8; 2];
+    r.read_exact(&mut head)?;
+    let mut payload = vec![0u8; body_len as usize - 2];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let mut crc = ec_wire::Crc32::new();
+    crc.update(&head);
+    crc.update(&payload);
+    if u32::from_le_bytes(crc_bytes) != crc.finish() {
+        return Err(FrameError::BadCrc);
+    }
+    if head[0] != PROTO_VERSION {
+        return Err(FrameError::BadVersion(head[0]));
+    }
+    Ok(Frame { tag: head[1], payload })
+}
+
+/// Read exactly `buf.len()` bytes, mapping a clean close *before the
+/// first byte* to [`FrameError::Eof`] (the normal end of a connection)
+/// and a close mid-buffer to [`FrameError::Truncated`].
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    FrameError::Eof
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Payload helpers: the `[u16 len][bytes]` strings used by every opcode.
+// ---------------------------------------------------------------------
+
+/// Append a length-prefixed string to a payload under construction.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a received payload with typed, bounds-checked reads.
+/// Every failure is a `BadRequest`-grade parse error, never a panic.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8]) -> PayloadReader<'a> {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let r = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        r
+    }
+
+    pub fn u8(&mut self) -> Result<u8, String> {
+        let b = *self.buf.get(self.pos).ok_or("payload truncated")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.array()?))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        let end = self.pos.checked_add(N).ok_or("payload truncated")?;
+        let slice = self.buf.get(self.pos..end).ok_or("payload truncated")?;
+        self.pos = end;
+        Ok(slice.try_into().expect("length checked"))
+    }
+
+    /// A `[u16 len][bytes]` string, validated as UTF-8 and bounded by
+    /// `max` bytes.
+    pub fn str_bounded(&mut self, max: usize, what: &str) -> Result<&'a str, String> {
+        let len = self.u16()? as usize;
+        if len > max {
+            return Err(format!("{what} length {len} exceeds the cap of {max}"));
+        }
+        let end = self.pos.checked_add(len).ok_or("payload truncated")?;
+        let bytes = self.buf.get(self.pos..end).ok_or("payload truncated")?;
+        self.pos = end;
+        std::str::from_utf8(bytes).map_err(|_| format!("{what} is not valid UTF-8"))
+    }
+
+    /// A blob key (bounded by [`MAX_KEY`]).
+    pub fn key(&mut self) -> Result<&'a str, String> {
+        let key = self.str_bounded(MAX_KEY, "key")?;
+        if key.is_empty() {
+            return Err("key must not be empty".into());
+        }
+        Ok(key)
+    }
+
+    /// Assert the payload is fully consumed (trailing garbage is a
+    /// malformed request, not something to silently ignore).
+    pub fn finish(self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after the payload",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Build the payload of an `ERR` response.
+pub fn err_payload(code: RemoteErrorCode, message: &str) -> Vec<u8> {
+    // Truncate pathological messages — on a char boundary, since the
+    // receiver validates the message as UTF-8 and a split multi-byte
+    // character would turn a clean typed error into "malformed frame".
+    let mut end = message.len().min(512);
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    let msg = &message.as_bytes()[..end];
+    let mut out = Vec::with_capacity(3 + msg.len());
+    out.push(code as u8);
+    out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Parse an `ERR` payload into a [`StoreError::Remote`].
+pub fn parse_err(payload: &[u8]) -> StoreError {
+    let mut r = PayloadReader::new(payload);
+    let parsed = (|| -> Result<StoreError, String> {
+        let code = r.u8()?;
+        let msg = r.str_bounded(u16::MAX as usize, "error message")?;
+        let code = RemoteErrorCode::from_wire(code)
+            .ok_or_else(|| format!("unknown error code {code}"))?;
+        Ok(StoreError::Remote { code, message: msg.to_string() })
+    })();
+    parsed.unwrap_or_else(|e| StoreError::Protocol(format!("malformed ERR frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_wire::crc32;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, op::PUT_SHARD, &[b"abc", b"", b"defg"]).unwrap();
+        let frame = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(frame.tag, op::PUT_SHARD);
+        assert_eq!(frame.payload, b"abcdefg");
+    }
+
+    #[test]
+    fn clean_eof_between_frames() {
+        assert!(matches!(
+            read_frame(&mut Cursor::new(Vec::new())),
+            Err(FrameError::Eof)
+        ));
+    }
+
+    #[test]
+    fn truncation_everywhere_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, op::HEALTH, &[b"xy"]).unwrap();
+        // Cutting the stream at every byte boundary: the first 0..4 bytes
+        // are a truncated length prefix (or clean EOF at 0); everything
+        // after is a truncated body/CRC.
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_rejected_before_allocation() {
+        // A 4 GiB length prefix followed by nothing: must fail on the
+        // *length check*, not by attempting the allocation (the cursor
+        // has no further bytes, so an attempted read would report
+        // truncation instead).
+        let mut buf = Vec::from(u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(FrameError::BadLength(u32::MAX))
+        ));
+        // Lengths too short for version + tag are equally invalid.
+        for short in [0u32, 1] {
+            let buf = short.to_le_bytes();
+            assert!(matches!(
+                read_frame(&mut Cursor::new(&buf)),
+                Err(FrameError::BadLength(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn corrupt_body_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, op::GET_SHARD, &[b"key"]).unwrap();
+        for flip in 4..buf.len() {
+            let mut bad = buf.clone();
+            bad[flip] ^= 0x20;
+            let err = read_frame(&mut Cursor::new(&bad)).unwrap_err();
+            assert!(
+                matches!(err, FrameError::BadCrc),
+                "flip at {flip}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_detected_after_crc() {
+        // A well-formed frame of a future protocol version: CRC valid,
+        // version byte unsupported.
+        let body = [9u8, op::HEALTH];
+        let mut buf = Vec::from((body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        buf.extend_from_slice(&crc32(&body).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(FrameError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn payload_reader_bounds_everything() {
+        let mut payload = Vec::new();
+        put_str(&mut payload, "hello");
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        let mut r = PayloadReader::new(&payload);
+        assert_eq!(r.key().unwrap(), "hello");
+        assert_eq!(r.u32().unwrap(), 7);
+        r.finish().unwrap();
+
+        // Truncated string
+        let mut r = PayloadReader::new(&[5, 0, b'a']);
+        assert!(r.str_bounded(100, "s").is_err());
+        // Over-cap key
+        let mut long = Vec::new();
+        put_str(&mut long, &"k".repeat(MAX_KEY + 1));
+        assert!(PayloadReader::new(&long).key().is_err());
+        // Empty key
+        let mut empty = Vec::new();
+        put_str(&mut empty, "");
+        assert!(PayloadReader::new(&empty).key().is_err());
+        // Trailing garbage
+        let mut r = PayloadReader::new(&[1, 2, 3]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.finish().is_err());
+        // Invalid UTF-8
+        let mut r = PayloadReader::new(&[2, 0, 0xFF, 0xFE]);
+        assert!(r.str_bounded(100, "s").unwrap_err().contains("UTF-8"));
+    }
+
+    #[test]
+    fn err_frames_roundtrip() {
+        let payload = err_payload(RemoteErrorCode::NotFound, "no such key");
+        match parse_err(&payload) {
+            StoreError::Remote { code, message } => {
+                assert_eq!(code, RemoteErrorCode::NotFound);
+                assert_eq!(message, "no such key");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown code or malformed payload degrade to Protocol, not a
+        // panic.
+        assert!(matches!(parse_err(&[99, 0, 0]), StoreError::Protocol(_)));
+        assert!(matches!(parse_err(&[]), StoreError::Protocol(_)));
+    }
+}

@@ -11,7 +11,7 @@ use crate::decode::{refill_shards, ChunkScanner, ExtractReport, StreamDecoder};
 use crate::encode::StreamEncoder;
 use crate::error::StreamError;
 use crate::format::{ArchiveMeta, ShardHeader};
-use crate::crc::crc32;
+use ec_wire::crc32;
 use ec_core::{RsCodec, RsConfig};
 use std::collections::HashMap;
 use std::fs::{self, File};

@@ -1,7 +1,7 @@
 //! [`StreamDecoder`]: rebuild the original byte stream from whatever
 //! shard streams survive, chunk by chunk, in bounded memory.
 
-use crate::crc::crc32;
+use ec_wire::crc32;
 use crate::error::StreamError;
 use crate::format::{ArchiveMeta, FRAME_TRAILER_LEN};
 use ec_core::RsCodec;

@@ -9,7 +9,7 @@
 //! allocates nothing per chunk; pooled codecs pipeline each chunk's XOR
 //! program across the striped execution engine.
 
-use crate::crc::crc32;
+use ec_wire::crc32;
 use crate::error::StreamError;
 use crate::format::{ArchiveMeta, ShardHeader, HEADER_LEN};
 use ec_core::RsCodec;

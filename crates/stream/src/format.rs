@@ -8,7 +8,7 @@
 //! so shards are recoverable without side-channel files and truncation is
 //! detectable from the length.
 
-use crate::crc::crc32;
+use ec_wire::crc32;
 use crate::error::StreamError;
 use std::io::{Read, Write};
 

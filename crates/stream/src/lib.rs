@@ -51,7 +51,6 @@
 //! ```
 
 mod archive;
-mod crc;
 mod decode;
 mod encode;
 mod error;
@@ -60,7 +59,9 @@ mod format;
 pub use archive::{
     shard_file_name, Archive, RepairReport, ScrubReport, ShardState, VerifyReport,
 };
-pub use crc::{crc32, Crc32};
+// CRC-32 now lives in `ec-wire` (shared with the `ec-store` protocol);
+// re-exported here so existing `ec_stream::crc32` callers keep working.
+pub use ec_wire::{crc32, Crc32};
 pub use decode::{ExtractReport, StreamDecoder};
 pub use encode::StreamEncoder;
 pub use error::StreamError;

@@ -1,9 +1,10 @@
 //! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the integrity checksum
-//! of the shard format.
+//! of the shard-file format (`docs/FORMAT.md`) and the object-store wire
+//! protocol (`docs/STORE.md`).
 //!
 //! Implemented here (table-driven, table built at compile time) rather
 //! than pulled in as a dependency: the workspace builds offline, and the
-//! format spec (`docs/FORMAT.md`) pins the exact algorithm so shards stay
+//! format specs pin the exact algorithm so shards and frames stay
 //! readable by any implementation.
 
 /// The reflected polynomial of CRC-32 (IEEE).

@@ -1,0 +1,14 @@
+//! `ec-wire` — the byte-level primitives shared by every durable or
+//! networked surface of the stack.
+//!
+//! The streaming archive format (`ec-stream`, `docs/FORMAT.md`) and the
+//! object-store wire protocol (`ec-store`, `docs/STORE.md`) both frame
+//! their payloads with CRC-32 so that bit-rot and line noise are
+//! *attributable*: a checksum lives next to the bytes it covers, and a
+//! mismatch names the damaged shard or the hostile frame instead of
+//! surfacing as garbage data. This crate is the single home of that
+//! checksum so the two formats can never drift apart.
+
+mod crc;
+
+pub use crc::{crc32, Crc32};

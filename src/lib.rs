@@ -19,6 +19,8 @@
 //! | [`runtime`] | `xor-runtime` | XOR kernels, arenas, blocked executor, [`ExecPool`] |
 //! | [`baseline`] | `gf-baseline` | ISA-L-style table-driven codec |
 //! | [`stream`] | `ec-stream` | streaming archives: shard format, scrub & repair |
+//! | [`store`] | `ec-store` | networked object store: shard nodes, placement, degraded reads, online repair |
+//! | [`wire`] | `ec-wire` | shared CRC-32 framing primitives |
 //!
 //! ## Quick start
 //!
@@ -81,9 +83,11 @@ pub use array_codes::{ArrayCodec, ArrayCodecError};
 pub use ec_core::{
     Compression, EcError, Kernel, MatrixKind, OptConfig, RsCodec, RsConfig, Scheduling,
 };
+pub use ec_store::{Cluster, NodeHandle, ScrubScheduler, StoreError};
 pub use ec_stream::{
     Archive, ArchiveMeta, ShardState, StreamDecoder, StreamEncoder, StreamError,
 };
+pub use ec_wire::{crc32, Crc32};
 pub use xor_runtime::{plan_stripes, ExecPool, PoolChoice, StripePlan};
 
 /// The erasure codec (re-export of `ec-core`).
@@ -134,4 +138,17 @@ pub mod arrays {
 /// API (re-export of `ec-stream`).
 pub mod stream {
     pub use ec_stream::*;
+}
+
+/// The networked erasure-coded object store: shard nodes, rendezvous
+/// placement, degraded reads, delta overwrites, online repair and
+/// background scrub (re-export of `ec-store`).
+pub mod store {
+    pub use ec_store::*;
+}
+
+/// Shared byte-level primitives (CRC-32) of the archive format and the
+/// store wire protocol (re-export of `ec-wire`).
+pub mod wire {
+    pub use ec_wire::*;
 }
