@@ -19,6 +19,9 @@ pub enum ArrayCodecError {
     /// Surviving symbols do not determine the data (would indicate a bug
     /// in the code construction).
     Unsolvable { lost: Vec<usize> },
+    /// A repair-plan source disk required by
+    /// [`ArrayCodec::reconstruct_subset`] was not provided.
+    MissingSource { shard: usize },
 }
 
 impl fmt::Display for ArrayCodecError {
@@ -30,6 +33,9 @@ impl fmt::Display for ArrayCodecError {
             }
             ArrayCodecError::Unsolvable { lost } => {
                 write!(f, "surviving symbols do not determine the data (lost {lost:?})")
+            }
+            ArrayCodecError::MissingSource { shard } => {
+                write!(f, "repair-plan source disk {shard} was not provided")
             }
         }
     }
@@ -73,6 +79,8 @@ pub struct ArrayCodec {
     /// Per-disk delta-update programs (domain is `0..k`, so a plain map
     /// is already bounded).
     upd_cache: Mutex<HashMap<usize, Arc<UpdEntry>>>,
+    /// Single-parity-row re-encode programs (domain is `{0, 1}`).
+    row_cache: Mutex<HashMap<usize, Arc<UpdEntry>>>,
 }
 
 struct DecEntry {
@@ -140,6 +148,7 @@ impl ArrayCodec {
             ),
             dec_cache: Mutex::new(HashMap::new()),
             upd_cache: Mutex::new(HashMap::new()),
+            row_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -153,6 +162,11 @@ impl ArrayCodec {
     /// Number of data disks.
     pub fn data_shards(&self) -> usize {
         self.k
+    }
+
+    /// Number of parity disks (always 2 for these codes).
+    pub fn parity_shards(&self) -> usize {
+        2
     }
 
     /// Total disks (`k + 2`).
@@ -175,6 +189,11 @@ impl ArrayCodec {
         &self.enc_slp
     }
 
+    /// Whether this codec is EVENODD (as opposed to RDP).
+    pub fn is_evenodd(&self) -> bool {
+        self.kind == Kind::EvenOdd
+    }
+
     /// Human-readable code name.
     pub fn name(&self) -> String {
         match self.kind {
@@ -188,15 +207,63 @@ impl ArrayCodec {
         shard.chunks_exact(pl.max(1)).take(self.w).collect()
     }
 
+    /// The shard length [`ArrayCodec::encode`] produces for `data_len`
+    /// bytes: the smallest `w`-aligned length whose `k` shards cover the
+    /// data.
+    pub fn shard_len(&self, data_len: usize) -> usize {
+        data_len.div_ceil(self.k).div_ceil(self.w) * self.w
+    }
+
+    /// Split `data` into the `k` padded data shards [`ArrayCodec::encode`]
+    /// would produce, without computing parity (the authoritative
+    /// data→shard layout, mirroring `RsCodec::split_data`).
+    pub fn split_data(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = self.shard_len(data.len());
+        (0..self.k)
+            .map(|j| {
+                let mut shard = vec![0u8; shard_len];
+                let lo = (j * shard_len).min(data.len());
+                let hi = ((j + 1) * shard_len).min(data.len());
+                shard[..hi - lo].copy_from_slice(&data[lo..hi]);
+                shard
+            })
+            .collect()
+    }
+
     /// Encode a byte buffer into `k + 2` shards (zero-padded so the shard
     /// length is a multiple of `w`).
     pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, ArrayCodecError> {
-        let shard_len = data.len().div_ceil(self.k).div_ceil(self.w) * self.w;
-        let mut shards = vec![vec![0u8; shard_len]; self.k + 2];
+        let mut shards = vec![Vec::new(); self.k + 2];
+        self.encode_into(data, &mut shards)?;
+        Ok(shards)
+    }
+
+    /// [`ArrayCodec::encode`] into caller-owned shard buffers: each of
+    /// the `k + 2` vectors is resized to [`ArrayCodec::shard_len`] and
+    /// filled (data split + zero padding, then parity), retaining buffer
+    /// capacity across calls like `RsCodec::encode_into`.
+    pub fn encode_into(
+        &self,
+        data: &[u8],
+        shards: &mut [Vec<u8>],
+    ) -> Result<(), ArrayCodecError> {
+        if shards.len() != self.k + 2 {
+            return Err(ArrayCodecError::Shards(format!(
+                "expected {} shards, got {}",
+                self.k + 2,
+                shards.len()
+            )));
+        }
+        let shard_len = self.shard_len(data.len());
         for (j, shard) in shards.iter_mut().take(self.k).enumerate() {
+            shard.clear();
+            shard.resize(shard_len, 0);
             let lo = (j * shard_len).min(data.len());
             let hi = ((j + 1) * shard_len).min(data.len());
             shard[..hi - lo].copy_from_slice(&data[lo..hi]);
+        }
+        for shard in shards.iter_mut().skip(self.k) {
+            shard.resize(shard_len, 0);
         }
         if shard_len > 0 {
             let (d, q) = shards.split_at_mut(self.k);
@@ -215,7 +282,127 @@ impl ArrayCodec {
                 )
                 .expect("encode program shapes are fixed at construction");
         }
-        Ok(shards)
+        Ok(())
+    }
+
+    /// Validate `k` data refs + parity refs sharing one `w`-aligned
+    /// length; returns that length.
+    fn parity_prologue(
+        &self,
+        data: &[&[u8]],
+        parity: &[&mut [u8]],
+        parity_expected: usize,
+    ) -> Result<usize, ArrayCodecError> {
+        if data.len() != self.k {
+            return Err(ArrayCodecError::Shards(format!(
+                "expected {} data shards, got {}",
+                self.k,
+                data.len()
+            )));
+        }
+        if parity.len() != parity_expected {
+            return Err(ArrayCodecError::Shards(format!(
+                "expected {parity_expected} parity shards, got {}",
+                parity.len()
+            )));
+        }
+        let len = data.first().map_or(0, |s| s.len());
+        if data.iter().any(|s| s.len() != len)
+            || parity.iter().any(|s| s.len() != len)
+        {
+            return Err(ArrayCodecError::Shards(
+                "data and parity shard lengths differ".into(),
+            ));
+        }
+        if !len.is_multiple_of(self.w) {
+            return Err(ArrayCodecError::Shards(format!(
+                "shard length {len} is not a multiple of w = {}",
+                self.w
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Compute both parity shards from complete data shards, in place.
+    pub fn encode_parity(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), ArrayCodecError> {
+        let len = self.parity_prologue(data, parity, 2)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let pl = len / self.w;
+        let inputs: Vec<&[u8]> = data.iter().flat_map(|s| self.packets(s)).collect();
+        let mut outputs: Vec<&mut [u8]> = parity
+            .iter_mut()
+            .flat_map(|s| s.chunks_exact_mut(pl))
+            .collect();
+        self.enc_prog
+            .run_striped(&inputs, &mut outputs, self.pool.pool(), self.pool.workers())
+            .expect("encode program shapes are fixed at construction");
+        Ok(())
+    }
+
+    /// Build (or fetch) the re-encode program for a single parity disk:
+    /// that disk's `w` rows of the parity bit-matrix over all data
+    /// symbols.
+    fn row_entry(&self, row: usize) -> Arc<UpdEntry> {
+        if let Some(e) = self.row_cache.lock().expect("cache lock").get(&row) {
+            return e.clone();
+        }
+        let (k, w) = (self.k, self.w);
+        let block = self.generator.row_range(k * w + row * w, w);
+        let slp = optimize(&binary_slp_from_bitmatrix(&block), self.opt);
+        let prog = ExecProgram::compile(&slp, self.blocksize, self.kernel);
+        let entry = Arc::new(UpdEntry { slp, prog });
+        self.row_cache
+            .lock()
+            .expect("cache lock")
+            .insert(row, entry.clone());
+        entry
+    }
+
+    /// Re-encode a subset of the parity disks from complete data
+    /// (`rows` ⊆ `{0, 1}`, strictly increasing; `parity[t]` receives
+    /// parity disk `rows[t]`). Mirrors `RsCodec::encode_parity_partial`:
+    /// repairing one lost parity disk costs that disk's rows only.
+    pub fn encode_parity_partial(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        rows: &[usize],
+    ) -> Result<(), ArrayCodecError> {
+        if rows.is_empty() || !rows.windows(2).all(|p| p[0] < p[1]) {
+            return Err(ArrayCodecError::Shards(
+                "parity rows must be non-empty and strictly increasing".into(),
+            ));
+        }
+        if *rows.last().expect("non-empty") >= 2 {
+            return Err(ArrayCodecError::Shards(
+                "parity row index out of range (2 parity disks)".into(),
+            ));
+        }
+        if rows.len() == 2 {
+            return self.encode_parity(data, parity);
+        }
+        let len = self.parity_prologue(data, parity, 1)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let pl = len / self.w;
+        let entry = self.row_entry(rows[0]);
+        let inputs: Vec<&[u8]> = data.iter().flat_map(|s| self.packets(s)).collect();
+        let mut outputs: Vec<&mut [u8]> = parity
+            .iter_mut()
+            .flat_map(|s| s.chunks_exact_mut(pl))
+            .collect();
+        entry
+            .prog
+            .run_striped(&inputs, &mut outputs, self.pool.pool(), self.pool.workers())
+            .expect("row program shapes are fixed at construction");
+        Ok(())
     }
 
     /// Build (or fetch) the delta-update program for one data disk: the
@@ -441,6 +628,183 @@ impl ArrayCodec {
         }
         out.truncate(data_len);
         Ok(out)
+    }
+
+    /// The surviving disks a repair of `lost` must read: the disks the
+    /// decode program's inputs come from, plus — for lost parity disks —
+    /// every surviving data disk their generator rows touch (both array
+    /// codes' parity rows touch all data disks).
+    pub fn repair_sources(&self, lost: &[usize]) -> Result<Vec<usize>, ArrayCodecError> {
+        let mut lost: Vec<usize> = lost.to_vec();
+        lost.sort_unstable();
+        lost.dedup();
+        if lost.len() > 2 {
+            return Err(ArrayCodecError::TooManyErasures { missing: lost.len() });
+        }
+        let entry = self.decode_entry(&lost)?;
+        let mut sources: Vec<usize> = entry.inputs.iter().map(|&(d, _)| d).collect();
+        let (k, w) = (self.k, self.w);
+        for &d in lost.iter().filter(|&&d| d >= k) {
+            for r in 0..w {
+                for c in self.generator.ones_in_row(k * w + (d - k) * w + r) {
+                    let disk = c / w;
+                    if !lost.contains(&disk) {
+                        sources.push(disk);
+                    }
+                }
+            }
+        }
+        sources.sort_unstable();
+        sources.dedup();
+        Ok(sources)
+    }
+
+    /// Rebuild every missing disk in place (at most two may be `None`).
+    pub fn reconstruct(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+    ) -> Result<(), ArrayCodecError> {
+        let total = self.k + 2;
+        if shards.len() != total {
+            return Err(ArrayCodecError::Shards(format!("expected {total} shards")));
+        }
+        let missing: Vec<usize> = (0..total).filter(|&d| shards[d].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() > 2 {
+            return Err(ArrayCodecError::TooManyErasures { missing: missing.len() });
+        }
+        self.reconstruct_subset(shards, &missing)
+    }
+
+    /// Rebuild exactly the disks in `targets`, reading only the disks
+    /// the repair plan names; other `None` entries are treated as
+    /// unavailable and left untouched. Mirrors
+    /// `RsCodec::reconstruct_subset`.
+    pub fn reconstruct_subset(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        targets: &[usize],
+    ) -> Result<(), ArrayCodecError> {
+        let total = self.k + 2;
+        if shards.len() != total {
+            return Err(ArrayCodecError::Shards(format!("expected {total} shards")));
+        }
+        let mut targets: Vec<usize> = targets.to_vec();
+        targets.sort_unstable();
+        targets.dedup();
+        if targets.is_empty() {
+            return Ok(());
+        }
+        if targets.len() > 2 {
+            return Err(ArrayCodecError::TooManyErasures { missing: targets.len() });
+        }
+        let entry = self.decode_entry(&targets)?;
+        if let Some(&(absent, _)) =
+            entry.inputs.iter().find(|&&(d, _)| shards[d].is_none())
+        {
+            return Err(ArrayCodecError::MissingSource { shard: absent });
+        }
+        let Some(shard_len) = shards.iter().flatten().map(Vec::len).next() else {
+            return Err(ArrayCodecError::Shards("no shards present".into()));
+        };
+        if shards.iter().flatten().any(|s| s.len() != shard_len)
+            || shard_len % self.w != 0
+        {
+            return Err(ArrayCodecError::Shards(
+                "inconsistent or misaligned shard lengths".into(),
+            ));
+        }
+        let pl = shard_len / self.w;
+
+        // Phase 1: rebuild lost data disks from the program's inputs.
+        if let Some(prog) = &entry.prog {
+            if pl > 0 {
+                let mut rebuilt: Vec<Vec<u8>> =
+                    vec![vec![0u8; shard_len]; entry.lost_data.len()];
+                {
+                    let inputs: Vec<&[u8]> = entry
+                        .inputs
+                        .iter()
+                        .map(|&(d, s)| {
+                            let shard = shards[d].as_deref().expect("source present");
+                            &shard[s * pl..(s + 1) * pl]
+                        })
+                        .collect();
+                    let mut outputs: Vec<&mut [u8]> = rebuilt
+                        .iter_mut()
+                        .flat_map(|s| s.chunks_exact_mut(pl))
+                        .collect();
+                    prog.run_striped(
+                        &inputs,
+                        &mut outputs,
+                        self.pool.pool(),
+                        self.pool.workers(),
+                    )
+                    .expect("decode program shapes are fixed at construction");
+                }
+                for (&d, shard) in entry.lost_data.iter().zip(rebuilt) {
+                    shards[d] = Some(shard);
+                }
+            } else {
+                for &d in &entry.lost_data {
+                    shards[d] = Some(Vec::new());
+                }
+            }
+        }
+
+        // Phase 2: re-encode target parity disks; both codes' parity rows
+        // touch every data disk, so all data must be present by now.
+        let target_rows: Vec<usize> =
+            targets.iter().filter(|&&d| d >= self.k).map(|&d| d - self.k).collect();
+        if !target_rows.is_empty() {
+            if let Some(absent) = (0..self.k).find(|&d| shards[d].is_none()) {
+                return Err(ArrayCodecError::MissingSource { shard: absent });
+            }
+            let data_refs: Vec<&[u8]> = shards[..self.k]
+                .iter()
+                .map(|s| s.as_deref().expect("data complete"))
+                .collect();
+            let mut rebuilt: Vec<Vec<u8>> =
+                vec![vec![0u8; shard_len]; target_rows.len()];
+            {
+                let mut refs: Vec<&mut [u8]> =
+                    rebuilt.iter_mut().map(Vec::as_mut_slice).collect();
+                self.encode_parity_partial(&data_refs, &mut refs, &target_rows)?;
+            }
+            for (&r, shard) in target_rows.iter().zip(rebuilt) {
+                shards[self.k + r] = Some(shard);
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify that both parity disks are consistent with the data disks.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, ArrayCodecError> {
+        let total = self.k + 2;
+        if shards.len() != total {
+            return Err(ArrayCodecError::Shards(format!("expected {total} shards")));
+        }
+        let data_refs: Vec<&[u8]> = shards[..self.k].iter().map(Vec::as_slice).collect();
+        let mut expected: Vec<Vec<u8>> = vec![vec![0u8; shards[0].len()]; 2];
+        {
+            let mut refs: Vec<&mut [u8]> =
+                expected.iter_mut().map(Vec::as_mut_slice).collect();
+            self.encode_parity(&data_refs, &mut refs)?;
+        }
+        Ok(expected.iter().zip(&shards[self.k..]).all(|(e, a)| e == a))
+    }
+
+    /// Number of decode programs currently cached.
+    pub fn decode_cache_len(&self) -> usize {
+        self.dec_cache.lock().expect("cache lock").len()
+    }
+
+    /// Number of partial (delta-update + parity-row) programs cached.
+    pub fn partial_cache_len(&self) -> usize {
+        self.upd_cache.lock().expect("cache lock").len()
+            + self.row_cache.lock().expect("cache lock").len()
     }
 }
 

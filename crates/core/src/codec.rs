@@ -19,8 +19,11 @@ struct DecProgram {
     compiled: Option<(Slp, ExecProgram)>,
     /// Indices (< n) of the data shards this program reconstructs.
     lost_data: Vec<usize>,
-    /// The n surviving shard indices whose packets feed the program,
-    /// in input order.
+    /// The surviving shard indices whose packets feed the program, in
+    /// input order. Survivor columns the recovery matrix never reads are
+    /// dropped, so this is the *exact* read set of the program — for a
+    /// locally-repairable code repairing a single loss it is one local
+    /// group, not all n survivors.
     survivors: Vec<usize>,
 }
 
@@ -46,6 +49,11 @@ enum PartialKey {
 struct PartialProgram {
     slp: Slp,
     prog: ExecProgram,
+    /// Parity-block rows (0-based) the program actually produces. Column
+    /// programs skip parity rows whose coefficient at that column is
+    /// zero — for a locality-grouped matrix a data shard only feeds its
+    /// own group's local row plus the globals. Dense for row subsets.
+    rows: Vec<usize>,
 }
 
 /// A systematic Reed–Solomon erasure codec computed entirely with XORs.
@@ -63,6 +71,11 @@ pub struct RsCodec {
     cfg: RsConfig,
     /// The full `(n+p) × n` systematic coding matrix.
     matrix: GfMatrix,
+    /// Locality groups of the coding matrix (shard indices per group,
+    /// data members plus the group's local parity row). Empty for a
+    /// plain RS matrix; populated by the LRC construction, where it
+    /// steers survivor selection toward the cheap local-group rows.
+    groups: Vec<Vec<usize>>,
     enc_slp: Slp,
     enc_prog: ExecProgram,
     /// The execution pool (shared global or codec-owned, per config).
@@ -81,6 +94,14 @@ impl RsCodec {
 
     /// Create a codec from an explicit configuration.
     pub fn with_config(cfg: RsConfig) -> Result<RsCodec, EcError> {
+        RsCodec::check_params(&cfg)?;
+        let matrix = encoding_matrix(cfg.matrix, cfg.data_shards, cfg.parity_shards);
+        RsCodec::with_matrix(cfg, matrix, Vec::new())
+    }
+
+    /// Validate `(n, p, blocksize)` before any matrix is built — matrix
+    /// constructors assert on degenerate geometry, so this must run first.
+    pub(crate) fn check_params(cfg: &RsConfig) -> Result<(), EcError> {
         let (n, p) = (cfg.data_shards, cfg.parity_shards);
         if n == 0 || p == 0 {
             return Err(EcError::InvalidParams(
@@ -96,7 +117,21 @@ impl RsCodec {
         if cfg.blocksize == 0 {
             return Err(EcError::InvalidParams("blocksize must be positive".into()));
         }
-        let matrix = encoding_matrix(cfg.matrix, n, p);
+        Ok(())
+    }
+
+    /// Build a codec over an explicit systematic `(n+p) × n` coding
+    /// matrix (the top `n` rows must be the identity). `groups` lists the
+    /// locality groups of the matrix, if any — the LRC construction's
+    /// entry point into the shared SLP machinery.
+    pub(crate) fn with_matrix(
+        cfg: RsConfig,
+        matrix: GfMatrix,
+        groups: Vec<Vec<usize>>,
+    ) -> Result<RsCodec, EcError> {
+        RsCodec::check_params(&cfg)?;
+        let (n, p) = (cfg.data_shards, cfg.parity_shards);
+        debug_assert!(matrix.top_is_identity(n), "coding matrix must be systematic");
         let parity_rows: Vec<usize> = (n..n + p).collect();
         let parity_bits = bitmatrix::BitMatrix::expand_gf_matrix(&matrix.select_rows(&parity_rows));
         let base = slp::binary_slp_from_bitmatrix(&parity_bits);
@@ -120,6 +155,7 @@ impl RsCodec {
         Ok(RsCodec {
             cfg,
             matrix,
+            groups,
             enc_slp,
             enc_prog,
             pool: PoolChoice::from_parallelism(cfg.parallelism),
@@ -151,6 +187,13 @@ impl RsCodec {
     /// The systematic coding matrix (`(n+p) × n`).
     pub fn encode_matrix(&self) -> &GfMatrix {
         &self.matrix
+    }
+
+    /// Locality groups of the coding matrix: each entry lists the shard
+    /// indices (data + local parity) of one repair group. Empty for plain
+    /// RS; populated by the LRC construction.
+    pub fn locality_groups(&self) -> &[Vec<usize>] {
+        &self.groups
     }
 
     /// The optimized encoding SLP (for inspection and metrics; §7.5).
@@ -378,20 +421,26 @@ impl RsCodec {
             return hit;
         }
         let n = self.cfg.data_shards;
-        let parity_rows: Vec<usize> = (n..n + self.cfg.parity_shards).collect();
-        let sub: GfMatrix = match &key {
+        let (sub, rows): (GfMatrix, Vec<usize>) = match &key {
             PartialKey::Column(i) => {
-                self.matrix.select_rows(&parity_rows).select_cols(&[*i])
+                // Keep only the parity rows this column feeds: a zero
+                // coefficient contributes nothing, and an all-zero GF row
+                // has no SLP form.
+                let active: Vec<usize> = (n..n + self.cfg.parity_shards)
+                    .filter(|&r| !self.matrix[(r, *i)].is_zero())
+                    .collect();
+                let rows = active.iter().map(|&r| r - n).collect();
+                (self.matrix.select_rows(&active).select_cols(&[*i]), rows)
             }
             PartialKey::Rows(rows) => {
                 let abs: Vec<usize> = rows.iter().map(|&r| n + r).collect();
-                self.matrix.select_rows(&abs)
+                (self.matrix.select_rows(&abs), rows.clone())
             }
         };
         let bits = bitmatrix::BitMatrix::expand_gf_matrix(&sub);
         let slp = optimize(&slp::binary_slp_from_bitmatrix(&bits), self.cfg.opt);
         let prog = ExecProgram::compile(&slp, self.cfg.blocksize, self.cfg.kernel);
-        let entry = Arc::new(PartialProgram { slp, prog });
+        let entry = Arc::new(PartialProgram { slp, prog, rows });
         lock(&self.partial_cache).insert(key, entry.clone());
         entry
     }
@@ -455,10 +504,13 @@ impl RsCodec {
         }
         // delta = old ⊕ new, then delta-parity = column program (delta),
         // accumulated into `parity` in place — the shared runtime
-        // discipline keeps a steady-state update allocation-free.
-        self.partial_program(PartialKey::Column(shard_index))
-            .prog
-            .run_delta_striped(
+        // discipline keeps a steady-state update allocation-free. The
+        // program covers only the parity rows this column feeds; with a
+        // locality-grouped matrix that is the shard's own local row plus
+        // the globals, so the untouched rows are skipped here.
+        let entry = self.partial_program(PartialKey::Column(shard_index));
+        if entry.rows.len() == p {
+            entry.prog.run_delta_striped(
                 layout::PACKETS_PER_SHARD,
                 old,
                 new,
@@ -466,6 +518,22 @@ impl RsCodec {
                 self.pool.pool(),
                 self.pool.workers(),
             )?;
+        } else if !entry.rows.is_empty() {
+            let mut touched: Vec<&mut [u8]> = parity
+                .iter_mut()
+                .enumerate()
+                .filter(|(j, _)| entry.rows.contains(j))
+                .map(|(_, s)| &mut **s)
+                .collect();
+            entry.prog.run_delta_striped(
+                layout::PACKETS_PER_SHARD,
+                old,
+                new,
+                &mut touched,
+                self.pool.pool(),
+                self.pool.workers(),
+            )?;
+        }
         Ok(())
     }
 
@@ -553,27 +621,99 @@ impl RsCodec {
             return Ok(hit);
         }
 
-        let survivors: Vec<usize> = (0..n + p).filter(|i| !lost.contains(i)).take(n).collect();
+        let candidates: Vec<usize> = (0..n + p).filter(|i| !lost.contains(i)).collect();
         let lost_data: Vec<usize> = lost.iter().copied().filter(|&i| i < n).collect();
-        let compiled = if lost_data.is_empty() {
-            None
+        let (compiled, survivors) = if lost_data.is_empty() {
+            (None, Vec::new())
         } else {
-            let sub = self.matrix.select_rows(&survivors);
-            let inv = sub
-                .invert()
-                .ok_or_else(|| EcError::SingularPattern { lost: lost.clone() })?;
+            // Greedy independent-row selection over the (possibly
+            // non-MDS) coding matrix: any n independent survivor rows
+            // decode. The candidate ordering steers *which* basis wins —
+            // locality-first for LRC, natural order (≡ the classic
+            // first-n choice) for a plain RS matrix.
+            let ordered = self.survivor_order(&lost, candidates);
+            let chosen = self.matrix.select_independent_rows(&ordered);
+            if chosen.len() < n {
+                return Err(EcError::SingularPattern { lost: lost.clone() });
+            }
+            let sub = self.matrix.select_rows(&chosen);
+            let inv = sub.invert().expect("independent rows form an invertible square");
             // Rows of the inverse for the lost data blocks express them as
             // combinations of the gathered survivor blocks.
             let rec = inv.select_rows(&lost_data);
+            // Drop survivor columns no recovery row reads: the program's
+            // input list then names exactly the shards a repair must
+            // fetch (a single loss in an LRC local group reads that
+            // group, not all n survivors).
+            let used: Vec<usize> = (0..n)
+                .filter(|&c| (0..rec.rows()).any(|r| !rec[(r, c)].is_zero()))
+                .collect();
+            let survivors: Vec<usize> = used.iter().map(|&c| chosen[c]).collect();
+            let rec = rec.select_cols(&used);
             let bits = bitmatrix::BitMatrix::expand_gf_matrix(&rec);
             let base = slp::binary_slp_from_bitmatrix(&bits);
             let slp = optimize(&base, self.cfg.opt);
             let prog = ExecProgram::compile(&slp, self.cfg.blocksize, self.cfg.kernel);
-            Some((slp, prog))
+            (Some((slp, prog)), survivors)
         };
         let dec = Arc::new(DecProgram { compiled, lost_data, survivors });
         lock(&self.dec_cache).insert(lost, dec.clone());
         Ok(dec)
+    }
+
+    /// Order survivor candidates for row selection. Without locality
+    /// groups the natural order is kept (for an MDS matrix the greedy
+    /// scan then degenerates to the classic "first n survivors" choice).
+    /// With groups, members of groups containing a lost shard come
+    /// first, then remaining data rows, then the other local parity
+    /// rows, then the globals — so a pattern a local group can repair
+    /// compiles an r-input program and never touches a global row.
+    fn survivor_order(&self, lost: &[usize], mut candidates: Vec<usize>) -> Vec<usize> {
+        if self.groups.is_empty() {
+            return candidates;
+        }
+        let n = self.cfg.data_shards;
+        let affected: Vec<&Vec<usize>> = self
+            .groups
+            .iter()
+            .filter(|g| g.iter().any(|i| lost.contains(i)))
+            .collect();
+        let in_affected = |i: usize| affected.iter().any(|g| g.contains(&i));
+        let class = |i: usize| {
+            if i < n {
+                0 // data: free identity rows
+            } else if self.groups.iter().any(|g| g.contains(&i)) {
+                1 // local parity: touches one group
+            } else {
+                2 // global parity: touches everything
+            }
+        };
+        candidates.sort_by_key(|&i| (usize::from(!in_affected(i)), class(i), i));
+        candidates
+    }
+
+    /// The exact shard set a [`RsCodec::reconstruct_subset`] of `lost`
+    /// reads: the decode program's survivor inputs plus, for each lost
+    /// parity row, the surviving data shards its generator row touches.
+    /// This is the repair *plan* — a networked repair fetches precisely
+    /// these shards and nothing else, which is where a locally-repairable
+    /// code's traffic win comes from.
+    pub fn repair_sources(&self, lost: &[usize]) -> Result<Vec<usize>, EcError> {
+        let n = self.cfg.data_shards;
+        let mut lost: Vec<usize> = lost.to_vec();
+        lost.sort_unstable();
+        lost.dedup();
+        let dec = self.decode_program(&lost)?;
+        let mut sources: std::collections::BTreeSet<usize> =
+            dec.survivors.iter().copied().collect();
+        for &i in lost.iter().filter(|&&i| i >= n) {
+            for j in 0..n {
+                if !self.matrix[(i, j)].is_zero() && !lost.contains(&j) {
+                    sources.insert(j);
+                }
+            }
+        }
+        Ok(sources.into_iter().collect())
     }
 
     /// Rebuild every missing shard in place (data via the decode program,
@@ -590,11 +730,43 @@ impl RsCodec {
         if missing.len() > p {
             return Err(EcError::TooManyErasures { missing: missing.len(), parity: p });
         }
+        self.reconstruct_subset(shards, &missing)
+    }
+
+    /// Rebuild exactly the shards in `targets`, reading only the shards
+    /// the repair plan ([`RsCodec::repair_sources`]) names — other `None`
+    /// entries are treated as *unavailable, not wanted* and are left
+    /// untouched. This is the source-restricted repair path: a networked
+    /// caller fetches the plan's shards, leaves the rest `None`, and
+    /// pays the plan's bytes, not the full survivor set's.
+    ///
+    /// # Errors
+    /// [`EcError::MissingSource`] when a shard the plan requires is
+    /// `None` (the caller should fall back to fetching all survivors).
+    pub fn reconstruct_subset(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        targets: &[usize],
+    ) -> Result<(), EcError> {
+        let (n, p) = (self.cfg.data_shards, self.cfg.parity_shards);
+        if shards.len() != n + p {
+            return Err(EcError::ShardCount { expected: n + p, got: shards.len() });
+        }
+        let mut targets: Vec<usize> = targets.to_vec();
+        targets.sort_unstable();
+        targets.dedup();
+        if targets.is_empty() {
+            return Ok(());
+        }
+        let dec = self.decode_program(&targets)?;
+        if let Some(&absent) = dec.survivors.iter().find(|&&s| shards[s].is_none()) {
+            return Err(EcError::MissingSource { shard: absent });
+        }
         let len =
             layout::common_shard_len(shards.iter().flatten().map(Vec::as_slice))?;
 
-        // Phase 1: reconstruct lost data shards from any n survivors.
-        let dec = self.decode_program(&missing)?;
+        // Phase 1: reconstruct lost data shards from the program's
+        // survivor inputs.
         match &dec.compiled {
             Some((_, prog)) if len > 0 => {
                 let inputs: Vec<&[u8]> = dec
@@ -628,23 +800,37 @@ impl RsCodec {
             }
         }
 
-        // Phase 2: re-encode only the *missing* parity rows (data is
-        // complete now) — repair work is proportional to what was lost,
-        // not to p.
-        let missing_rows: Vec<usize> =
-            missing.iter().filter(|&&i| i >= n).map(|&i| i - n).collect();
-        if !missing_rows.is_empty() {
+        // Phase 2: re-encode only the *target* parity rows (their data
+        // inputs are complete now) — repair work is proportional to what
+        // was lost, not to p. Data shards outside the plan may still be
+        // `None`; they are substituted with zeros, legal only because the
+        // target rows' generator columns there are zero (checked).
+        let target_rows: Vec<usize> =
+            targets.iter().filter(|&&i| i >= n).map(|&i| i - n).collect();
+        if !target_rows.is_empty() {
+            for (j, shard) in shards.iter().enumerate().take(n) {
+                if shard.is_none() {
+                    if let Some(&r) = target_rows
+                        .iter()
+                        .find(|&&r| !self.matrix[(n + r, j)].is_zero())
+                    {
+                        debug_assert!(n + r < n + p);
+                        return Err(EcError::MissingSource { shard: j });
+                    }
+                }
+            }
+            let zeros = vec![0u8; len];
             let data_refs: Vec<&[u8]> = shards[..n]
                 .iter()
-                .map(|s| s.as_deref().expect("data complete after phase 1"))
+                .map(|s| s.as_deref().unwrap_or(&zeros))
                 .collect();
-            let mut rebuilt: Vec<Vec<u8>> = vec![vec![0u8; len]; missing_rows.len()];
+            let mut rebuilt: Vec<Vec<u8>> = vec![vec![0u8; len]; target_rows.len()];
             {
                 let mut refs: Vec<&mut [u8]> =
                     rebuilt.iter_mut().map(Vec::as_mut_slice).collect();
-                self.encode_parity_partial(&data_refs, &mut refs, &missing_rows)?;
+                self.encode_parity_partial(&data_refs, &mut refs, &target_rows)?;
             }
-            for (&r, shard) in missing_rows.iter().zip(rebuilt) {
+            for (&r, shard) in target_rows.iter().zip(rebuilt) {
                 shards[n + r] = Some(shard);
             }
         }

@@ -1,0 +1,765 @@
+//! The pluggable-codec boundary: an object-safe [`ErasureCoder`] trait
+//! over the full surface the upper layers (ec-stream, ec-store, CLIs)
+//! use, a self-describing [`CodecSpec`] that travels in archive headers
+//! and store manifests, and the [`codec_for`] registry that resolves a
+//! spec into a boxed codec.
+//!
+//! The paper's point — any XOR-able generator matrix rides the same
+//! SLP compile/optimize/execute pipeline — is what makes this boundary
+//! cheap: every implementation below ([`RsCodec`], [`LrcCodec`],
+//! [`ArrayCodec`]) shares the engine; the trait only abstracts geometry
+//! and program selection.
+
+use crate::codec::RsCodec;
+use crate::config::RsConfig;
+use crate::error::EcError;
+use crate::lrc::LrcCodec;
+use array_codes::{ArrayCodec, ArrayCodecError};
+
+/// Wire identity of a registered codec family.
+///
+/// The `u16` values are **stable on-disk identifiers** (archive header
+/// v2, store manifest v2) — never renumber them. `0` is reserved as
+/// "absent" so a zero-filled v1 field can never alias a real codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CodecId {
+    /// Systematic Reed–Solomon over GF(2^8) (the paper's codec).
+    Rs,
+    /// EVENODD two-parity array code.
+    EvenOdd,
+    /// RDP two-parity array code.
+    Rdp,
+    /// Locally-repairable code: per-group XOR parity + global RS rows.
+    Lrc,
+}
+
+impl CodecId {
+    /// The stable on-disk identifier.
+    pub fn wire(self) -> u16 {
+        match self {
+            CodecId::Rs => 1,
+            CodecId::EvenOdd => 2,
+            CodecId::Rdp => 3,
+            CodecId::Lrc => 4,
+        }
+    }
+
+    /// Inverse of [`CodecId::wire`].
+    pub fn from_wire(v: u16) -> Result<CodecId, EcError> {
+        match v {
+            1 => Ok(CodecId::Rs),
+            2 => Ok(CodecId::EvenOdd),
+            3 => Ok(CodecId::Rdp),
+            4 => Ok(CodecId::Lrc),
+            other => Err(EcError::UnknownCodec(format!("wire id {other}"))),
+        }
+    }
+
+    /// The registry name (what `--codec` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Rs => "rs",
+            CodecId::EvenOdd => "evenodd",
+            CodecId::Rdp => "rdp",
+            CodecId::Lrc => "lrc",
+        }
+    }
+}
+
+/// Everything needed to reconstruct a codec from a self-describing
+/// artifact: the family, the geometry, and the family's parameters.
+///
+/// Equality is exact — two specs describe interchangeable codecs iff
+/// they are `==` — which is what geometry checks compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CodecSpec {
+    /// Codec family.
+    pub id: CodecId,
+    /// Number of data shards `n`.
+    pub data_shards: usize,
+    /// Number of parity shards `p` (for LRC: locals + globals).
+    pub parity_shards: usize,
+    /// LRC locality-group size `r`; `0` for every other family.
+    pub group_size: usize,
+}
+
+impl CodecSpec {
+    /// Spec of the default RS(n, p) codec.
+    pub fn rs(data_shards: usize, parity_shards: usize) -> CodecSpec {
+        CodecSpec { id: CodecId::Rs, data_shards, parity_shards, group_size: 0 }
+    }
+
+    /// Spec of an LRC(n, r) with `parity_shards` total parity rows
+    /// (`n/r` locals + the rest global).
+    pub fn lrc(data_shards: usize, parity_shards: usize, group_size: usize) -> CodecSpec {
+        CodecSpec { id: CodecId::Lrc, data_shards, parity_shards, group_size }
+    }
+
+    /// Parse a `--codec` name against a target geometry. Accepted names:
+    /// `rs`, `evenodd`, `rdp`, `lrc` (group size `n/2`), `lrc:<r>`.
+    pub fn parse(name: &str, data_shards: usize, parity_shards: usize) -> Result<CodecSpec, EcError> {
+        let (n, p) = (data_shards, parity_shards);
+        let spec = match name {
+            "rs" => CodecSpec::rs(n, p),
+            "evenodd" => CodecSpec { id: CodecId::EvenOdd, data_shards: n, parity_shards: p, group_size: 0 },
+            "rdp" => CodecSpec { id: CodecId::Rdp, data_shards: n, parity_shards: p, group_size: 0 },
+            "lrc" => {
+                if n == 0 || n % 2 != 0 {
+                    return Err(EcError::InvalidParams(format!(
+                        "lrc without an explicit group size splits the data in \
+                         half, which needs an even shard count (got n = {n}); \
+                         use lrc:<r>"
+                    )));
+                }
+                CodecSpec::lrc(n, p, n / 2)
+            }
+            other => {
+                if let Some(r) = other.strip_prefix("lrc:") {
+                    let r: usize = r.parse().map_err(|_| {
+                        EcError::UnknownCodec(format!("bad lrc group size in `{other}`"))
+                    })?;
+                    CodecSpec::lrc(n, p, r)
+                } else {
+                    return Err(EcError::UnknownCodec(format!(
+                        "`{other}` (known: rs, evenodd, rdp, lrc, lrc:<r>)"
+                    )));
+                }
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Rebuild a spec from its on-disk form (wire id + group size +
+    /// geometry), validating it describes a constructible codec.
+    pub fn from_wire(
+        wire_id: u16,
+        group_size: u16,
+        data_shards: usize,
+        parity_shards: usize,
+    ) -> Result<CodecSpec, EcError> {
+        let spec = CodecSpec {
+            id: CodecId::from_wire(wire_id)?,
+            data_shards,
+            parity_shards,
+            group_size: group_size as usize,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Display / CLI name: `rs`, `evenodd`, `rdp`, or `lrc:<r>`.
+    pub fn name(&self) -> String {
+        match self.id {
+            CodecId::Lrc => format!("lrc:{}", self.group_size),
+            other => other.name().to_string(),
+        }
+    }
+
+    /// Shard lengths of this codec are multiples of this alignment:
+    /// 8 packets for the GF(2^8) codecs, `w = prime − 1` symbols for the
+    /// array codes.
+    pub fn shard_alignment(&self) -> Result<usize, EcError> {
+        self.validate()?;
+        Ok(match self.id {
+            CodecId::Rs | CodecId::Lrc => crate::layout::PACKETS_PER_SHARD,
+            CodecId::EvenOdd => {
+                array_codes::next_prime(self.data_shards.max(3)) - 1
+            }
+            CodecId::Rdp => {
+                array_codes::next_prime((self.data_shards + 1).max(3)) - 1
+            }
+        })
+    }
+
+    /// Check the spec describes a constructible codec without paying for
+    /// SLP compilation (cheap enough for header validation).
+    pub fn validate(&self) -> Result<(), EcError> {
+        let (n, p) = (self.data_shards, self.parity_shards);
+        if n == 0 || p == 0 {
+            return Err(EcError::InvalidParams(
+                "need at least one data and one parity shard".into(),
+            ));
+        }
+        match self.id {
+            CodecId::Rs | CodecId::Lrc => {
+                if n + p > 255 {
+                    return Err(EcError::InvalidParams(format!(
+                        "n + p = {} exceeds the GF(2^8) limit of 255",
+                        n + p
+                    )));
+                }
+            }
+            CodecId::EvenOdd | CodecId::Rdp => {
+                if p != 2 {
+                    return Err(EcError::InvalidParams(format!(
+                        "{} is a two-parity array code, got p = {p}",
+                        self.id.name()
+                    )));
+                }
+            }
+        }
+        match self.id {
+            CodecId::Lrc => {
+                let r = self.group_size;
+                if r < 2 || r > n || n % r != 0 || p <= n / r {
+                    return Err(EcError::InvalidParams(format!(
+                        "invalid LRC geometry: n = {n}, p = {p}, r = {r} \
+                         (need r | n, 2 ≤ r ≤ n, p > n/r)"
+                    )));
+                }
+            }
+            _ => {
+                if self.group_size != 0 {
+                    return Err(EcError::InvalidParams(format!(
+                        "codec {} takes no group size, got {}",
+                        self.id.name(),
+                        self.group_size
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The names [`CodecSpec::parse`] accepts (CLI help / matrix drivers).
+pub fn codec_names() -> &'static [&'static str] {
+    &["rs", "evenodd", "rdp", "lrc"]
+}
+
+/// Resolve a spec into a boxed codec with the default engine
+/// configuration (env-tunable kernel/parallelism).
+pub fn codec_for(spec: &CodecSpec) -> Result<Box<dyn ErasureCoder>, EcError> {
+    codec_for_with(spec, RsConfig::new(spec.data_shards, spec.parity_shards))
+}
+
+/// Resolve a spec into a boxed codec, carrying the engine knobs
+/// (optimization, blocksize, kernel, parallelism, cache caps) from
+/// `cfg`; the geometry always comes from the spec.
+pub fn codec_for_with(
+    spec: &CodecSpec,
+    cfg: RsConfig,
+) -> Result<Box<dyn ErasureCoder>, EcError> {
+    spec.validate()?;
+    let mut cfg = cfg;
+    cfg.data_shards = spec.data_shards;
+    cfg.parity_shards = spec.parity_shards;
+    Ok(match spec.id {
+        CodecId::Rs => Box::new(RsCodec::with_config(cfg)?),
+        CodecId::Lrc => Box::new(LrcCodec::with_config(cfg, spec.group_size)?),
+        CodecId::EvenOdd => Box::new(
+            ArrayCodec::evenodd(spec.data_shards).with_parallelism(cfg.parallelism),
+        ),
+        CodecId::Rdp => Box::new(
+            ArrayCodec::rdp(spec.data_shards).with_parallelism(cfg.parallelism),
+        ),
+    })
+}
+
+/// The full codec surface the upper layers use, object-safe so archives
+/// and clusters hold a `Box<dyn ErasureCoder>` resolved from the
+/// artifact's own [`CodecSpec`].
+///
+/// Geometry contract shared by every implementation: `total_shards()`
+/// shard buffers, shard lengths equal and a multiple of
+/// [`ErasureCoder::shard_alignment`], data split row-major by
+/// [`ErasureCoder::split_data`].
+pub trait ErasureCoder: Send + Sync {
+    /// The self-describing identity of this codec.
+    fn spec(&self) -> CodecSpec;
+
+    /// Number of data shards `n`.
+    fn data_shards(&self) -> usize;
+
+    /// Number of parity shards `p`.
+    fn parity_shards(&self) -> usize;
+
+    /// Total shards `n + p`.
+    fn total_shards(&self) -> usize {
+        self.data_shards() + self.parity_shards()
+    }
+
+    /// Shard lengths must be multiples of this.
+    fn shard_alignment(&self) -> usize;
+
+    /// The shard length produced for `data_len` bytes of input.
+    fn shard_len(&self, data_len: usize) -> usize;
+
+    /// Split `data` into the `n` padded data shards (no parity).
+    fn split_data(&self, data: &[u8]) -> Vec<Vec<u8>>;
+
+    /// Encode into freshly allocated shards.
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, EcError>;
+
+    /// Encode into caller-owned shard buffers (resized as needed).
+    fn encode_into(&self, data: &[u8], shards: &mut [Vec<u8>]) -> Result<(), EcError>;
+
+    /// Recover the original `data_len` bytes from surviving shards.
+    fn decode(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        data_len: usize,
+    ) -> Result<Vec<u8>, EcError>;
+
+    /// Rebuild every missing (`None`) shard in place.
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError>;
+
+    /// Rebuild exactly `targets`, reading only the shards
+    /// [`ErasureCoder::repair_sources`] names; other `None` entries are
+    /// unavailable-not-wanted. Errors with [`EcError::MissingSource`]
+    /// when a required source is absent.
+    fn reconstruct_subset(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        targets: &[usize],
+    ) -> Result<(), EcError>;
+
+    /// The surviving shard indices a repair of `lost` must read. For a
+    /// locality-aware codec this is where single-loss repairs shrink to
+    /// the local group.
+    fn repair_sources(&self, lost: &[usize]) -> Result<Vec<usize>, EcError>;
+
+    /// Delta parity update after one data shard changes from `old` to
+    /// `new`; all `p` parity shards are updated in place.
+    fn update_parity(
+        &self,
+        shard_index: usize,
+        old: &[u8],
+        new: &[u8],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), EcError>;
+
+    /// Re-encode a strict subset of parity shards from complete data
+    /// (`rows` 0-based within the parity block, strictly increasing).
+    fn encode_parity_partial(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        rows: &[usize],
+    ) -> Result<(), EcError>;
+
+    /// Check parity consistency against the data shards.
+    fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, EcError>;
+
+    /// XOR count of the full encode program (metrics).
+    fn encode_xor_count(&self) -> usize;
+
+    /// XOR count of one data shard's delta-update program (metrics).
+    fn update_xor_count(&self, shard_index: usize) -> Result<usize, EcError>;
+
+    /// Number of decode programs currently cached (metrics; a repair
+    /// path that claims to use a cached local program can prove it
+    /// here).
+    fn decode_cache_len(&self) -> usize;
+
+    /// Number of partial (delta/row-subset) programs cached (metrics).
+    fn partial_cache_len(&self) -> usize;
+}
+
+impl ErasureCoder for RsCodec {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::rs(self.data_shards(), self.parity_shards())
+    }
+
+    fn data_shards(&self) -> usize {
+        RsCodec::data_shards(self)
+    }
+
+    fn parity_shards(&self) -> usize {
+        RsCodec::parity_shards(self)
+    }
+
+    fn shard_alignment(&self) -> usize {
+        crate::layout::PACKETS_PER_SHARD
+    }
+
+    fn shard_len(&self, data_len: usize) -> usize {
+        RsCodec::shard_len(self, data_len)
+    }
+
+    fn split_data(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        RsCodec::split_data(self, data)
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, EcError> {
+        RsCodec::encode(self, data)
+    }
+
+    fn encode_into(&self, data: &[u8], shards: &mut [Vec<u8>]) -> Result<(), EcError> {
+        RsCodec::encode_into(self, data, shards)
+    }
+
+    fn decode(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        data_len: usize,
+    ) -> Result<Vec<u8>, EcError> {
+        RsCodec::decode(self, shards, data_len)
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        RsCodec::reconstruct(self, shards)
+    }
+
+    fn reconstruct_subset(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        targets: &[usize],
+    ) -> Result<(), EcError> {
+        RsCodec::reconstruct_subset(self, shards, targets)
+    }
+
+    fn repair_sources(&self, lost: &[usize]) -> Result<Vec<usize>, EcError> {
+        RsCodec::repair_sources(self, lost)
+    }
+
+    fn update_parity(
+        &self,
+        shard_index: usize,
+        old: &[u8],
+        new: &[u8],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), EcError> {
+        RsCodec::update_parity(self, shard_index, old, new, parity)
+    }
+
+    fn encode_parity_partial(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        rows: &[usize],
+    ) -> Result<(), EcError> {
+        RsCodec::encode_parity_partial(self, data, parity, rows)
+    }
+
+    fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, EcError> {
+        RsCodec::verify(self, shards)
+    }
+
+    fn encode_xor_count(&self) -> usize {
+        self.encode_slp().xor_count()
+    }
+
+    fn update_xor_count(&self, shard_index: usize) -> Result<usize, EcError> {
+        Ok(self.update_slp(shard_index)?.xor_count())
+    }
+
+    fn decode_cache_len(&self) -> usize {
+        RsCodec::decode_cache_len(self)
+    }
+
+    fn partial_cache_len(&self) -> usize {
+        RsCodec::partial_cache_len(self)
+    }
+}
+
+impl ErasureCoder for LrcCodec {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::lrc(
+            RsCodec::data_shards(self),
+            RsCodec::parity_shards(self),
+            self.group_size(),
+        )
+    }
+
+    fn data_shards(&self) -> usize {
+        RsCodec::data_shards(self)
+    }
+
+    fn parity_shards(&self) -> usize {
+        RsCodec::parity_shards(self)
+    }
+
+    fn shard_alignment(&self) -> usize {
+        crate::layout::PACKETS_PER_SHARD
+    }
+
+    fn shard_len(&self, data_len: usize) -> usize {
+        RsCodec::shard_len(self, data_len)
+    }
+
+    fn split_data(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        RsCodec::split_data(self, data)
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, EcError> {
+        RsCodec::encode(self, data)
+    }
+
+    fn encode_into(&self, data: &[u8], shards: &mut [Vec<u8>]) -> Result<(), EcError> {
+        RsCodec::encode_into(self, data, shards)
+    }
+
+    fn decode(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        data_len: usize,
+    ) -> Result<Vec<u8>, EcError> {
+        RsCodec::decode(self, shards, data_len)
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        RsCodec::reconstruct(self, shards)
+    }
+
+    fn reconstruct_subset(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        targets: &[usize],
+    ) -> Result<(), EcError> {
+        RsCodec::reconstruct_subset(self, shards, targets)
+    }
+
+    fn repair_sources(&self, lost: &[usize]) -> Result<Vec<usize>, EcError> {
+        RsCodec::repair_sources(self, lost)
+    }
+
+    fn update_parity(
+        &self,
+        shard_index: usize,
+        old: &[u8],
+        new: &[u8],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), EcError> {
+        RsCodec::update_parity(self, shard_index, old, new, parity)
+    }
+
+    fn encode_parity_partial(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        rows: &[usize],
+    ) -> Result<(), EcError> {
+        RsCodec::encode_parity_partial(self, data, parity, rows)
+    }
+
+    fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, EcError> {
+        RsCodec::verify(self, shards)
+    }
+
+    fn encode_xor_count(&self) -> usize {
+        self.encode_slp().xor_count()
+    }
+
+    fn update_xor_count(&self, shard_index: usize) -> Result<usize, EcError> {
+        Ok(self.update_slp(shard_index)?.xor_count())
+    }
+
+    fn decode_cache_len(&self) -> usize {
+        RsCodec::decode_cache_len(self)
+    }
+
+    fn partial_cache_len(&self) -> usize {
+        RsCodec::partial_cache_len(self)
+    }
+}
+
+/// [`ArrayCodecError`] → [`EcError`], preserving the typed shape the
+/// upper layers branch on.
+fn map_array(e: ArrayCodecError) -> EcError {
+    match e {
+        ArrayCodecError::Shards(m) => EcError::ShardLength(m),
+        ArrayCodecError::TooManyErasures { missing } => {
+            EcError::TooManyErasures { missing, parity: 2 }
+        }
+        ArrayCodecError::Unsolvable { lost } => EcError::SingularPattern { lost },
+        ArrayCodecError::MissingSource { shard } => EcError::MissingSource { shard },
+    }
+}
+
+impl ErasureCoder for ArrayCodec {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec {
+            id: if self.is_evenodd() { CodecId::EvenOdd } else { CodecId::Rdp },
+            data_shards: self.data_shards(),
+            parity_shards: 2,
+            group_size: 0,
+        }
+    }
+
+    fn data_shards(&self) -> usize {
+        ArrayCodec::data_shards(self)
+    }
+
+    fn parity_shards(&self) -> usize {
+        ArrayCodec::parity_shards(self)
+    }
+
+    fn shard_alignment(&self) -> usize {
+        self.symbols_per_shard()
+    }
+
+    fn shard_len(&self, data_len: usize) -> usize {
+        ArrayCodec::shard_len(self, data_len)
+    }
+
+    fn split_data(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        ArrayCodec::split_data(self, data)
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, EcError> {
+        ArrayCodec::encode(self, data).map_err(map_array)
+    }
+
+    fn encode_into(&self, data: &[u8], shards: &mut [Vec<u8>]) -> Result<(), EcError> {
+        ArrayCodec::encode_into(self, data, shards).map_err(map_array)
+    }
+
+    fn decode(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        data_len: usize,
+    ) -> Result<Vec<u8>, EcError> {
+        ArrayCodec::decode(self, shards, data_len).map_err(map_array)
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        ArrayCodec::reconstruct(self, shards).map_err(map_array)
+    }
+
+    fn reconstruct_subset(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        targets: &[usize],
+    ) -> Result<(), EcError> {
+        ArrayCodec::reconstruct_subset(self, shards, targets).map_err(map_array)
+    }
+
+    fn repair_sources(&self, lost: &[usize]) -> Result<Vec<usize>, EcError> {
+        ArrayCodec::repair_sources(self, lost).map_err(map_array)
+    }
+
+    fn update_parity(
+        &self,
+        shard_index: usize,
+        old: &[u8],
+        new: &[u8],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), EcError> {
+        ArrayCodec::update_parity(self, shard_index, old, new, parity).map_err(map_array)
+    }
+
+    fn encode_parity_partial(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        rows: &[usize],
+    ) -> Result<(), EcError> {
+        ArrayCodec::encode_parity_partial(self, data, parity, rows).map_err(map_array)
+    }
+
+    fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, EcError> {
+        ArrayCodec::verify(self, shards).map_err(map_array)
+    }
+
+    fn encode_xor_count(&self) -> usize {
+        self.encode_slp().xor_count()
+    }
+
+    fn update_xor_count(&self, shard_index: usize) -> Result<usize, EcError> {
+        Ok(self.update_slp(shard_index).map_err(map_array)?.xor_count())
+    }
+
+    fn decode_cache_len(&self) -> usize {
+        ArrayCodec::decode_cache_len(self)
+    }
+
+    fn partial_cache_len(&self) -> usize {
+        ArrayCodec::partial_cache_len(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for (name, n, p) in [("rs", 10, 4), ("evenodd", 5, 2), ("rdp", 4, 2), ("lrc:5", 10, 4)] {
+            let spec = CodecSpec::parse(name, n, p).unwrap();
+            assert_eq!(spec.name(), name, "name round-trip");
+            assert_eq!(
+                CodecSpec::from_wire(spec.id.wire(), spec.group_size as u16, n, p).unwrap(),
+                spec,
+                "wire round-trip"
+            );
+        }
+        // Bare `lrc` defaults to groups of n/2.
+        let spec = CodecSpec::parse("lrc", 10, 3).unwrap();
+        assert_eq!(spec.group_size, 5);
+        assert_eq!(spec.name(), "lrc:5");
+    }
+
+    #[test]
+    fn unknown_and_invalid_specs_are_typed() {
+        assert!(matches!(
+            CodecSpec::parse("reed-solomon", 10, 4),
+            Err(EcError::UnknownCodec(_))
+        ));
+        assert!(matches!(
+            CodecSpec::parse("lrc:x", 10, 4),
+            Err(EcError::UnknownCodec(_))
+        ));
+        assert!(matches!(
+            CodecId::from_wire(0),
+            Err(EcError::UnknownCodec(_))
+        ));
+        assert!(matches!(
+            CodecId::from_wire(999),
+            Err(EcError::UnknownCodec(_))
+        ));
+        // Structurally known but unconstructible.
+        assert!(matches!(
+            CodecSpec::parse("evenodd", 5, 3),
+            Err(EcError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            CodecSpec::parse("lrc:3", 10, 4),
+            Err(EcError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            CodecSpec::parse("lrc", 9, 4),
+            Err(EcError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            CodecSpec::from_wire(1, 5, 10, 4),
+            Err(EcError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn registry_resolves_every_family() {
+        for (name, n, p) in [("rs", 6, 3), ("evenodd", 5, 2), ("rdp", 4, 2), ("lrc:3", 6, 3)] {
+            let spec = CodecSpec::parse(name, n, p).unwrap();
+            let codec = codec_for(&spec).unwrap();
+            assert_eq!(codec.data_shards(), n, "{name}");
+            assert_eq!(codec.parity_shards(), p, "{name}");
+            assert_eq!(codec.spec(), spec, "{name}: spec must round-trip");
+
+            let data: Vec<u8> = (0..n * 64).map(|i| (i * 31 + 7) as u8).collect();
+            let shards = codec.encode(&data).unwrap();
+            assert_eq!(shards.len(), n + p);
+            assert!(shards[0].len().is_multiple_of(codec.shard_alignment()));
+            assert!(codec.verify(&shards).unwrap());
+            let mut rx: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+            rx[0] = None;
+            rx[n] = None;
+            assert_eq!(codec.decode(&rx, data.len()).unwrap(), data, "{name}");
+            codec.reconstruct(&mut rx).unwrap();
+            assert!(codec
+                .verify(&rx.iter().map(|s| s.clone().unwrap()).collect::<Vec<_>>())
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn codec_for_with_carries_engine_knobs() {
+        let spec = CodecSpec::parse("rs", 4, 2).unwrap();
+        // Geometry always comes from the spec, even if cfg disagrees.
+        let cfg = RsConfig::new(9, 9).parallelism(1);
+        let codec = codec_for_with(&spec, cfg).unwrap();
+        assert_eq!(codec.data_shards(), 4);
+        assert_eq!(codec.parity_shards(), 2);
+    }
+}

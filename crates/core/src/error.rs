@@ -19,9 +19,18 @@ pub enum EcError {
     /// decode program). A typed variant so callers can tell "nothing to
     /// do" apart from caller error.
     NoDataLost,
-    /// The survivor submatrix is singular — the chosen coding matrix is
-    /// not MDS for this erasure pattern (switch to `MatrixKind::Cauchy`).
+    /// The survivor submatrix is singular — the erasure pattern is not
+    /// recoverable under this code (for RS, switch to
+    /// `MatrixKind::Cauchy`; for a non-MDS code such as LRC, the pattern
+    /// simply exceeds the construction's guarantees).
     SingularPattern { lost: Vec<usize> },
+    /// A codec name or wire ID that no registered codec answers to, or a
+    /// spec whose parameters the named codec cannot satisfy.
+    UnknownCodec(String),
+    /// A repair-plan source shard that [`crate::ErasureCoder::repair_sources`]
+    /// requires was not provided to
+    /// [`crate::ErasureCoder::reconstruct_subset`].
+    MissingSource { shard: usize },
     /// Executor-level failure (bubbled up; indicates a bug if it ever
     /// escapes this crate).
     Exec(ExecError),
@@ -47,6 +56,11 @@ impl fmt::Display for EcError {
                 f,
                 "coding matrix is singular for erasure pattern {lost:?}; \
                  use MatrixKind::Cauchy for a guaranteed-MDS matrix"
+            ),
+            EcError::UnknownCodec(msg) => write!(f, "unknown codec: {msg}"),
+            EcError::MissingSource { shard } => write!(
+                f,
+                "repair-plan source shard {shard} was not provided"
             ),
             EcError::Exec(e) => write!(f, "execution error: {e}"),
         }

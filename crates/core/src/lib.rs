@@ -49,14 +49,18 @@
 //! suite pins the exact correspondence down.
 
 mod codec;
+mod coder;
 mod config;
 mod error;
 mod layout;
+mod lrc;
 mod lru;
 
 pub use codec::RsCodec;
+pub use coder::{codec_for, codec_for_with, codec_names, CodecId, CodecSpec, ErasureCoder};
 pub use config::RsConfig;
 pub use error::EcError;
+pub use lrc::LrcCodec;
 pub use gf256::MatrixKind;
 pub use slp_optimizer::{Compression, OptConfig, Scheduling};
 pub use xor_runtime::Kernel;

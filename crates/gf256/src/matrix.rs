@@ -198,6 +198,49 @@ impl GfMatrix {
         rank
     }
 
+    /// Greedily select a maximal linearly independent subset of the rows
+    /// named by `candidates`, scanning them **in the given order** and
+    /// keeping every row that increases the rank. Returns the kept row
+    /// indices, in candidate order (at most `cols` of them).
+    ///
+    /// The greedy scan over a linear matroid always finds a basis of the
+    /// candidates' span, so *which* basis comes back is steered purely by
+    /// the candidate ordering — that is what lets a locally-repairable
+    /// code put its cheap local-group rows first and only fall back to
+    /// global rows when the pattern demands them.
+    pub fn select_independent_rows(&self, candidates: &[usize]) -> Vec<usize> {
+        // Incremental elimination: `basis` holds already-kept rows in
+        // reduced form, `pivots[k]` the leading column of `basis[k]`.
+        let mut basis: Vec<Vec<Gf>> = Vec::new();
+        let mut pivots: Vec<usize> = Vec::new();
+        let mut chosen = Vec::new();
+        for &r in candidates {
+            if basis.len() == self.cols {
+                break;
+            }
+            assert!(r < self.rows, "row index {r} out of bounds");
+            let mut v: Vec<Gf> = self.row(r).to_vec();
+            for (b, &pc) in basis.iter().zip(&pivots) {
+                let f = v[pc];
+                if !f.is_zero() {
+                    for (x, &bx) in v.iter_mut().zip(b) {
+                        *x += f * bx;
+                    }
+                }
+            }
+            if let Some(pc) = v.iter().position(|x| !x.is_zero()) {
+                let scale = v[pc].inv();
+                for x in v.iter_mut() {
+                    *x *= scale;
+                }
+                basis.push(v);
+                pivots.push(pc);
+                chosen.push(r);
+            }
+        }
+        chosen
+    }
+
     /// Swap two rows in place.
     pub fn swap_rows(&mut self, a: usize, b: usize) {
         if a == b {
@@ -397,5 +440,38 @@ mod tests {
         let a = GfMatrix::zero(2, 3);
         let b = GfMatrix::zero(2, 3);
         let _ = &a * &b;
+    }
+
+    #[test]
+    fn select_independent_rows_prefers_candidate_order() {
+        // Rows: e0, e1, e0+e1 (dependent), e2 — greedy must keep the
+        // first two, skip the dependent row, and finish with e2.
+        let mut m = GfMatrix::zero(4, 3);
+        m[(0, 0)] = Gf(1);
+        m[(1, 1)] = Gf(1);
+        m[(2, 0)] = Gf(1);
+        m[(2, 1)] = Gf(1);
+        m[(3, 2)] = Gf(1);
+        assert_eq!(m.select_independent_rows(&[0, 1, 2, 3]), vec![0, 1, 3]);
+        // A different order keeps the combined row instead of e1.
+        assert_eq!(m.select_independent_rows(&[2, 0, 1, 3]), vec![2, 0, 3]);
+        // Selection stops once the column count is reached.
+        let id = GfMatrix::identity(3);
+        assert_eq!(id.select_independent_rows(&[2, 1, 0]), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn select_independent_rows_selected_set_is_invertible() {
+        let m = GfMatrix::from_fn(6, 4, |i, j| Gf::alpha_pow(i * j));
+        let chosen = m.select_independent_rows(&[5, 4, 3, 2, 1, 0]);
+        assert_eq!(chosen.len(), 4);
+        assert!(m.select_rows(&chosen).invert().is_some());
+    }
+
+    #[test]
+    fn select_independent_rows_rank_deficient() {
+        // All-equal rows: only one survives.
+        let m = GfMatrix::from_fn(3, 3, |_, j| Gf(j as u8 + 1));
+        assert_eq!(m.select_independent_rows(&[0, 1, 2]), vec![0]);
     }
 }

@@ -12,29 +12,32 @@
 //! list (same order) must be given to every client so rendezvous
 //! placement agrees.
 
-use ec_core::RsConfig;
+use ec_core::CodecSpec;
 use ec_store::{Cluster, NodeHandle, OverwriteMode, StoreError};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "\
-xorslp-store — networked erasure-coded object store (RS over XOR SLPs)
+xorslp-store — networked erasure-coded object store over XOR SLPs
 
 USAGE:
     xorslp-store serve     <dir> <addr> [--workers N]
-    xorslp-store put       <cluster> <object> <file> [-n N] [-p P]
-    xorslp-store get       <cluster> <object> <file> [-n N] [-p P]
-    xorslp-store overwrite <cluster> <object> <file> [-n N] [-p P]
-    xorslp-store delete    <cluster> <object>        [-n N] [-p P]
-    xorslp-store list      <cluster>                 [-n N] [-p P]
-    xorslp-store health    <cluster>                 [-n N] [-p P]
-    xorslp-store scrub     <cluster> [--repair]      [-n N] [-p P]
-    xorslp-store repair    <cluster> --dead ADDR [--replacement ADDR] [-n N] [-p P]
+    xorslp-store put       <cluster> <object> <file> [GEOMETRY]
+    xorslp-store get       <cluster> <object> <file> [GEOMETRY]
+    xorslp-store overwrite <cluster> <object> <file> [GEOMETRY]
+    xorslp-store delete    <cluster> <object>        [GEOMETRY]
+    xorslp-store list      <cluster>                 [GEOMETRY]
+    xorslp-store health    <cluster>                 [GEOMETRY]
+    xorslp-store scrub     <cluster> [--repair]      [GEOMETRY]
+    xorslp-store repair    <cluster> --dead ADDR [--replacement ADDR] [GEOMETRY]
 
 ARGS:
     <cluster>  comma-separated node addresses, e.g. 127.0.0.1:7501,127.0.0.1:7502
-    -n / -p    RS geometry (defaults: -n 3 -p 2); must match across all clients
+    GEOMETRY   [-n N] [-p P] [--codec NAME] — shard counts (defaults:
+               -n 3 -p 2) and codec family (rs, evenodd, rdp, lrc,
+               lrc:<r>; default rs); must match across all clients and
+               the codec each object was stored under
 
 VERBS:
     serve      run a shard node: store blobs under <dir>, listen on <addr>
@@ -87,6 +90,7 @@ struct Opts {
     positional: Vec<String>,
     n: usize,
     p: usize,
+    codec: String,
     workers: usize,
     repair: bool,
     dead: Option<String>,
@@ -98,6 +102,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         positional: Vec::new(),
         n: 3,
         p: 2,
+        codec: "rs".to_string(),
         workers: 0,
         repair: false,
         dead: None,
@@ -115,6 +120,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "-n" => opts.n = num(args, &mut i, "-n")?,
             "-p" => opts.p = num(args, &mut i, "-p")?,
             "--workers" => opts.workers = num(args, &mut i, "--workers")?,
+            "--codec" => {
+                i += 1;
+                opts.codec = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--codec needs a name".into()))?
+                    .clone();
+            }
             "--repair" => opts.repair = true,
             "--dead" | "--replacement" => {
                 let flag = args[i].clone();
@@ -142,8 +154,9 @@ fn cluster_from(opts: &Opts, which: usize) -> Result<Cluster, CliError> {
         .get(which)
         .ok_or_else(|| CliError::Usage("missing <cluster> argument".into()))?;
     let nodes: Vec<String> = spec.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
-    Ok(Cluster::new(nodes, RsConfig::new(opts.n, opts.p))?
-        .with_timeout(Duration::from_secs(10)))
+    let codec = CodecSpec::parse(&opts.codec, opts.n, opts.p)
+        .map_err(|e| CliError::Usage(format!("--codec: {e}")))?;
+    Ok(Cluster::with_spec(nodes, &codec)?.with_timeout(Duration::from_secs(10)))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, CliError> {
@@ -200,9 +213,10 @@ fn put(opts: &Opts) -> Result<ExitCode, CliError> {
     let data = std::fs::read(&file)?;
     let report = cluster.put(&object, &data)?;
     println!(
-        "stored `{object}` ({} bytes) as {} shards of {} bytes \
+        "stored `{object}` ({} bytes) under {} as {} shards of {} bytes \
          (manifest on {} nodes)",
         data.len(),
+        cluster.codec().spec().name(),
         report.shards_written,
         report.shard_len,
         report.manifest_replicas
@@ -274,7 +288,19 @@ fn list(opts: &Opts) -> Result<ExitCode, CliError> {
     let cluster = cluster_from(opts, 0)?;
     let objects = cluster.objects()?;
     for object in &objects {
-        println!("{object}");
+        match cluster.manifest(object) {
+            Ok(m) => {
+                let codec = m
+                    .codec_spec()
+                    .map(|s| s.name())
+                    .unwrap_or_else(|e| format!("<invalid codec: {e}>"));
+                println!(
+                    "{object}  {codec}({}, {})  {} bytes",
+                    m.data_shards, m.parity_shards, m.object_len
+                );
+            }
+            Err(e) => println!("{object}  <manifest unreadable: {e}>"),
+        }
     }
     eprintln!("{} objects", objects.len());
     Ok(ExitCode::SUCCESS)
@@ -347,8 +373,9 @@ fn repair(opts: &Opts) -> Result<ExitCode, CliError> {
     let replacement = opts.replacement.clone().unwrap_or_else(|| dead.clone());
     let report = cluster.repair_node(&dead, &replacement)?;
     println!(
-        "repaired {} shards ({} bytes) across {} objects onto {replacement}",
-        report.shards_rebuilt, report.bytes_rebuilt, report.objects_scanned
+        "repaired {} shards ({} bytes, {} survivor bytes read) across {} \
+         objects onto {replacement}",
+        report.shards_rebuilt, report.bytes_rebuilt, report.bytes_read, report.objects_scanned
     );
     for (object, err) in &report.failed {
         println!("object `{object}`: NOT repaired: {err}");

@@ -10,9 +10,11 @@
 //! * `overwrite` is the delta path: only changed data shards ship, and
 //!   parity is brought up to date with the cached per-column programs
 //!   (`old ⊕ new`, not the world);
-//! * `repair_node` rebuilds a dead node's shards onto a replacement from
-//!   any `n` survivors (lost parity goes through the row-subset partial
-//!   programs inside `reconstruct`);
+//! * `repair_node` rebuilds a dead node's shards onto a replacement,
+//!   fetching only the survivors the codec's repair plan names — a
+//!   locally-repairable codec shrinks a single-shard repair to its
+//!   locality group — and falling back to an any-`n` reconstruct when
+//!   the plan's sources are themselves unavailable;
 //! * `scrub` + `repair_object` verify end-to-end CRCs and chunk-wise
 //!   parity consistency, attributing damage per shard via the manifest
 //!   checksums.
@@ -24,7 +26,7 @@ use crate::manifest::{
 };
 use crate::placement;
 use crate::proto::{MAX_BODY, MAX_KEY};
-use ec_core::{RsCodec, RsConfig};
+use ec_core::{codec_for_with, CodecSpec, EcError, ErasureCoder, RsConfig};
 use ec_wire::crc32;
 use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
@@ -280,6 +282,10 @@ pub struct NodeRepairReport {
     pub shards_rebuilt: usize,
     /// Bytes rebuilt onto the replacement node.
     pub bytes_rebuilt: u64,
+    /// Survivor shard bytes fetched to drive the rebuilds — the repair
+    /// traffic. A locality-aware codec keeps this below the any-`n`
+    /// floor by reading only the lost shard's group.
+    pub bytes_read: u64,
     /// Objects that could not be repaired (too few survivors right
     /// now), with the reason.
     pub failed: Vec<(String, String)>,
@@ -302,18 +308,37 @@ pub struct ClusterHealth {
 /// not transactional across nodes, and the delta-overwrite path is a
 /// read-modify-write of parity with no cross-client locking.
 pub struct Cluster {
-    codec: RsCodec,
+    codec: Box<dyn ErasureCoder>,
     nodes: Vec<String>,
     timeout: Duration,
 }
 
 impl Cluster {
-    /// Build a client for `nodes` with the codec configured by `cfg`
-    /// (`cfg.data_shards + cfg.parity_shards` must not exceed the node
-    /// count; extra nodes are spare capacity that rendezvous placement
-    /// will use object-by-object).
+    /// Build a client for `nodes` with the default RS codec configured
+    /// by `cfg` (`cfg.data_shards + cfg.parity_shards` must not exceed
+    /// the node count; extra nodes are spare capacity that rendezvous
+    /// placement will use object-by-object).
     pub fn new(nodes: Vec<String>, cfg: RsConfig) -> Result<Cluster, StoreError> {
-        let total = cfg.data_shards + cfg.parity_shards;
+        let spec = CodecSpec::rs(cfg.data_shards, cfg.parity_shards);
+        Cluster::with_spec_and_config(nodes, &spec, cfg)
+    }
+
+    /// Build a client for `nodes` with any registered codec — the same
+    /// registry store manifests resolve through, so a cluster opened
+    /// with the spec an object was stored under round-trips it.
+    pub fn with_spec(nodes: Vec<String>, spec: &CodecSpec) -> Result<Cluster, StoreError> {
+        let cfg = RsConfig::new(spec.data_shards, spec.parity_shards);
+        Cluster::with_spec_and_config(nodes, spec, cfg)
+    }
+
+    /// [`Cluster::with_spec`] carrying engine knobs (kernel,
+    /// parallelism, cache caps) from `cfg`; geometry comes from `spec`.
+    pub fn with_spec_and_config(
+        nodes: Vec<String>,
+        spec: &CodecSpec,
+        cfg: RsConfig,
+    ) -> Result<Cluster, StoreError> {
+        let total = spec.data_shards + spec.parity_shards;
         if nodes.len() < total {
             return Err(StoreError::InvalidArg(format!(
                 "{} nodes cannot host {} shards per object (n + p = {total})",
@@ -332,7 +357,7 @@ impl Cluster {
                 crate::manifest::MAX_ADDR
             )));
         }
-        let codec = RsCodec::with_config(cfg)?;
+        let codec = codec_for_with(spec, cfg)?;
         Ok(Cluster { codec, nodes, timeout: DEFAULT_TIMEOUT })
     }
 
@@ -343,8 +368,8 @@ impl Cluster {
     }
 
     /// The codec backing this cluster (e.g. for SLP/cache metrics).
-    pub fn codec(&self) -> &RsCodec {
-        &self.codec
+    pub fn codec(&self) -> &dyn ErasureCoder {
+        &*self.codec
     }
 
     /// Current node membership, in configuration order.
@@ -418,9 +443,12 @@ impl Cluster {
         }
         let shards = self.codec.encode(data)?;
         let placement = self.placement_for(object);
+        let spec = self.codec.spec();
         let manifest = Manifest {
-            data_shards: self.codec.data_shards() as u16,
-            parity_shards: self.codec.parity_shards() as u16,
+            data_shards: spec.data_shards as u16,
+            parity_shards: spec.parity_shards as u16,
+            codec_id: spec.id.wire(),
+            group_size: spec.group_size as u16,
             generation,
             object_len: data.len() as u64,
             shard_len: shard_len as u64,
@@ -585,18 +613,23 @@ impl Cluster {
         Err(StoreError::NotFound(object.to_string()))
     }
 
-    /// Check that a fetched manifest matches this cluster's codec.
+    /// Check that a fetched manifest matches this cluster's codec —
+    /// exact [`CodecSpec`] equality, so a same-geometry object stored
+    /// under a different family (or group size) is refused with a typed
+    /// error instead of decoded into garbage.
     fn check_geometry(&self, object: &str, m: &Manifest) -> Result<(), StoreError> {
-        if m.data_shards as usize != self.codec.data_shards()
-            || m.parity_shards as usize != self.codec.parity_shards()
-        {
+        let stored = m.codec_spec().map_err(StoreError::Codec)?;
+        let ours = self.codec.spec();
+        if stored != ours {
             return Err(StoreError::Manifest(format!(
-                "object `{object}` is stored as RS({}, {}) but the cluster is \
-                 configured as RS({}, {})",
-                m.data_shards,
-                m.parity_shards,
-                self.codec.data_shards(),
-                self.codec.parity_shards()
+                "object `{object}` is stored as {}({}, {}) but the cluster is \
+                 configured as {}({}, {})",
+                stored.name(),
+                stored.data_shards,
+                stored.parity_shards,
+                ours.name(),
+                ours.data_shards,
+                ours.parity_shards
             )));
         }
         Ok(())
@@ -632,6 +665,14 @@ impl Cluster {
             }
             Err(e) => Err(ShardFault::Missing(format!("{addr}: {e}"))),
         }
+    }
+
+    /// The freshest live manifest of `object` — no geometry check, so
+    /// this also answers "what codec was this stored under?" for
+    /// objects the current cluster codec cannot read.
+    pub fn manifest(&self, object: &str) -> Result<Manifest, StoreError> {
+        validate_object_name(object)?;
+        self.fetch_manifest(&mut self.conns(), object, None)
     }
 
     /// Read `object` (degrading transparently over up to `p` missing
@@ -706,7 +747,7 @@ impl Cluster {
         data: &[u8],
     ) -> Result<OverwriteReport, StoreError> {
         validate_object_name(object)?;
-        let full_xor = self.codec.encode_slp().xor_count();
+        let full_xor = self.codec.encode_xor_count();
         // `prior` is the live manifest overwrite already fetched — it
         // won the generation election, so `generation + 1` beats every
         // replica and tombstone without a second cluster sweep.
@@ -782,7 +823,7 @@ impl Cluster {
         }
         let delta_xor: usize = changed
             .iter()
-            .map(|&i| self.codec.update_slp(i).map(|slp| slp.xor_count()))
+            .map(|&i| self.codec.update_xor_count(i))
             .sum::<Result<usize, _>>()?;
 
         // Parity RMW: all p parity shards must be present to update in
@@ -1109,6 +1150,80 @@ impl Cluster {
         Ok(report)
     }
 
+    /// Rebuild `lost` from survivors, preferring the codec's repair
+    /// plan: fetch only the shards [`ErasureCoder::repair_sources`]
+    /// names and run the cached subset program — for a single loss
+    /// under LRC that is the shard's locality group, a fraction of the
+    /// any-`n` read floor. Falls back to fetching everything when the
+    /// plan's sources are themselves missing. Fetched survivor bytes
+    /// are tallied into `report.bytes_read`.
+    fn rebuild_lost(
+        &self,
+        conns: &mut ConnSet,
+        object: &str,
+        manifest: &Manifest,
+        dead: &str,
+        lost: &[usize],
+        report: &mut NodeRepairReport,
+    ) -> Result<Vec<Option<Vec<u8>>>, StoreError> {
+        let total = manifest.total_shards();
+        if let Ok(plan) = self.codec.repair_sources(lost) {
+            if plan.len() + lost.len() < total
+                && plan.iter().all(|&i| manifest.placement[i] != dead)
+            {
+                let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
+                let mut bytes = 0u64;
+                let complete = plan.iter().all(|&i| {
+                    match self.fetch_shard(conns, object, manifest, i) {
+                        Ok(s) => {
+                            bytes += s.len() as u64;
+                            shards[i] = Some(s);
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                });
+                if complete {
+                    match self.codec.reconstruct_subset(&mut shards, lost) {
+                        Ok(()) => {
+                            report.bytes_read += bytes;
+                            return Ok(shards);
+                        }
+                        // A source the subset program needs is gone
+                        // after all: retry below against everything.
+                        Err(EcError::MissingSource { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+        }
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
+        let mut bytes = 0u64;
+        for (i, slot) in shards.iter_mut().enumerate() {
+            if manifest.placement[i] == dead {
+                continue; // that's the node we're replacing
+            }
+            if let Ok(s) = self.fetch_shard(conns, object, manifest, i) {
+                bytes += s.len() as u64;
+                *slot = Some(s);
+            }
+        }
+        let have = shards.iter().flatten().count();
+        if have < self.codec.data_shards() {
+            return Err(StoreError::Unavailable {
+                object: object.to_string(),
+                needed: self.codec.data_shards(),
+                have,
+            });
+        }
+        // `reconstruct` rebuilds every missing shard; the caller places
+        // only the dead node's shards — other damage belongs to other
+        // repairs.
+        self.codec.reconstruct(&mut shards)?;
+        report.bytes_read += bytes;
+        Ok(shards)
+    }
+
     fn repair_object_onto(
         &self,
         conns: &mut ConnSet,
@@ -1123,25 +1238,7 @@ impl Cluster {
         let affected: Vec<usize> =
             (0..total).filter(|&i| manifest.placement[i] == dead).collect();
         if !affected.is_empty() {
-            let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
-            for (i, slot) in shards.iter_mut().enumerate() {
-                if manifest.placement[i] == dead {
-                    continue; // that's the node we're replacing
-                }
-                *slot = self.fetch_shard(conns, object, &manifest, i).ok();
-            }
-            let have = shards.iter().flatten().count();
-            if have < self.codec.data_shards() {
-                return Err(StoreError::Unavailable {
-                    object: object.to_string(),
-                    needed: self.codec.data_shards(),
-                    have,
-                });
-            }
-            // `reconstruct` rebuilds every missing shard; only the dead
-            // node's shards are (re)placed here — other damage belongs
-            // to other repairs.
-            self.codec.reconstruct(&mut shards)?;
+            let shards = self.rebuild_lost(conns, object, &manifest, dead, &affected, report)?;
             for &i in &affected {
                 let shard = shards[i].as_deref().expect("reconstructed");
                 conns.with(replacement, |c| c.put(&shard_key(object, i), shard))?;

@@ -11,11 +11,15 @@
 //!   hostile-input hardened, blobs stored as CRC-trailed frames so
 //!   bit-rot is attributable per shard;
 //! * **cluster client** ([`Cluster`]): deterministic rendezvous
-//!   placement with replicated shard-map [`Manifest`]s, striped `put`,
-//!   `get` with **degraded reads** (any `n` of `n + p` live nodes
-//!   reconstruct through the decode-program LRU), delta `overwrite`
-//!   (changed shards + per-column parity updates, not a full re-put),
-//!   and online `repair_node` onto a replacement;
+//!   placement with replicated shard-map [`Manifest`]s, striped `put`
+//!   through any registered [`ec_core::ErasureCoder`] (the manifest
+//!   records the codec; mismatches are typed errors, never garbage
+//!   decodes), `get` with **degraded reads** (any `n` of `n + p` live
+//!   nodes reconstruct through the decode-program LRU), delta
+//!   `overwrite` (changed shards + per-column parity updates, not a
+//!   full re-put), and online `repair_node` onto a replacement that
+//!   fetches only the codec's repair plan — under LRC a single lost
+//!   shard reads just its locality group;
 //! * **scrub** ([`ScrubScheduler`]): periodic end-to-end verification —
 //!   per-shard manifest CRCs plus chunk-wise data↔parity re-encode —
 //!   with automatic repair of what it finds;
@@ -68,7 +72,8 @@ pub use cluster::{
 pub use error::{RemoteErrorCode, StoreError};
 pub use manifest::{
     manifest_key, parse_record, shard_key, tombstone_bytes, Manifest, ManifestRecord,
-    MANIFEST_MAGIC, MANIFEST_VERSION, MAX_OBJECT_NAME, TOMBSTONE_MAGIC,
+    MANIFEST_MAGIC, MANIFEST_VERSION, MAX_OBJECT_NAME, MIN_MANIFEST_VERSION,
+    TOMBSTONE_MAGIC,
 };
 pub use node::NodeHandle;
 pub use placement::{rank_nodes, score};

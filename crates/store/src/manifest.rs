@@ -12,13 +12,18 @@
 
 use crate::error::StoreError;
 use crate::proto::{put_str, PayloadReader, MAX_KEY};
+use ec_core::{CodecId, CodecSpec, EcError};
 use ec_wire::crc32;
 
 /// Magic prefix of the serialized manifest.
 pub const MANIFEST_MAGIC: [u8; 8] = *b"XSLPECM1";
 
-/// Serialization version.
-pub const MANIFEST_VERSION: u8 = 1;
+/// Serialization version this build writes. Version 1 (no codec
+/// identity) is still read and normalizes to the RS codec it implied.
+pub const MANIFEST_VERSION: u8 = 2;
+
+/// Oldest manifest/tombstone version this build still reads.
+pub const MIN_MANIFEST_VERSION: u8 = 1;
 
 /// Upper bound on one node address string in a manifest.
 pub const MAX_ADDR: usize = 256;
@@ -94,9 +99,10 @@ pub fn parse_record(bytes: &[u8]) -> Result<ManifestRecord, StoreError> {
         return Err(StoreError::Manifest("tombstone checksum mismatch".into()));
     }
     let version = body[TOMBSTONE_MAGIC.len()];
-    if version != MANIFEST_VERSION {
+    if !(MIN_MANIFEST_VERSION..=MANIFEST_VERSION).contains(&version) {
         return Err(StoreError::Manifest(format!(
-            "unsupported tombstone version {version} (this build reads {MANIFEST_VERSION})"
+            "unsupported tombstone version {version} (this build reads \
+             {MIN_MANIFEST_VERSION}..={MANIFEST_VERSION})"
         )));
     }
     let generation = u64::from_le_bytes(
@@ -108,10 +114,15 @@ pub fn parse_record(bytes: &[u8]) -> Result<ManifestRecord, StoreError> {
 /// One object's shard map.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Manifest {
-    /// Data shards `n` of the RS(n, p) code the object was encoded with.
+    /// Data shards `n` of the code the object was encoded with.
     pub data_shards: u16,
     /// Parity shards `p`.
     pub parity_shards: u16,
+    /// Wire identifier of the codec family ([`CodecId::wire`]).
+    /// Version 1 manifests normalize to RS (`1`) on read.
+    pub codec_id: u16,
+    /// LRC locality-group size `r`; `0` for every other family.
+    pub group_size: u16,
     /// Monotonic write generation: every `put`, delta `overwrite` and
     /// node repair bumps it, and readers prefer the highest-generation
     /// replica — a node that slept through a write serves a *stale*
@@ -136,6 +147,18 @@ impl Manifest {
         self.data_shards as usize + self.parity_shards as usize
     }
 
+    /// The codec spec the object was encoded under, validated: an
+    /// unknown wire id or an unrealizable geometry is a typed
+    /// [`EcError`], never a garbage decode.
+    pub fn codec_spec(&self) -> Result<CodecSpec, EcError> {
+        CodecSpec::from_wire(
+            self.codec_id,
+            self.group_size,
+            self.data_shards as usize,
+            self.parity_shards as usize,
+        )
+    }
+
     /// Serialize to the wire/blob form (little-endian fields, trailing
     /// CRC-32 over everything before it).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -144,6 +167,8 @@ impl Manifest {
         out.push(MANIFEST_VERSION);
         out.extend_from_slice(&self.data_shards.to_le_bytes());
         out.extend_from_slice(&self.parity_shards.to_le_bytes());
+        out.extend_from_slice(&self.codec_id.to_le_bytes());
+        out.extend_from_slice(&self.group_size.to_le_bytes());
         out.extend_from_slice(&self.generation.to_le_bytes());
         out.extend_from_slice(&self.object_len.to_le_bytes());
         out.extend_from_slice(&self.shard_len.to_le_bytes());
@@ -177,24 +202,28 @@ impl Manifest {
                 return Err("bad manifest magic".into());
             }
             let version = r.u8()?;
-            if version != MANIFEST_VERSION {
+            if !(MIN_MANIFEST_VERSION..=MANIFEST_VERSION).contains(&version) {
                 return Err(format!(
-                    "unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"
+                    "unsupported manifest version {version} (this build reads \
+                     {MIN_MANIFEST_VERSION}..={MANIFEST_VERSION})"
                 ));
             }
             let data_shards = r.u16()?;
             let parity_shards = r.u16()?;
+            // Version 1 predates the codec fields; it meant RS.
+            let (codec_id, group_size) = if version == 1 {
+                (CodecId::Rs.wire(), 0)
+            } else {
+                (r.u16()?, r.u16()?)
+            };
             let generation = r.u64()?;
             let object_len = r.u64()?;
             let shard_len = r.u64()?;
             let total = data_shards as usize + parity_shards as usize;
             if data_shards == 0 || parity_shards == 0 || total > 255 {
                 return Err(format!(
-                    "invalid geometry RS({data_shards}, {parity_shards})"
+                    "invalid geometry ({data_shards}, {parity_shards})"
                 ));
-            }
-            if shard_len % 8 != 0 {
-                return Err(format!("shard length {shard_len} is not packet-aligned"));
             }
             if shard_len.checked_mul(data_shards as u64).is_none_or(|c| c < object_len) {
                 return Err(format!(
@@ -211,6 +240,8 @@ impl Manifest {
             Ok(Manifest {
                 data_shards,
                 parity_shards,
+                codec_id,
+                group_size,
                 generation,
                 object_len,
                 shard_len,
@@ -220,6 +251,19 @@ impl Manifest {
         };
         let manifest = parse(&mut r).map_err(bad)?;
         r.finish().map_err(bad)?;
+        // Typed rejection: unknown codec ids / unrealizable family
+        // geometry surface as `StoreError::Codec`, and the shard-length
+        // alignment check uses the codec's own alignment (8 for the
+        // GF(2^8) codecs, `w` for the array codes).
+        let spec = manifest.codec_spec().map_err(StoreError::Codec)?;
+        let align = spec.shard_alignment().map_err(StoreError::Codec)? as u64;
+        if manifest.shard_len % align != 0 {
+            return Err(bad(format!(
+                "shard length {} is not {align}-aligned for codec {}",
+                manifest.shard_len,
+                spec.name()
+            )));
+        }
         Ok(manifest)
     }
 }
@@ -232,6 +276,8 @@ mod tests {
         Manifest {
             data_shards: 4,
             parity_shards: 2,
+            codec_id: CodecId::Rs.wire(),
+            group_size: 0,
             generation: 3,
             object_len: 1000,
             shard_len: 256,
@@ -315,6 +361,60 @@ mod tests {
         for cut in 8..bytes.len() {
             assert!(parse_record(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn codec_spec_travels_in_the_manifest() {
+        let m = Manifest {
+            codec_id: CodecId::Lrc.wire(),
+            group_size: 2,
+            parity_shards: 3,
+            placement: (0..7).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect(),
+            shard_crc: (0..7).map(|i| 0xBEEF_0000 + i).collect(),
+            ..sample()
+        };
+        let parsed = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.codec_spec().unwrap(), CodecSpec::lrc(4, 3, 2));
+    }
+
+    #[test]
+    fn v1_manifests_read_as_rs() {
+        // Fabricate the version-1 wire form: no codec fields at all.
+        let m = sample();
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.push(1);
+        out.extend_from_slice(&m.data_shards.to_le_bytes());
+        out.extend_from_slice(&m.parity_shards.to_le_bytes());
+        out.extend_from_slice(&m.generation.to_le_bytes());
+        out.extend_from_slice(&m.object_len.to_le_bytes());
+        out.extend_from_slice(&m.shard_len.to_le_bytes());
+        for (addr, crc) in m.placement.iter().zip(&m.shard_crc) {
+            put_str(&mut out, addr);
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        let parsed = Manifest::from_bytes(&out).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.codec_spec().unwrap(), CodecSpec::rs(4, 2));
+    }
+
+    #[test]
+    fn unknown_codec_id_is_typed() {
+        let m = Manifest { codec_id: 999, ..sample() };
+        assert!(matches!(
+            Manifest::from_bytes(&m.to_bytes()),
+            Err(StoreError::Codec(EcError::UnknownCodec(_)))
+        ));
+        // Known id, impossible family geometry (evenodd wants p = 2...
+        // here it gets group_size it cannot take).
+        let m = Manifest { codec_id: CodecId::EvenOdd.wire(), group_size: 3, ..sample() };
+        assert!(matches!(
+            Manifest::from_bytes(&m.to_bytes()),
+            Err(StoreError::Codec(EcError::InvalidParams(_)))
+        ));
     }
 
     #[test]

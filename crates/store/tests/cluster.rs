@@ -3,7 +3,7 @@
 //! scrub attribution, node death under concurrent readers, and the
 //! background scrub scheduler.
 
-use ec_core::RsConfig;
+use ec_core::{CodecSpec, RsConfig};
 use ec_store::{
     Cluster, NodeHandle, OverwriteMode, ScrubCycle, ScrubScheduler, ShardHealth,
     StoreError,
@@ -461,6 +461,76 @@ fn reput_after_membership_change_reclaims_orphans() {
         "stale shard on the reachable ex-member must be reclaimed"
     );
     assert_eq!(cluster_b.get(&name).unwrap(), v2);
+}
+
+/// Locality in action: under LRC(4, 3, r=2) — groups {0,1} and {2,3},
+/// local XOR parities at 4 and 5, a global RS row at 6 — repairing a
+/// node that held one data shard must fetch only the shard's locality
+/// group (its partner + the group parity: 2 shards), not the any-`n`
+/// floor of 4 survivors. `bytes_read` is the proof, and the decode
+/// cache proves the subset program actually ran.
+#[test]
+fn lrc_repair_node_reads_only_the_local_group() {
+    let mut tc = TestCluster::spawn("lrcrepair", 7);
+    let mut cluster = Cluster::with_spec(tc.addrs.clone(), &CodecSpec::lrc(4, 3, 2))
+        .unwrap()
+        .with_timeout(TIMEOUT);
+    let data = sample_data(40_000, 6);
+    cluster.put("obj", &data).unwrap();
+    let shard_len = cluster.codec().shard_len(data.len()) as u64;
+
+    // Kill the node holding data shard 0 (7 shards over 7 nodes: it
+    // holds nothing else).
+    let dead_addr = cluster.manifest("obj").unwrap().placement[0].clone();
+    tc.kill(tc.index_of(&dead_addr));
+    let baseline_decodes = cluster.codec().decode_cache_len();
+
+    let replacement = tc.spawn_replacement("lrc");
+    let report = cluster.repair_node(&dead_addr, &replacement).unwrap();
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    assert_eq!(report.shards_rebuilt, 1);
+    assert_eq!(report.bytes_rebuilt, shard_len);
+    assert_eq!(
+        report.bytes_read,
+        2 * shard_len,
+        "repair must read exactly the locality group, not {} any-n bytes",
+        4 * shard_len
+    );
+    // The group-subset decode program was compiled and cached.
+    assert!(cluster.codec().decode_cache_len() > baseline_decodes);
+    assert!(cluster.scrub().unwrap().clean());
+    assert_eq!(cluster.get("obj").unwrap(), data);
+}
+
+/// The manifest records the codec, and a cluster configured with a
+/// different family — same (n, p)! — is refused with a typed error
+/// instead of decoding garbage through the wrong generator matrix.
+#[test]
+fn mismatched_codec_is_a_typed_refusal() {
+    let tc = TestCluster::spawn("codectrap", 7);
+    let rs = tc.cluster(4, 3);
+    let data = sample_data(9_000, 8);
+    rs.put("obj", &data).unwrap();
+
+    let lrc = Cluster::with_spec(tc.addrs.clone(), &CodecSpec::lrc(4, 3, 2))
+        .unwrap()
+        .with_timeout(TIMEOUT);
+    match lrc.get("obj") {
+        Err(StoreError::Manifest(msg)) => {
+            assert!(msg.contains("rs(4, 3)"), "{msg}");
+            assert!(msg.contains("lrc:2(4, 3)"), "{msg}");
+        }
+        other => panic!("expected a typed codec mismatch, got {other:?}"),
+    }
+    // The recorded codec is still discoverable without matching it…
+    assert_eq!(
+        lrc.manifest("obj").unwrap().codec_spec().unwrap(),
+        CodecSpec::rs(4, 3)
+    );
+    // …and the LRC cluster round-trips objects stored under its own
+    // spec (degraded read included: lose one group member).
+    lrc.put("obj2", &data).unwrap();
+    assert_eq!(lrc.get("obj2").unwrap(), data);
 }
 
 #[test]

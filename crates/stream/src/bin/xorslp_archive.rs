@@ -2,7 +2,7 @@
 //! line.
 //!
 //! ```text
-//! xorslp-archive create  <input> <dir> [-n N] [-p P] [--chunk BYTES]
+//! xorslp-archive create  <input> <dir> [-n N] [-p P] [--chunk BYTES] [--codec NAME]
 //! xorslp-archive info    <dir>
 //! xorslp-archive verify  <dir>
 //! xorslp-archive scrub   <dir>
@@ -14,15 +14,16 @@
 //! `repair`), 2 on hard errors — script-friendly for cron-style
 //! integrity sweeps.
 
+use ec_core::CodecSpec;
 use ec_stream::{Archive, ShardState, StreamError};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-xorslp-archive — streaming erasure-coded archives (RS over XOR SLPs)
+xorslp-archive — streaming erasure-coded archives (XOR-SLP codecs)
 
 USAGE:
-    xorslp-archive create  <input> <dir> [-n N] [-p P] [--chunk BYTES]
+    xorslp-archive create  <input> <dir> [-n N] [-p P] [--chunk BYTES] [--codec NAME]
     xorslp-archive info    <dir>
     xorslp-archive verify  <dir>
     xorslp-archive scrub   <dir>
@@ -31,7 +32,8 @@ USAGE:
 
 VERBS:
     create    split <input> into N data + P parity shard files under <dir>
-              (defaults: -n 6 -p 3 --chunk 1048576)
+              (defaults: -n 6 -p 3 --chunk 1048576 --codec rs;
+               codecs: rs, evenodd, rdp, lrc, lrc:<r>)
     info      print the archive's self-described parameters
     verify    check headers, lengths and per-chunk CRCs; exit 1 on damage
     scrub     verify + full parity-consistency scan; exit 1 on damage
@@ -101,12 +103,20 @@ fn parse_num(args: &[String], i: &mut usize, flag: &str) -> Result<usize, CliErr
 fn create(args: &[String]) -> Result<ExitCode, CliError> {
     let mut positional: Vec<&String> = Vec::new();
     let (mut n, mut p, mut chunk) = (6usize, 3usize, 1 << 20);
+    let mut codec_name = String::from("rs");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "-n" => n = parse_num(args, &mut i, "-n")?,
             "-p" => p = parse_num(args, &mut i, "-p")?,
             "--chunk" => chunk = parse_num(args, &mut i, "--chunk")?,
+            "--codec" => {
+                i += 1;
+                codec_name = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--codec needs a name".into()))?
+                    .clone();
+            }
             _ => positional.push(&args[i]),
         }
         i += 1;
@@ -114,11 +124,16 @@ fn create(args: &[String]) -> Result<ExitCode, CliError> {
     let [input, dir] = positional[..] else {
         return Err(CliError::Usage("create needs <input> and <dir>".into()));
     };
-    let archive = Archive::create(Path::new(input), Path::new(dir), n, p, chunk)?;
+    let spec = CodecSpec::parse(&codec_name, n, p)
+        .map_err(|e| CliError::Usage(format!("--codec: {e}")))?;
+    let archive = Archive::create_with_spec(Path::new(input), Path::new(dir), &spec, chunk)?;
     let m = archive.meta();
     println!(
-        "archived {input} ({} bytes) as RS({n}, {p}) × {} chunks of {} bytes under {dir}",
-        m.original_len, m.chunk_count, m.chunk_size
+        "archived {input} ({} bytes) as {}({n}, {p}) × {} chunks of {} bytes under {dir}",
+        m.original_len,
+        spec.name(),
+        m.chunk_count,
+        m.chunk_size
     );
     println!(
         "{} shard files of {} bytes each (overhead {:.1}%)",
@@ -146,8 +161,12 @@ fn open(args: &[String], verb: &str) -> Result<(Archive, PathBuf), CliError> {
 fn info(args: &[String]) -> Result<ExitCode, CliError> {
     let (archive, dir) = open(args, "info")?;
     let m = archive.meta();
+    let codec = m
+        .codec_spec()
+        .map(|s| s.name())
+        .unwrap_or_else(|e| format!("<invalid: {e}>"));
     println!("archive:       {}", dir.display());
-    println!("code:          RS({}, {})", m.data_shards, m.parity_shards);
+    println!("code:          {codec}({}, {})", m.data_shards, m.parity_shards);
     println!("original size: {} bytes", m.original_len);
     println!("chunk size:    {} bytes", m.chunk_size);
     println!("chunks:        {}", m.chunk_count);

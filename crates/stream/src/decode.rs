@@ -4,7 +4,7 @@
 use ec_wire::crc32;
 use crate::error::StreamError;
 use crate::format::{ArchiveMeta, FRAME_TRAILER_LEN};
-use ec_core::RsCodec;
+use ec_core::ErasureCoder;
 use std::io::{Read, Write};
 
 /// Chunk-wise frame reader over a set of shard sources, shared by
@@ -63,6 +63,12 @@ impl<R: Read> ChunkScanner<R> {
     pub fn good_count(&self) -> usize {
         self.good.iter().filter(|&&g| g).count()
     }
+
+    /// Number of sources still live (not dropped for truncation); the
+    /// next [`ChunkScanner::read_chunk`] reads one frame from each.
+    pub fn live_count(&self) -> usize {
+        self.sources.iter().filter(|s| s.is_some()).count()
+    }
 }
 
 /// Refill a reusable `Option<Vec<u8>>` shard set from a scanner's chunk:
@@ -108,7 +114,7 @@ pub struct ExtractReport {
 /// with missing or corrupt data slices is erasure-decoded from any `n`
 /// surviving slices. Memory stays `O(chunk × (n + p))`.
 pub struct StreamDecoder<'c, R: Read> {
-    codec: &'c RsCodec,
+    codec: &'c dyn ErasureCoder,
     scanner: ChunkScanner<R>,
     /// Reusable shard set + parked buffers for the degraded path.
     shards: Vec<Option<Vec<u8>>>,
@@ -117,20 +123,23 @@ pub struct StreamDecoder<'c, R: Read> {
 
 impl<'c, R: Read> StreamDecoder<'c, R> {
     /// `sources[i]` must be positioned at shard `i`'s first frame (just
-    /// past the header), or `None` for a lost shard. The codec's `(n, p)`
-    /// must match the metadata.
+    /// past the header), or `None` for a lost shard. The codec's full
+    /// spec — family, geometry, group size — must match the metadata's;
+    /// a shape-compatible but different codec would decode garbage, so
+    /// the comparison is exact.
     pub fn new(
-        codec: &'c RsCodec,
+        codec: &'c dyn ErasureCoder,
         meta: ArchiveMeta,
         sources: Vec<Option<R>>,
     ) -> Result<StreamDecoder<'c, R>, StreamError> {
-        if codec.data_shards() != meta.data_shards as usize
-            || codec.parity_shards() != meta.parity_shards as usize
-        {
+        let archive_spec = meta.codec_spec().map_err(StreamError::Codec)?;
+        if codec.spec() != archive_spec {
             return Err(StreamError::Format(format!(
-                "codec RS({}, {}) does not match archive RS({}, {})",
+                "codec {}({}, {}) does not match archive {}({}, {})",
+                codec.spec().name(),
                 codec.data_shards(),
                 codec.parity_shards(),
+                archive_spec.name(),
                 meta.data_shards,
                 meta.parity_shards
             )));
@@ -201,13 +210,18 @@ mod tests {
     use super::*;
     use crate::encode::StreamEncoder;
     use crate::format::HEADER_LEN;
+    use ec_core::{codec_for, CodecSpec};
     use std::io::Cursor;
+
+    fn rs(n: usize, p: usize) -> Box<dyn ErasureCoder> {
+        codec_for(&CodecSpec::rs(n, p)).unwrap()
+    }
 
     fn sample(len: usize) -> Vec<u8> {
         (0..len).map(|i| (i * 89 + 17 + i / 11) as u8).collect()
     }
 
-    fn encode(codec: &RsCodec, chunk: usize, data: &[u8]) -> (ArchiveMeta, Vec<Vec<u8>>) {
+    fn encode(codec: &dyn ErasureCoder, chunk: usize, data: &[u8]) -> (ArchiveMeta, Vec<Vec<u8>>) {
         let sinks: Vec<Cursor<Vec<u8>>> =
             (0..codec.total_shards()).map(|_| Cursor::new(Vec::new())).collect();
         let mut enc = StreamEncoder::new(codec, chunk, sinks).unwrap();
@@ -232,12 +246,12 @@ mod tests {
 
     #[test]
     fn roundtrip_with_losses_and_flips() {
-        let codec = RsCodec::new(4, 2).unwrap();
+        let codec = rs(4, 2);
         let data = sample(4 * 512 * 3 + 200);
-        let (meta, mut files) = encode(&codec, 4 * 512, &data);
+        let (meta, mut files) = encode(&*codec, 4 * 512, &data);
 
         // Clean roundtrip.
-        let mut dec = StreamDecoder::new(&codec, meta, sources(&files, &[])).unwrap();
+        let mut dec = StreamDecoder::new(&*codec, meta, sources(&files, &[])).unwrap();
         let mut out = Vec::new();
         let rep = dec.pump(&mut out).unwrap();
         assert_eq!(out, data);
@@ -245,7 +259,7 @@ mod tests {
         assert_eq!(rep.bytes_written, data.len() as u64);
 
         // Two lost shard streams (p = 2).
-        let mut dec = StreamDecoder::new(&codec, meta, sources(&files, &[0, 5])).unwrap();
+        let mut dec = StreamDecoder::new(&*codec, meta, sources(&files, &[0, 5])).unwrap();
         let mut out = Vec::new();
         let rep = dec.pump(&mut out).unwrap();
         assert_eq!(out, data);
@@ -254,7 +268,7 @@ mod tests {
         // One lost stream plus a bit flip in another: still within p,
         // only the flipped chunk pays the decode.
         files[2][HEADER_LEN + 10] ^= 0x80; // chunk 0 payload of shard 2
-        let mut dec = StreamDecoder::new(&codec, meta, sources(&files, &[4])).unwrap();
+        let mut dec = StreamDecoder::new(&*codec, meta, sources(&files, &[4])).unwrap();
         let mut out = Vec::new();
         let rep = dec.pump(&mut out).unwrap();
         assert_eq!(out, data);
@@ -263,11 +277,11 @@ mod tests {
 
     #[test]
     fn too_much_damage_is_typed() {
-        let codec = RsCodec::new(4, 2).unwrap();
+        let codec = rs(4, 2);
         let data = sample(4096);
-        let (meta, files) = encode(&codec, 1024, &data);
+        let (meta, files) = encode(&*codec, 1024, &data);
         let mut dec =
-            StreamDecoder::new(&codec, meta, sources(&files, &[0, 1, 2])).unwrap();
+            StreamDecoder::new(&*codec, meta, sources(&files, &[0, 1, 2])).unwrap();
         match dec.pump(&mut Vec::new()) {
             Err(StreamError::TooDamaged { chunk: 0, missing: 3, parity: 2 }) => {}
             other => panic!("expected TooDamaged, got {other:?}"),
@@ -276,15 +290,15 @@ mod tests {
 
     #[test]
     fn truncated_source_is_dropped_midstream() {
-        let codec = RsCodec::new(3, 2).unwrap();
+        let codec = rs(3, 2);
         let data = sample(3 * 800);
-        let (meta, mut files) = encode(&codec, 600, &data);
+        let (meta, mut files) = encode(&*codec, 600, &data);
         assert_eq!(meta.chunk_count, 4);
         // Cut shard 1 off after two chunks: its first chunks still serve,
         // later chunks decode without it.
         let keep = HEADER_LEN + 2 * (meta.slice_len(0) + FRAME_TRAILER_LEN);
         files[1].truncate(keep);
-        let mut dec = StreamDecoder::new(&codec, meta, sources(&files, &[])).unwrap();
+        let mut dec = StreamDecoder::new(&*codec, meta, sources(&files, &[])).unwrap();
         let mut out = Vec::new();
         let rep = dec.pump(&mut out).unwrap();
         assert_eq!(out, data);
@@ -293,12 +307,35 @@ mod tests {
 
     #[test]
     fn mismatched_codec_rejected() {
-        let codec = RsCodec::new(5, 2).unwrap();
+        let codec = rs(5, 2);
         let meta = ArchiveMeta::new(4, 2, 1024, 100);
         let srcs: Vec<Option<Cursor<Vec<u8>>>> = (0..6).map(|_| None).collect();
         assert!(matches!(
-            StreamDecoder::new(&codec, meta, srcs),
+            StreamDecoder::new(&*codec, meta, srcs),
             Err(StreamError::Format(_))
         ));
+        // Same (n, p) but a different family: shape-compatible, still a
+        // typed refusal — decoding with the wrong matrix yields garbage.
+        let codec = rs(10, 4);
+        let meta = ArchiveMeta::with_spec(&CodecSpec::lrc(10, 4, 5), 1024, 100);
+        let srcs: Vec<Option<Cursor<Vec<u8>>>> = (0..14).map(|_| None).collect();
+        assert!(matches!(
+            StreamDecoder::new(&*codec, meta, srcs),
+            Err(StreamError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn lrc_stream_roundtrips_with_losses() {
+        let codec = codec_for(&CodecSpec::lrc(4, 3, 2)).unwrap();
+        let data = sample(4 * 300 + 77);
+        let (meta, files) = encode(&*codec, 600, &data);
+        assert_eq!(meta.codec_spec().unwrap(), CodecSpec::lrc(4, 3, 2));
+        // Lose one shard per group plus a global: recoverable for this
+        // LRC, exercised through the trait object end-to-end.
+        let mut dec = StreamDecoder::new(&*codec, meta, sources(&files, &[0, 3, 6])).unwrap();
+        let mut out = Vec::new();
+        dec.pump(&mut out).unwrap();
+        assert_eq!(out, data);
     }
 }

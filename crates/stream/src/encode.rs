@@ -4,7 +4,7 @@
 //! Memory is bounded by `O(chunk × (n + p))` — one staging buffer of
 //! `chunk_size` bytes plus `n + p` shard-slice buffers of
 //! `chunk_size / n` bytes each — never by the stream length. Chunk
-//! encodes go through [`ec_core::RsCodec::encode_into`], so the
+//! encodes go through [`ec_core::ErasureCoder::encode_into`], so the
 //! steady-state loop reuses every buffer and (with `parallelism = 1`)
 //! allocates nothing per chunk; pooled codecs pipeline each chunk's XOR
 //! program across the striped execution engine.
@@ -12,7 +12,7 @@
 use ec_wire::crc32;
 use crate::error::StreamError;
 use crate::format::{ArchiveMeta, ShardHeader, HEADER_LEN};
-use ec_core::RsCodec;
+use ec_core::ErasureCoder;
 use std::io::{Read, Seek, SeekFrom, Write};
 
 /// A chunked streaming encoder over `n + p` seekable sinks.
@@ -23,21 +23,25 @@ use std::io::{Read, Seek, SeekFrom, Write};
 /// writes the real header. Until then the region holds zeros — an
 /// unfinalized (crashed) shard never parses as a valid archive.
 ///
+/// Any registered codec drives the encoder through the
+/// [`ErasureCoder`] boundary — the archive's self-describing header
+/// records which one ([`ArchiveMeta::codec_spec`]).
+///
 /// ```
-/// use ec_core::RsCodec;
+/// use ec_core::{codec_for, CodecSpec};
 /// use ec_stream::StreamEncoder;
 /// use std::io::Cursor;
 ///
-/// let codec = RsCodec::new(4, 2).unwrap();
+/// let codec = codec_for(&CodecSpec::rs(4, 2)).unwrap();
 /// let sinks: Vec<Cursor<Vec<u8>>> = (0..6).map(|_| Cursor::new(Vec::new())).collect();
-/// let mut enc = StreamEncoder::new(&codec, 4096, sinks).unwrap();
+/// let mut enc = StreamEncoder::new(&*codec, 4096, sinks).unwrap();
 /// enc.write_all(&vec![7u8; 10_000]).unwrap();
 /// let (meta, _sinks) = enc.finalize().unwrap();
 /// assert_eq!(meta.chunk_count, 3);
 /// assert_eq!(meta.original_len, 10_000);
 /// ```
 pub struct StreamEncoder<'c, W: Write + Seek> {
-    codec: &'c RsCodec,
+    codec: &'c dyn ErasureCoder,
     chunk_size: usize,
     sinks: Vec<W>,
     /// Staging buffer for one chunk of input; `fill` bytes are pending.
@@ -53,7 +57,7 @@ impl<'c, W: Write + Seek> StreamEncoder<'c, W> {
     /// Start an encode: validates the geometry and reserves the header
     /// region of every sink.
     pub fn new(
-        codec: &'c RsCodec,
+        codec: &'c dyn ErasureCoder,
         chunk_size: usize,
         mut sinks: Vec<W>,
     ) -> Result<StreamEncoder<'c, W>, StreamError> {
@@ -142,9 +146,8 @@ impl<'c, W: Write + Seek> StreamEncoder<'c, W> {
     /// the sinks.
     pub fn finalize(mut self) -> Result<(ArchiveMeta, Vec<W>), StreamError> {
         self.flush_chunk()?;
-        let meta = ArchiveMeta::new(
-            self.codec.data_shards() as u16,
-            self.codec.parity_shards() as u16,
+        let meta = ArchiveMeta::with_spec(
+            &self.codec.spec(),
             self.chunk_size as u32,
             self.total_in,
         );
@@ -162,14 +165,19 @@ impl<'c, W: Write + Seek> StreamEncoder<'c, W> {
 mod tests {
     use super::*;
     use crate::format::FRAME_TRAILER_LEN;
+    use ec_core::{codec_for, CodecSpec};
     use std::io::Cursor;
 
     fn sample(len: usize) -> Vec<u8> {
         (0..len).map(|i| (i * 131 + i / 5 + 3) as u8).collect()
     }
 
+    fn rs(n: usize, p: usize) -> Box<dyn ErasureCoder> {
+        codec_for(&CodecSpec::rs(n, p)).unwrap()
+    }
+
     fn encode_all(
-        codec: &RsCodec,
+        codec: &dyn ErasureCoder,
         chunk: usize,
         data: &[u8],
     ) -> (ArchiveMeta, Vec<Vec<u8>>) {
@@ -183,10 +191,10 @@ mod tests {
 
     #[test]
     fn frames_match_oneshot_encode_per_chunk() {
-        let codec = RsCodec::new(3, 2).unwrap();
+        let codec = rs(3, 2);
         let chunk = 96;
         let data = sample(3 * chunk + 41); // three full chunks + tail
-        let (meta, files) = encode_all(&codec, chunk, &data);
+        let (meta, files) = encode_all(&*codec, chunk, &data);
         assert_eq!(meta.chunk_count, 4);
         assert_eq!(files[0].len() as u64, meta.shard_file_len());
         let mut offset = HEADER_LEN;
@@ -209,12 +217,12 @@ mod tests {
 
     #[test]
     fn write_all_and_pump_agree() {
-        let codec = RsCodec::new(4, 2).unwrap();
+        let codec = rs(4, 2);
         let data = sample(10_000);
-        let (m1, f1) = encode_all(&codec, 777, &data);
+        let (m1, f1) = encode_all(&*codec, 777, &data);
         let sinks: Vec<Cursor<Vec<u8>>> =
             (0..6).map(|_| Cursor::new(Vec::new())).collect();
-        let mut enc = StreamEncoder::new(&codec, 777, sinks).unwrap();
+        let mut enc = StreamEncoder::new(&*codec, 777, sinks).unwrap();
         // Pump through a reader that returns ragged short reads.
         struct Ragged<'a>(&'a [u8], usize);
         impl Read for Ragged<'_> {
@@ -235,8 +243,8 @@ mod tests {
 
     #[test]
     fn empty_stream_produces_header_only_shards() {
-        let codec = RsCodec::new(4, 2).unwrap();
-        let (meta, files) = encode_all(&codec, 1024, &[]);
+        let codec = rs(4, 2);
+        let (meta, files) = encode_all(&*codec, 1024, &[]);
         assert_eq!(meta.chunk_count, 0);
         assert_eq!(meta.original_len, 0);
         for (i, f) in files.iter().enumerate() {
@@ -248,15 +256,15 @@ mod tests {
 
     #[test]
     fn geometry_is_validated() {
-        let codec = RsCodec::new(4, 2).unwrap();
+        let codec = rs(4, 2);
         let five: Vec<Cursor<Vec<u8>>> = (0..5).map(|_| Cursor::new(Vec::new())).collect();
         assert!(matches!(
-            StreamEncoder::new(&codec, 1024, five),
+            StreamEncoder::new(&*codec, 1024, five),
             Err(StreamError::Format(_))
         ));
         let six: Vec<Cursor<Vec<u8>>> = (0..6).map(|_| Cursor::new(Vec::new())).collect();
         assert!(matches!(
-            StreamEncoder::new(&codec, 0, six),
+            StreamEncoder::new(&*codec, 0, six),
             Err(StreamError::Format(_))
         ));
     }

@@ -10,13 +10,19 @@
 
 use ec_wire::crc32;
 use crate::error::StreamError;
+use ec_core::{CodecId, CodecSpec, EcError};
 use std::io::{Read, Write};
 
 /// The 8-byte magic at offset 0: `xorslp_ec` shard, format generation 1.
 pub const MAGIC: [u8; 8] = *b"XSLPECS1";
 
-/// The header format version this implementation reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The header format version this implementation writes. Version 1 (no
+/// codec identity; the fields at offsets 18 and 40 were reserved-zero)
+/// is still read, and normalizes to the RS codec it implied.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest header version this implementation still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Total header length in bytes (fixed for version 1; trailing reserved
 /// space leaves room for additive extensions without a size change).
@@ -30,18 +36,24 @@ pub const FRAME_TRAILER_LEN: usize = 4;
 /// header could demand multi-GiB allocations from a 64-byte file.
 pub const MAX_CHUNK_SIZE: u32 = 1 << 30;
 
-/// Number of packets per shard slice (`w = 8`, mirrors the codec layout;
-/// slice lengths are multiples of this).
+/// Shard-slice alignment of the default RS codec (`w = 8` packets);
+/// the fallback when a header's codec spec is not yet validated.
 const PACKET_ALIGN: u64 = 8;
 
 /// The archive-wide parameters shared by every shard header (everything
 /// except the shard index).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ArchiveMeta {
-    /// Data shards `n` of the RS(n, p) code.
+    /// Data shards `n` of the code.
     pub data_shards: u16,
     /// Parity shards `p`.
     pub parity_shards: u16,
+    /// Wire identifier of the codec family ([`CodecId::wire`]). Version
+    /// 1 headers carried no codec field; they normalize to RS (`1`) on
+    /// read, so mixed v1/v2 RS shard sets still agree on their metadata.
+    pub codec_id: u16,
+    /// LRC locality-group size `r`; `0` for every other family.
+    pub group_size: u16,
     /// Original-data bytes consumed per full chunk.
     pub chunk_size: u32,
     /// Number of chunks (`ceil(original_len / chunk_size)`).
@@ -50,28 +62,69 @@ pub struct ArchiveMeta {
     pub original_len: u64,
 }
 
-/// The format-level slice length: the smallest packet-aligned length
+/// The format-level slice length: the smallest `align`-multiple length
 /// whose `n` shards cover `data_len` bytes (identical to the codec's
-/// `RsCodec::shard_len`, restated here because the format spec owns it).
-pub fn slice_len_for(data_len: u64, data_shards: u16) -> u64 {
-    data_len.div_ceil(data_shards as u64).div_ceil(PACKET_ALIGN) * PACKET_ALIGN
+/// `shard_len`, restated here because the format spec owns it). `align`
+/// comes from [`CodecSpec::shard_alignment`]: 8 for the GF(2^8) codecs,
+/// `w = prime − 1` for the array codes.
+pub fn slice_len_for(data_len: u64, data_shards: u16, align: u64) -> u64 {
+    data_len.div_ceil(data_shards as u64).div_ceil(align) * align
 }
 
 impl ArchiveMeta {
-    /// Derive the metadata for `original_len` bytes archived as RS(n, p)
-    /// in `chunk_size`-byte chunks.
+    /// Derive the metadata for `original_len` bytes archived as the
+    /// default RS(n, p) in `chunk_size`-byte chunks.
     pub fn new(
         data_shards: u16,
         parity_shards: u16,
         chunk_size: u32,
         original_len: u64,
     ) -> ArchiveMeta {
+        ArchiveMeta::with_spec(
+            &CodecSpec::rs(data_shards as usize, parity_shards as usize),
+            chunk_size,
+            original_len,
+        )
+    }
+
+    /// Derive the metadata for `original_len` bytes archived under an
+    /// arbitrary codec spec in `chunk_size`-byte chunks.
+    pub fn with_spec(spec: &CodecSpec, chunk_size: u32, original_len: u64) -> ArchiveMeta {
         let chunk_count = if chunk_size == 0 {
             0
         } else {
             original_len.div_ceil(chunk_size as u64)
         };
-        ArchiveMeta { data_shards, parity_shards, chunk_size, chunk_count, original_len }
+        ArchiveMeta {
+            data_shards: spec.data_shards as u16,
+            parity_shards: spec.parity_shards as u16,
+            codec_id: spec.id.wire(),
+            group_size: spec.group_size as u16,
+            chunk_size,
+            chunk_count,
+            original_len,
+        }
+    }
+
+    /// The codec spec these shards were encoded under, validated: an
+    /// unknown wire id or a geometry the family cannot realize is a
+    /// typed [`EcError`], never a silent misdecode.
+    pub fn codec_spec(&self) -> Result<CodecSpec, EcError> {
+        CodecSpec::from_wire(
+            self.codec_id,
+            self.group_size,
+            self.data_shards as usize,
+            self.parity_shards as usize,
+        )
+    }
+
+    /// Slice alignment implied by the codec spec (8 until the spec
+    /// validates, which every read/write path enforces first).
+    fn shard_align(&self) -> u64 {
+        self.codec_spec()
+            .and_then(|s| s.shard_alignment())
+            .map(|a| a as u64)
+            .unwrap_or(PACKET_ALIGN)
     }
 
     /// Total shards `n + p`.
@@ -92,7 +145,11 @@ impl ArchiveMeta {
 
     /// Per-shard payload bytes of chunk `chunk`'s frame.
     pub fn slice_len(&self, chunk: u64) -> usize {
-        slice_len_for(self.chunk_data_len(chunk) as u64, self.data_shards) as usize
+        slice_len_for(
+            self.chunk_data_len(chunk) as u64,
+            self.data_shards,
+            self.shard_align(),
+        ) as usize
     }
 
     /// The byte length every intact shard file must have.
@@ -107,7 +164,7 @@ impl ArchiveMeta {
     fn checked_shard_file_len(&self) -> Option<u64> {
         let mut len = HEADER_LEN as u64;
         if self.chunk_count > 0 {
-            let full = slice_len_for(self.chunk_size as u64, self.data_shards)
+            let full = slice_len_for(self.chunk_size as u64, self.data_shards, self.shard_align())
                 + FRAME_TRAILER_LEN as u64;
             len = len.checked_add(self.chunk_count.checked_sub(1)?.checked_mul(full)?)?;
             len = len
@@ -130,6 +187,9 @@ impl ArchiveMeta {
                 "n + p = {} exceeds the GF(2^8) limit of 255",
                 self.total_shards()
             ));
+        }
+        if let Err(e) = self.codec_spec() {
+            return Err(e.to_string());
         }
         if self.chunk_size == 0 {
             return Err("chunk size must be positive".into());
@@ -177,11 +237,12 @@ impl ShardHeader {
         b[12..14].copy_from_slice(&m.data_shards.to_le_bytes());
         b[14..16].copy_from_slice(&m.parity_shards.to_le_bytes());
         b[16..18].copy_from_slice(&self.shard_index.to_le_bytes());
-        // b[18..20] reserved, zero
+        b[18..20].copy_from_slice(&m.codec_id.to_le_bytes());
         b[20..24].copy_from_slice(&m.chunk_size.to_le_bytes());
         b[24..32].copy_from_slice(&m.chunk_count.to_le_bytes());
         b[32..40].copy_from_slice(&m.original_len.to_le_bytes());
-        // b[40..60] reserved, zero
+        b[40..42].copy_from_slice(&m.group_size.to_le_bytes());
+        // b[42..60] reserved, zero
         let crc = crc32(&b[..HEADER_LEN - 4]);
         b[60..64].copy_from_slice(&crc.to_le_bytes());
         b
@@ -206,22 +267,35 @@ impl ShardHeader {
         if b[0..8] != MAGIC {
             return Err(StreamError::Format("bad magic (not a shard file)".into()));
         }
-        if le32(8) != FORMAT_VERSION {
+        let version = le32(8);
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StreamError::Format(format!(
-                "unsupported format version {} (this build reads {FORMAT_VERSION})",
-                le32(8)
+                "unsupported format version {version} (this build reads \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             )));
         }
         if le32(60) != crc32(&b[..HEADER_LEN - 4]) {
             return Err(StreamError::Format("header checksum mismatch".into()));
         }
+        // Version 1 predates the codec fields: both offsets were
+        // reserved-zero, and the codec was implicitly RS.
+        let (codec_id, group_size) = if version == 1 {
+            (CodecId::Rs.wire(), 0)
+        } else {
+            (le16(18), le16(40))
+        };
         let meta = ArchiveMeta {
             data_shards: le16(12),
             parity_shards: le16(14),
+            codec_id,
+            group_size,
             chunk_size: le32(20),
             chunk_count: le64(24),
             original_len: le64(32),
         };
+        // Typed rejection first: an unknown wire id or an unrealizable
+        // family geometry is an `EcError`, not a generic format string.
+        meta.codec_spec().map_err(StreamError::Codec)?;
         meta.validate().map_err(StreamError::Format)?;
         let shard_index = le16(16);
         if shard_index as usize >= meta.total_shards() {
@@ -295,13 +369,76 @@ mod tests {
         assert_eq!(m.chunk_data_len(0), 1 << 20);
         assert_eq!(m.chunk_data_len(3), 12345);
         // slice lengths: packet-aligned per-shard splits.
-        assert_eq!(m.slice_len(0), slice_len_for(1 << 20, 10) as usize);
-        assert_eq!(m.slice_len(3), slice_len_for(12345, 10) as usize);
-        assert_eq!(slice_len_for(12345, 10), 1240); // ceil(1234.5)→1235, →8-align 1240
+        assert_eq!(m.slice_len(0), slice_len_for(1 << 20, 10, 8) as usize);
+        assert_eq!(m.slice_len(3), slice_len_for(12345, 10, 8) as usize);
+        assert_eq!(slice_len_for(12345, 10, 8), 1240); // ceil(1234.5)→1235, →8-align 1240
         let expect = HEADER_LEN as u64
-            + 3 * (slice_len_for(1 << 20, 10) + 4)
+            + 3 * (slice_len_for(1 << 20, 10, 8) + 4)
             + (1240 + 4);
         assert_eq!(m.shard_file_len(), expect);
+    }
+
+    #[test]
+    fn codec_spec_travels_in_the_header() {
+        let spec = CodecSpec::lrc(10, 4, 5);
+        let m = ArchiveMeta::with_spec(&spec, 1 << 16, 123_456);
+        let h = ShardHeader { meta: m, shard_index: 11 };
+        let parsed = ShardHeader::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(parsed.meta.codec_spec().unwrap(), spec);
+        assert_eq!(parsed.meta.codec_spec().unwrap().name(), "lrc:5");
+    }
+
+    #[test]
+    fn array_codec_slices_use_the_codec_alignment() {
+        // EVENODD(4): prime 5, w = 4 — slices align to 4, not 8.
+        let spec = CodecSpec::parse("evenodd", 4, 2).unwrap();
+        let m = ArchiveMeta::with_spec(&spec, 100, 250);
+        assert_eq!(spec.shard_alignment().unwrap(), 4);
+        assert_eq!(m.slice_len(0), 28); // ceil(100/4) = 25 → 4-align 28
+        assert_eq!(m.slice_len(2), 16); // tail 50 → ceil(50/4)=13 → 16
+        let h = ShardHeader { meta: m, shard_index: 0 };
+        assert_eq!(ShardHeader::from_bytes(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn v1_headers_read_as_rs() {
+        // Fabricate what a version-1 writer produced: version 1, zeros
+        // in the (then reserved) codec fields, a fresh CRC.
+        let h = ShardHeader { meta: meta(), shard_index: 3 };
+        let mut b = h.to_bytes();
+        b[8..12].copy_from_slice(&1u32.to_le_bytes());
+        b[18..20].copy_from_slice(&[0, 0]);
+        let crc = crc32(&b[..HEADER_LEN - 4]);
+        b[60..64].copy_from_slice(&crc.to_le_bytes());
+        let parsed = ShardHeader::from_bytes(&b).unwrap();
+        // Normalizes to the v2 RS meta — mixed v1/v2 shard sets vote
+        // for identical metadata.
+        assert_eq!(parsed, h);
+        assert_eq!(parsed.meta.codec_spec().unwrap(), CodecSpec::rs(10, 4));
+    }
+
+    #[test]
+    fn unknown_codec_id_is_a_typed_error() {
+        let h = ShardHeader { meta: meta(), shard_index: 0 };
+        let mut b = h.to_bytes();
+        b[18..20].copy_from_slice(&999u16.to_le_bytes());
+        let crc = crc32(&b[..HEADER_LEN - 4]);
+        b[60..64].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            ShardHeader::from_bytes(&b),
+            Err(StreamError::Codec(EcError::UnknownCodec(_)))
+        ));
+        // A known id with a geometry the family cannot realize (rdp
+        // wants exactly two parities) is typed too, never garbage.
+        let mut b = h.to_bytes();
+        b[18..20].copy_from_slice(&3u16.to_le_bytes());
+        let crc = crc32(&b[..HEADER_LEN - 4]);
+        b[60..64].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            ShardHeader::from_bytes(&b),
+            Err(StreamError::Codec(EcError::InvalidParams(_)))
+        ));
     }
 
     #[test]
@@ -321,6 +458,8 @@ mod tests {
         let hostile = ArchiveMeta {
             data_shards: 1,
             parity_shards: 1,
+            codec_id: CodecId::Rs.wire(),
+            group_size: 0,
             chunk_size: 1,
             chunk_count: u64::MAX,
             original_len: u64::MAX,

@@ -6,13 +6,15 @@
 //! crate is the I/O subsystem that takes it to files of any size:
 //!
 //! * [`StreamEncoder`] / [`StreamDecoder`] pump any `Read`/`Write`
-//!   through the codec in fixed-size chunks — memory is
-//!   `O(chunk × (n + p))`, never `O(file)`, and steady-state chunk
-//!   encodes are allocation-free (via [`ec_core::RsCodec::encode_into`]);
+//!   through any registered [`ec_core::ErasureCoder`] in fixed-size
+//!   chunks — memory is `O(chunk × (n + p))`, never `O(file)`, and
+//!   steady-state chunk encodes are allocation-free (via
+//!   [`ec_core::ErasureCoder::encode_into`]);
 //! * the self-describing shard-file format (`docs/FORMAT.md`): magic,
-//!   version, codec parameters, chunk geometry, original length, a
-//!   CRC-32 per chunk payload and a CRC-32 over the header — shards are
-//!   recoverable with no side-channel files;
+//!   version, codec identity and parameters, chunk geometry, original
+//!   length, a CRC-32 per chunk payload and a CRC-32 over the header —
+//!   shards are recoverable with no side-channel files, and `open`
+//!   resolves the recorded codec back through the registry;
 //! * [`Archive`]: `create` / `extract` / `verify` / `scrub` / `repair`
 //!   over a directory of shard files. `verify` pinpoints missing,
 //!   truncated and bit-flipped shards from the checksums; `repair`
@@ -65,7 +67,7 @@ pub use ec_wire::{crc32, Crc32};
 pub use decode::{ExtractReport, StreamDecoder};
 pub use encode::StreamEncoder;
 pub use error::StreamError;
-pub use format::{ArchiveMeta, ShardHeader, FORMAT_VERSION, HEADER_LEN, MAGIC};
+pub use format::{ArchiveMeta, ShardHeader, FORMAT_VERSION, HEADER_LEN, MAGIC, MIN_FORMAT_VERSION};
 
 #[cfg(test)]
 mod proptests;

@@ -1,15 +1,28 @@
 //! Property tests: the streaming path is byte-equivalent to the one-shot
-//! codec across chunk sizes, data lengths and erasure patterns.
+//! codec across chunk sizes, data lengths, erasure patterns — and every
+//! registered codec family.
 
 use crate::{StreamDecoder, StreamEncoder, HEADER_LEN};
-use ec_core::RsCodec;
+use ec_core::{codec_for, CodecSpec, ErasureCoder};
 use proptest::prelude::*;
 use std::io::Cursor;
 use std::sync::OnceLock;
 
-fn codec() -> &'static RsCodec {
-    static CODEC: OnceLock<RsCodec> = OnceLock::new();
-    CODEC.get_or_init(|| RsCodec::new(3, 2).unwrap())
+/// One codec per registered family, geometry small enough that the
+/// proptest stays fast; compiled once.
+fn codecs() -> &'static [Box<dyn ErasureCoder>] {
+    static CODECS: OnceLock<Vec<Box<dyn ErasureCoder>>> = OnceLock::new();
+    CODECS.get_or_init(|| {
+        [
+            CodecSpec::rs(3, 2),
+            CodecSpec::parse("evenodd", 3, 2).unwrap(),
+            CodecSpec::parse("rdp", 3, 2).unwrap(),
+            CodecSpec::lrc(4, 3, 2),
+        ]
+        .iter()
+        .map(|s| codec_for(s).unwrap())
+        .collect()
+    })
 }
 
 /// Chunk sizes crossing every boundary: smaller than a packet row, not a
@@ -22,19 +35,32 @@ proptest! {
 
     #[test]
     fn streaming_roundtrip_equals_oneshot(
+        codec_sel in 0usize..4,
         data in proptest::collection::vec(any::<u8>(), 0..3000),
         chunk_sel in 0usize..CHUNKS.len(),
-        lost_seed in proptest::collection::hash_set(0usize..5, 0..=2),
+        lost_seed in proptest::collection::hash_set(0usize..7, 0..=2),
     ) {
-        let codec = codec();
+        let codec = &*codecs()[codec_sel];
+        let t = codec.total_shards();
         let chunk = CHUNKS[chunk_sel];
 
-        let sinks: Vec<Cursor<Vec<u8>>> = (0..5).map(|_| Cursor::new(Vec::new())).collect();
+        // Keep only losses the codec can tolerate: a pattern is
+        // decodable iff it has a repair plan (LRC is not MDS, so some
+        // ≤ p sets are out).
+        let lost: Vec<usize> = {
+            let mut l: Vec<usize> = lost_seed.iter().map(|&i| i % t).collect();
+            l.sort_unstable();
+            l.dedup();
+            if codec.repair_sources(&l).is_ok() { l } else { Vec::new() }
+        };
+
+        let sinks: Vec<Cursor<Vec<u8>>> = (0..t).map(|_| Cursor::new(Vec::new())).collect();
         let mut enc = StreamEncoder::new(codec, chunk, sinks).unwrap();
         enc.write_all(&data).unwrap();
         let (meta, sinks) = enc.finalize().unwrap();
         let files: Vec<Vec<u8>> = sinks.into_iter().map(Cursor::into_inner).collect();
 
+        prop_assert_eq!(meta.codec_spec().unwrap(), codec.spec());
         prop_assert_eq!(meta.original_len, data.len() as u64);
         prop_assert_eq!(meta.chunk_count, (data.len() as u64).div_ceil(chunk as u64));
         for f in &files {
@@ -62,13 +88,12 @@ proptest! {
             offset += slen + 4;
         }
 
-        // Streaming decode restores the data, with up to p = 2 lost
-        // shard streams.
+        // Streaming decode restores the data around the lost streams.
         let sources: Vec<Option<Cursor<Vec<u8>>>> = files
             .iter()
             .enumerate()
             .map(|(i, f)| {
-                (!lost_seed.contains(&i)).then(|| {
+                (!lost.contains(&i)).then(|| {
                     let mut cur = Cursor::new(f.clone());
                     cur.set_position(HEADER_LEN as u64);
                     cur

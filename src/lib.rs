@@ -11,7 +11,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`codec`] | `ec-core` | the RS(n,p) codec — start here |
+//! | [`codec`] | `ec-core` | the RS(n,p) codec, the [`ErasureCoder`] registry and [`LrcCodec`] — start here |
 //! | [`gf`] | `gf256` | GF(2^8) field and matrix algebra |
 //! | [`bits`] | `bitmatrix` | F2 matrices, companion expansion |
 //! | [`slp`] | `slp` | SLP IR, semantics, metrics, LRU cache model |
@@ -78,10 +78,23 @@
 //! loss of any `p` of them, and its `verify` / `scrub` / `repair` verbs
 //! detect and fix truncated or bit-flipped shards in place. The
 //! `xorslp-archive` binary wires the same verbs for the command line.
+//!
+//! ## Pluggable codecs
+//!
+//! Archives and clusters talk to the codec through the object-safe
+//! [`ErasureCoder`] trait. A [`CodecSpec`] names a family + geometry
+//! (`rs`, `evenodd`, `rdp`, `lrc:<r>`), [`codec_for`] resolves it into
+//! a boxed codec, and every self-describing artifact records the spec's
+//! wire id so `Archive::open` / the store manifest resolve the *right*
+//! codec back out — unknown or mismatched codecs are typed errors. The
+//! locally-repairable [`LrcCodec`] repairs a single lost shard from its
+//! locality group (`r` reads instead of `n`); see "Choosing a codec" in
+//! the README.
 
 pub use array_codes::{ArrayCodec, ArrayCodecError};
 pub use ec_core::{
-    Compression, EcError, Kernel, MatrixKind, OptConfig, RsCodec, RsConfig, Scheduling,
+    codec_for, codec_for_with, codec_names, CodecId, CodecSpec, Compression, EcError,
+    ErasureCoder, Kernel, LrcCodec, MatrixKind, OptConfig, RsCodec, RsConfig, Scheduling,
 };
 pub use ec_store::{Cluster, NodeHandle, ScrubScheduler, StoreError};
 pub use ec_stream::{
