@@ -1,6 +1,14 @@
 //! Object-store throughput over loopback: PUT/GET MB/s and ops/s for
 //! healthy reads, degraded reads and delta overwrites, single client vs
-//! 8 concurrent clients.
+//! 8 concurrent clients — plus three latency-shimmed sections that
+//! *assert* the fan-out rework's wins:
+//!
+//! * uniform per-node delay: put/get cost ~max(per-node RTT), a fraction
+//!   of the serial sum-of-RTT bound;
+//! * one slow node: first-n early-return keeps healthy reads near the
+//!   fast-node RTT instead of the straggler's;
+//! * batch multi-node repair: one pass for two dead nodes reads each
+//!   survivor once — about half the bytes of two sequential passes.
 //!
 //! A plain-main bench (harness = false): spins up an in-process RS(4, 2)
 //! cluster of 6 loopback shard nodes and measures wall-clock through the
@@ -11,7 +19,7 @@
 //! ```
 
 use ec_core::RsConfig;
-use ec_store::{Cluster, NodeHandle, OverwriteMode};
+use ec_store::{Cluster, NodeHandle, NodeOptions, OverwriteMode};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,16 +37,33 @@ struct Fixture {
 
 impl Fixture {
     fn spawn() -> Fixture {
+        Fixture::spawn_with(
+            "main",
+            N + P,
+            |_| NodeOptions { workers: 4, ..NodeOptions::default() },
+        )
+    }
+
+    /// Spawn `count` nodes with per-node options (latency shims).
+    fn spawn_with(
+        tag: &str,
+        count: usize,
+        opts: impl Fn(usize) -> NodeOptions,
+    ) -> Fixture {
         let root = std::env::temp_dir().join(format!(
-            "ec_store_bench_{}",
+            "ec_store_bench_{tag}_{}",
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&root);
-        let nodes: Vec<Option<NodeHandle>> = (0..N + P)
+        let nodes: Vec<Option<NodeHandle>> = (0..count)
             .map(|i| {
                 Some(
-                    NodeHandle::spawn(&root.join(format!("node{i}")), "127.0.0.1:0", 4)
-                        .expect("spawn node"),
+                    NodeHandle::spawn_with(
+                        &root.join(format!("node{i}")),
+                        "127.0.0.1:0",
+                        opts(i),
+                    )
+                    .expect("spawn node"),
                 )
             })
             .collect();
@@ -50,7 +75,11 @@ impl Fixture {
     }
 
     fn cluster(&self) -> Cluster {
-        Cluster::new(self.addrs.clone(), RsConfig::new(N, P))
+        self.cluster_geom(N, P)
+    }
+
+    fn cluster_geom(&self, n: usize, p: usize) -> Cluster {
+        Cluster::new(self.addrs.clone(), RsConfig::new(n, p))
             .expect("cluster")
             .with_timeout(Duration::from_secs(10))
     }
@@ -177,5 +206,198 @@ fn main() {
         "\n(delta overwrite bytes/op counts the shipped shards: 1 changed data \
          shard + {P} parity; a full re-put ships {} shards)",
         N + P,
+    );
+    drop(cluster);
+    drop(fx);
+
+    fanout_vs_serial();
+    first_n_straggler();
+    batch_repair_traffic();
+}
+
+/// Uniform 20 ms service delay on every node of a 14-node RS(10, 4)
+/// cluster: a serial client would pay ~sum of per-node RTTs per
+/// operation; the concurrent fan-out pays ~max, i.e. ~one delay per
+/// request round. Asserted, not just printed.
+fn fanout_vs_serial() {
+    const DELAY: Duration = Duration::from_millis(20);
+    const NODES: usize = 14;
+    const OPS: usize = 4;
+    let fx = Fixture::spawn_with("delay", NODES, |_| NodeOptions {
+        workers: 4,
+        response_delay: Some(DELAY),
+        delay_key_prefix: None,
+    });
+    let cluster = fx.cluster_geom(10, 4);
+    let data: Vec<u8> = (0..64 << 10).map(|i| (i % 251) as u8).collect();
+
+    // PUT = 3 request rounds (manifest election, shard ships, manifest
+    // replication); a serial client pays one delayed request per node
+    // per round.
+    let serial_put = DELAY * (3 * NODES) as u32;
+    let start = Instant::now();
+    for k in 0..OPS {
+        cluster.put(&format!("delay-{k}"), &data).expect("put");
+    }
+    let put_avg = start.elapsed() / OPS as u32;
+
+    // GET = 2 rounds (election + first-n shard fetch).
+    let serial_get = DELAY * (2 * NODES) as u32;
+    let start = Instant::now();
+    for k in 0..OPS {
+        let (got, report) = cluster
+            .get_with_report(&format!("delay-{k}"))
+            .expect("get");
+        assert_eq!(got.len(), data.len());
+        assert!(!report.degraded());
+    }
+    let get_avg = start.elapsed() / OPS as u32;
+
+    println!(
+        "\nFAN-OUT vs serial, RS(10, 4) over {NODES} nodes @ {} ms/response:",
+        DELAY.as_millis()
+    );
+    println!(
+        "  PUT {:>6.1} ms/op  (serial bound {:>6.1} ms)",
+        put_avg.as_secs_f64() * 1e3,
+        serial_put.as_secs_f64() * 1e3
+    );
+    println!(
+        "  GET {:>6.1} ms/op  (serial bound {:>6.1} ms)",
+        get_avg.as_secs_f64() * 1e3,
+        serial_get.as_secs_f64() * 1e3
+    );
+    assert!(
+        put_avg < serial_put / 3,
+        "concurrent PUT must beat a third of the serial sum-of-RTT bound: \
+         {put_avg:?} vs {serial_put:?}"
+    );
+    assert!(
+        get_avg < serial_get / 3,
+        "concurrent GET must beat a third of the serial sum-of-RTT bound: \
+         {get_avg:?} vs {serial_get:?}"
+    );
+}
+
+/// One straggler: node 0 delays shard requests (`s:` keys) by 200 ms.
+/// The first-n read completes on the 10 fast arrivals and abandons the
+/// straggler, so a healthy read stays near the fast-node RTT — nowhere
+/// near the 200 ms a wait-for-all read would pay.
+fn first_n_straggler() {
+    const SLOW: Duration = Duration::from_millis(200);
+    const NODES: usize = 14;
+    const OPS: usize = 4;
+    let fx = Fixture::spawn_with("straggler", NODES, |i| NodeOptions {
+        workers: 4,
+        response_delay: (i == 0).then_some(SLOW),
+        // Only shard fetches are delayed: the manifest election is a
+        // wait-for-all vote (correctness), and slowing `m:` keys would
+        // measure the election, not the first-n read.
+        delay_key_prefix: (i == 0).then(|| "s:".to_string()),
+    });
+    let cluster = fx.cluster_geom(10, 4);
+    let data: Vec<u8> = (0..64 << 10).map(|i| (i % 241) as u8).collect();
+    for k in 0..OPS {
+        // Puts wait for all n + p shard acks, including the slow node's.
+        cluster.put(&format!("strag-{k}"), &data).expect("put");
+    }
+
+    let start = Instant::now();
+    let mut abandoned = 0usize;
+    for k in 0..OPS {
+        let (got, report) = cluster
+            .get_with_report(&format!("strag-{k}"))
+            .expect("get");
+        assert_eq!(got.len(), data.len());
+        assert!(!report.degraded(), "a slow node is not damage");
+        abandoned += report.abandoned().len();
+    }
+    let get_avg = start.elapsed() / OPS as u32;
+    println!(
+        "\nFIRST-N under one {} ms straggler ({NODES} nodes, RS(10, 4)):",
+        SLOW.as_millis()
+    );
+    println!(
+        "  GET {:>6.1} ms/op, {abandoned} straggler fetch(es) abandoned \
+         across {OPS} reads",
+        get_avg.as_secs_f64() * 1e3
+    );
+    assert!(
+        get_avg < SLOW / 2,
+        "a first-n read must not wait out the straggler: {get_avg:?}"
+    );
+}
+
+/// Two nodes die at once. A batch `repair_nodes` pass rebuilds both
+/// with one survivor fetch + one reconstruct per object; two sequential
+/// `repair_node` passes read the survivors twice. Measured as
+/// `bytes_read`, asserted at ~2x.
+fn batch_repair_traffic() {
+    const OPS: usize = 6;
+    let mut fx = Fixture::spawn_with(
+        "batchrepair",
+        N + P,
+        |_| NodeOptions { workers: 4, ..NodeOptions::default() },
+    );
+    let mut cluster = fx.cluster();
+    let data: Vec<u8> = (0..384 << 10).map(|i| (i % 239) as u8).collect();
+    let mut shard_len = 0u64;
+    for k in 0..OPS {
+        shard_len = cluster
+            .put(&format!("br-{k}"), &data)
+            .expect("put")
+            .shard_len as u64;
+    }
+    let kill = |fx: &mut Fixture, addr: &str| {
+        let i = fx.addrs.iter().position(|a| a == addr).expect("addr");
+        fx.nodes[i].take().expect("alive").shutdown();
+    };
+    let spawn_fresh = |fx: &mut Fixture, tag: &str| -> String {
+        let node = NodeHandle::spawn(
+            &fx.root.join(format!("repl-{tag}")),
+            "127.0.0.1:0",
+            4,
+        )
+        .expect("spawn replacement");
+        let addr = node.addr().to_string();
+        fx.nodes.push(Some(node));
+        fx.addrs.push(addr.clone());
+        addr
+    };
+
+    // Batch: both dead nodes repaired in ONE pass.
+    let (dead_a, dead_b) = (fx.addrs[0].clone(), fx.addrs[1].clone());
+    kill(&mut fx, &dead_a);
+    kill(&mut fx, &dead_b);
+    let (repl_a, repl_b) = (spawn_fresh(&mut fx, "a"), spawn_fresh(&mut fx, "b"));
+    let report = cluster
+        .repair_nodes(&[(dead_a, repl_a.clone()), (dead_b, repl_b.clone())])
+        .expect("batch repair");
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    let batch_read = report.bytes_read;
+    // With n + p nodes every object places on every node: each object
+    // rebuilds its two lost shards from exactly n survivors, read once.
+    assert_eq!(batch_read, (OPS * N) as u64 * shard_len);
+
+    // Sequential: kill the replacements (which now hold the same
+    // shards) and repair them one pass per node.
+    kill(&mut fx, &repl_a);
+    kill(&mut fx, &repl_b);
+    let (repl_a2, repl_b2) = (spawn_fresh(&mut fx, "a2"), spawn_fresh(&mut fx, "b2"));
+    let seq_a = cluster.repair_node(&repl_a, &repl_a2).expect("repair a");
+    let seq_b = cluster.repair_node(&repl_b, &repl_b2).expect("repair b");
+    assert!(seq_a.failed.is_empty() && seq_b.failed.is_empty());
+    let seq_read = seq_a.bytes_read + seq_b.bytes_read;
+
+    println!("\nBATCH vs sequential repair of 2 dead nodes (RS({N}, {P}), {OPS} objects):");
+    println!(
+        "  batch repair_nodes: {batch_read} survivor bytes read; two \
+         sequential repair_node passes: {seq_read} ({:.2}x)",
+        seq_read as f64 / batch_read as f64
+    );
+    assert!(
+        seq_read as f64 >= 1.8 * batch_read as f64,
+        "a batch repair must read each survivor about once, not once per \
+         dead node: batch {batch_read}, sequential {seq_read}"
     );
 }

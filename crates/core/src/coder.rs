@@ -280,6 +280,15 @@ pub trait ErasureCoder: Send + Sync {
         self.data_shards() + self.parity_shards()
     }
 
+    /// Whether the code is MDS: *any* `n` of the `n + p` shards decode.
+    /// Readers that stop at the first `n` arrivals (hedged/first-n
+    /// reads) may only do so under an MDS code; a non-MDS codec (LRC)
+    /// must wait for a set it can actually decode. Defaults to `true` —
+    /// RS and the array codes are MDS by construction.
+    fn is_mds(&self) -> bool {
+        true
+    }
+
     /// Shard lengths must be multiples of this.
     fn shard_alignment(&self) -> usize;
 
@@ -461,6 +470,13 @@ impl ErasureCoder for LrcCodec {
             RsCodec::parity_shards(self),
             self.group_size(),
         )
+    }
+
+    /// LRC trades MDS-ness for cheap local repair: some ≤ `p` loss
+    /// patterns are unrecoverable, so "any `n` arrivals" is not a
+    /// decodable set and first-n readers must not stop early.
+    fn is_mds(&self) -> bool {
+        false
     }
 
     fn data_shards(&self) -> usize {

@@ -13,7 +13,7 @@
 //! placement agrees.
 
 use ec_core::CodecSpec;
-use ec_store::{Cluster, NodeHandle, OverwriteMode, StoreError};
+use ec_store::{Cluster, NodeHandle, NodeOptions, OverwriteMode, ShardOutcome, StoreError};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -22,15 +22,16 @@ const USAGE: &str = "\
 xorslp-store — networked erasure-coded object store over XOR SLPs
 
 USAGE:
-    xorslp-store serve     <dir> <addr> [--workers N]
+    xorslp-store serve     <dir> <addr> [--workers N] [--delay-ms N [--delay-prefix P]]
     xorslp-store put       <cluster> <object> <file> [GEOMETRY]
-    xorslp-store get       <cluster> <object> <file> [GEOMETRY]
+    xorslp-store get       <cluster> <object> <file> [--verbose] [GEOMETRY]
     xorslp-store overwrite <cluster> <object> <file> [GEOMETRY]
     xorslp-store delete    <cluster> <object>        [GEOMETRY]
     xorslp-store list      <cluster>                 [GEOMETRY]
     xorslp-store health    <cluster>                 [GEOMETRY]
     xorslp-store scrub     <cluster> [--repair]      [GEOMETRY]
-    xorslp-store repair    <cluster> --dead ADDR [--replacement ADDR] [GEOMETRY]
+    xorslp-store repair    <cluster> --dead ADDR [--replacement ADDR]
+                           [--dead ADDR [--replacement ADDR]]... [GEOMETRY]
 
 ARGS:
     <cluster>  comma-separated node addresses, e.g. 127.0.0.1:7501,127.0.0.1:7502
@@ -41,16 +42,23 @@ ARGS:
 
 VERBS:
     serve      run a shard node: store blobs under <dir>, listen on <addr>
+               (--delay-ms: hold every response N ms — a latency shim for
+               benchmarks; --delay-prefix: only for keys starting with P)
     put        erasure-code <file> across the cluster as <object>
-    get        fetch <object> into <file>; degrades over up to P dead nodes
+    get        fetch <object> into <file>: all N+P shard fetches are
+               issued at once and the read completes on the first N that
+               suffice, abandoning stragglers; degrades over up to P dead
+               nodes (--verbose: per-shard outcome and timing)
     overwrite  replace <object> with <file>, shipping deltas when possible
     delete     remove <object> from all nodes
     list       all objects known to the cluster
     health     per-node liveness and usage
     scrub      verify every object end-to-end; exit 1 on damage
                (--repair: rebuild damaged shards in place first)
-    repair     rebuild a dead node's shards onto --replacement (default:
-               the same address, e.g. after restarting it empty)
+    repair     rebuild dead nodes' shards onto their --replacement (default:
+               the same address, e.g. after restarting it empty); repeat
+               --dead/--replacement pairs to repair several nodes in one
+               batch pass that reads each survivor once
 ";
 
 enum CliError {
@@ -93,8 +101,11 @@ struct Opts {
     codec: String,
     workers: usize,
     repair: bool,
-    dead: Option<String>,
-    replacement: Option<String>,
+    verbose: bool,
+    delay_ms: Option<u64>,
+    delay_prefix: Option<String>,
+    dead: Vec<String>,
+    replacement: Vec<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -105,8 +116,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         codec: "rs".to_string(),
         workers: 0,
         repair: false,
-        dead: None,
-        replacement: None,
+        verbose: false,
+        delay_ms: None,
+        delay_prefix: None,
+        dead: Vec::new(),
+        replacement: Vec::new(),
     };
     let mut i = 0;
     let num = |args: &[String], i: &mut usize, flag: &str| -> Result<usize, CliError> {
@@ -128,6 +142,20 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     .clone();
             }
             "--repair" => opts.repair = true,
+            "--verbose" => opts.verbose = true,
+            "--delay-ms" => {
+                opts.delay_ms = Some(num(args, &mut i, "--delay-ms")? as u64)
+            }
+            "--delay-prefix" => {
+                i += 1;
+                opts.delay_prefix = Some(
+                    args.get(i)
+                        .ok_or_else(|| {
+                            CliError::Usage("--delay-prefix needs a key prefix".into())
+                        })?
+                        .clone(),
+                );
+            }
             "--dead" | "--replacement" => {
                 let flag = args[i].clone();
                 i += 1;
@@ -136,9 +164,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     .ok_or_else(|| CliError::Usage(format!("{flag} needs an address")))?
                     .clone();
                 if flag == "--dead" {
-                    opts.dead = Some(value);
+                    opts.dead.push(value);
                 } else {
-                    opts.replacement = Some(value);
+                    opts.replacement.push(value);
                 }
             }
             other => opts.positional.push(other.to_string()),
@@ -190,8 +218,26 @@ fn serve(opts: &Opts) -> Result<ExitCode, CliError> {
     let [dir, addr] = &opts.positional[..] else {
         return Err(CliError::Usage("serve needs <dir> and <addr>".into()));
     };
-    let node = NodeHandle::spawn(Path::new(dir), addr, opts.workers)?;
-    println!("serving {dir} on {}", node.addr());
+    let node = NodeHandle::spawn_with(
+        Path::new(dir),
+        addr,
+        NodeOptions {
+            workers: opts.workers,
+            response_delay: opts.delay_ms.map(Duration::from_millis),
+            delay_key_prefix: opts.delay_prefix.clone(),
+        },
+    )?;
+    match opts.delay_ms {
+        Some(ms) => println!(
+            "serving {dir} on {} (responses delayed {ms} ms{})",
+            node.addr(),
+            opts.delay_prefix
+                .as_deref()
+                .map(|p| format!(" for keys starting `{p}`"))
+                .unwrap_or_default()
+        ),
+        None => println!("serving {dir} on {}", node.addr()),
+    }
     // Serve until killed; the acceptor and workers do all the work.
     loop {
         std::thread::park();
@@ -245,6 +291,24 @@ fn get(opts: &Opts) -> Result<ExitCode, CliError> {
         );
     } else {
         println!("fetched `{object}` ({} bytes), all shards healthy", data.len());
+    }
+    if opts.verbose {
+        for fetch in &report.shards {
+            let elapsed = fetch
+                .elapsed
+                .map(|d| format!("{:.1} ms", d.as_secs_f64() * 1e3))
+                .unwrap_or_else(|| "-".into());
+            let outcome = match &fetch.outcome {
+                ShardOutcome::Served => "served".to_string(),
+                ShardOutcome::Abandoned => "abandoned (straggler)".to_string(),
+                ShardOutcome::Dead(reason) => format!("dead: {reason}"),
+                ShardOutcome::Corrupt(reason) => format!("corrupt: {reason}"),
+            };
+            println!(
+                "  shard {:>2} @ {}  {elapsed:>10}  {outcome}",
+                fetch.index, fetch.node
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -366,16 +430,38 @@ fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
 
 fn repair(opts: &Opts) -> Result<ExitCode, CliError> {
     let mut cluster = cluster_from(opts, 0)?;
-    let dead = opts
+    if opts.dead.is_empty() {
+        return Err(CliError::Usage("repair needs --dead ADDR".into()));
+    }
+    if !opts.replacement.is_empty() && opts.replacement.len() != opts.dead.len() {
+        return Err(CliError::Usage(
+            "give one --replacement per --dead (or none, to repair each \
+             dead node in place)"
+                .into(),
+        ));
+    }
+    // One batch pass for all pairs: each object's survivors are read
+    // once and every lost shard is placed, however many nodes died.
+    let pairs: Vec<(String, String)> = opts
         .dead
-        .clone()
-        .ok_or_else(|| CliError::Usage("repair needs --dead ADDR".into()))?;
-    let replacement = opts.replacement.clone().unwrap_or_else(|| dead.clone());
-    let report = cluster.repair_node(&dead, &replacement)?;
+        .iter()
+        .enumerate()
+        .map(|(i, dead)| {
+            let replacement =
+                opts.replacement.get(i).unwrap_or(dead).clone();
+            (dead.clone(), replacement)
+        })
+        .collect();
+    let report = cluster.repair_nodes(&pairs)?;
+    let targets: Vec<&str> = pairs.iter().map(|(_, r)| r.as_str()).collect();
     println!(
         "repaired {} shards ({} bytes, {} survivor bytes read) across {} \
-         objects onto {replacement}",
-        report.shards_rebuilt, report.bytes_rebuilt, report.bytes_read, report.objects_scanned
+         objects onto {}",
+        report.shards_rebuilt,
+        report.bytes_rebuilt,
+        report.bytes_read,
+        report.objects_scanned,
+        targets.join(", ")
     );
     for (object, err) in &report.failed {
         println!("object `{object}`: NOT repaired: {err}");

@@ -1,11 +1,27 @@
 //! Client side of the node protocol: one [`NodeClient`] per TCP
-//! connection, with typed request methods and uniform timeouts.
+//! connection, with typed request methods, uniform timeouts, and a
+//! pipelined send/receive path.
+//!
+//! The protocol's request ids (frame v2, `docs/STORE.md`) let several
+//! requests ride one connection concurrently: [`NodeClient::send_batch`]
+//! (or the per-op `send_*` methods) puts frames on the wire without
+//! waiting, and [`NodeClient::recv_matching`] collects answers in *any*
+//! arrival order — responses for other outstanding requests are parked
+//! until their turn. A response carrying an id that was never issued is
+//! a typed protocol violation (a lying or confused node), after which
+//! the connection must be abandoned.
+//!
+//! Pipelining discipline: a batch must be all-small-request (GETs,
+//! DELETEs) or all-small-response (PUTs). Never pipeline a request whose
+//! *response* is large behind a request whose *body* is large — with
+//! both directions full, two finite TCP buffers can deadlock.
 
 use crate::blob::BlobStat;
 use crate::error::StoreError;
 use crate::proto::{
-    op, parse_err, put_str, read_frame, status, write_frame, FrameError, PayloadReader,
+    op, parse_err, put_str, read_frame, status, write_frame, Frame, FrameError, PayloadReader,
 };
+use std::collections::{HashMap, HashSet};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -18,12 +34,31 @@ pub struct NodeHealth {
     pub bytes: u64,
 }
 
-/// One connection to one shard node. Requests are serial
-/// (request/response per frame); several requests may reuse the
-/// connection. All operations observe the connect/read/write timeout
-/// given at [`NodeClient::connect`].
+/// One operation of a pipelined batch (see [`NodeClient::send_batch`]).
+#[derive(Debug)]
+pub enum BatchOp<'a> {
+    /// Store `data` under `key`.
+    Put { key: &'a str, data: &'a [u8] },
+    /// Fetch the blob under `key`.
+    Get { key: &'a str },
+    /// Delete the blob under `key`.
+    Delete { key: &'a str },
+}
+
+/// One connection to one shard node. All operations observe the
+/// connect/read/write timeout given at [`NodeClient::connect`] (each
+/// individual socket read/write, not whole operations — the cluster
+/// layer owns per-operation deadlines).
 pub struct NodeClient {
     stream: TcpStream,
+    next_id: u32,
+    /// Ids issued but not yet resolved. Bounds `parked`: only responses
+    /// to ids in this set are ever parked, so a hostile node cannot grow
+    /// client memory with unsolicited frames.
+    pending: HashSet<u32>,
+    /// Responses that arrived while the caller was waiting for a
+    /// different id.
+    parked: HashMap<u32, Frame>,
 }
 
 impl NodeClient {
@@ -39,18 +74,34 @@ impl NodeClient {
             .ok_or_else(|| {
                 StoreError::InvalidArg(format!("node address `{addr}` resolves to nothing"))
             })?;
-        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        let stream = TcpStream::connect_timeout(&sock, timeout).map_err(StoreError::Io)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
-        Ok(NodeClient { stream })
+        Ok(NodeClient {
+            stream,
+            next_id: 1,
+            pending: HashSet::new(),
+            parked: HashMap::new(),
+        })
     }
 
-    /// Send one request frame and return the `OK` payload (a typed
-    /// [`StoreError::Remote`] for `ERR` answers).
-    fn request(&mut self, tag: u8, parts: &[&[u8]]) -> Result<Vec<u8>, StoreError> {
+    /// Re-bound every subsequent socket read/write. The fan-out layer
+    /// uses this to shrink per-I/O timeouts to an operation deadline's
+    /// remaining budget.
+    pub fn set_io_timeout(&mut self, timeout: Duration) -> Result<(), StoreError> {
+        // A zero timeout would mean "non-blocking", not "expired".
+        let t = timeout.max(Duration::from_millis(1));
+        self.stream.set_read_timeout(Some(t))?;
+        self.stream.set_write_timeout(Some(t))?;
+        Ok(())
+    }
+
+    /// Put one request frame on the wire without waiting for the answer;
+    /// returns the request id to pass to [`NodeClient::recv_matching`].
+    fn send_request(&mut self, tag: u8, parts: &[&[u8]]) -> Result<u32, StoreError> {
         let payload_len: usize = parts.iter().map(|p| p.len()).sum();
-        if payload_len + 2 > crate::proto::MAX_BODY {
+        if payload_len + 6 > crate::proto::MAX_BODY {
             // Checked here so an oversized blob is a typed error, not a
             // panic of `write_frame`'s contract assert.
             return Err(StoreError::InvalidArg(format!(
@@ -59,42 +110,141 @@ impl NodeClient {
                 crate::proto::MAX_BODY
             )));
         }
-        write_frame(&mut self.stream, tag, parts)?;
-        let frame = read_frame(&mut self.stream).map_err(|e| match e {
-            FrameError::Eof => {
-                StoreError::Protocol("node closed the connection mid-request".into())
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(&mut self.stream, tag, Some(id), parts)?;
+        self.pending.insert(id);
+        Ok(id)
+    }
+
+    /// Receive the response for request `id`, tolerating out-of-order
+    /// arrival: responses to *other* outstanding requests are parked and
+    /// handed out when their id is asked for. Returns the `OK` payload,
+    /// a typed [`StoreError::Remote`] for an `ERR` answer, or a
+    /// [`StoreError::Protocol`] for an id that was never issued (after
+    /// which the connection is poisoned and must be dropped).
+    pub fn recv_matching(&mut self, id: u32) -> Result<Vec<u8>, StoreError> {
+        if !self.pending.contains(&id) {
+            return Err(StoreError::Protocol(format!(
+                "request id {id} is not outstanding on this connection"
+            )));
+        }
+        loop {
+            if let Some(frame) = self.parked.remove(&id) {
+                self.pending.remove(&id);
+                return resolve(frame);
             }
-            other => other.into(),
-        })?;
-        match frame.tag {
-            status::OK => Ok(frame.payload),
-            status::ERR => Err(parse_err(&frame.payload)),
-            other => Err(StoreError::Protocol(format!(
-                "unexpected response tag {other:#04x}"
-            ))),
+            let frame = read_frame(&mut self.stream).map_err(|e| match e {
+                FrameError::Eof => {
+                    StoreError::Protocol("node closed the connection mid-request".into())
+                }
+                other => other.into(),
+            })?;
+            match frame.request_id {
+                Some(rid) if rid == id => {
+                    self.pending.remove(&id);
+                    return resolve(frame);
+                }
+                Some(rid) if self.pending.contains(&rid) && !self.parked.contains_key(&rid) => {
+                    self.parked.insert(rid, frame);
+                }
+                Some(rid) => {
+                    // An id we never issued (or a replay of one already
+                    // parked): the node is lying or desynchronized. The
+                    // stream can no longer be trusted.
+                    return Err(StoreError::Protocol(format!(
+                        "response carries unexpected request id {rid}"
+                    )));
+                }
+                None => {
+                    // A version-1 (id-less) frame mid-pipeline: nodes
+                    // answer framing errors this way before closing.
+                    return match frame.tag {
+                        status::ERR => Err(parse_err(&frame.payload)),
+                        _ => Err(StoreError::Protocol(
+                            "un-addressed response frame in a pipelined exchange".into(),
+                        )),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Send one request and wait for its answer (the serial path).
+    fn request(&mut self, tag: u8, parts: &[&[u8]]) -> Result<Vec<u8>, StoreError> {
+        let id = self.send_request(tag, parts)?;
+        self.recv_matching(id)
+    }
+
+    /// Put a whole batch of requests on the wire back-to-back; returns
+    /// the request ids in operation order. Collect the answers with the
+    /// matching `recv_*` method per op (any order). See the module docs
+    /// for the pipelining discipline that avoids TCP-buffer deadlock.
+    pub fn send_batch(&mut self, ops: &[BatchOp<'_>]) -> Result<Vec<u32>, StoreError> {
+        let mut ids = Vec::with_capacity(ops.len());
+        for op in ops {
+            ids.push(match op {
+                BatchOp::Put { key, data } => self.send_put(key, data)?,
+                BatchOp::Get { key } => self.send_get(key)?,
+                BatchOp::Delete { key } => self.send_delete(key)?,
+            });
+        }
+        Ok(ids)
+    }
+
+    /// Pipelined send of a PUT; resolve with [`NodeClient::recv_put`].
+    pub fn send_put(&mut self, key: &str, data: &[u8]) -> Result<u32, StoreError> {
+        let mut head = Vec::with_capacity(2 + key.len());
+        put_str(&mut head, key);
+        self.send_request(op::PUT_SHARD, &[&head, data])
+    }
+
+    /// Resolve a pipelined PUT.
+    pub fn recv_put(&mut self, id: u32) -> Result<(), StoreError> {
+        expect_empty(&self.recv_matching(id)?)
+    }
+
+    /// Pipelined send of a GET; resolve with [`NodeClient::recv_get`].
+    pub fn send_get(&mut self, key: &str) -> Result<u32, StoreError> {
+        self.send_request(op::GET_SHARD, &[&keyed(key)])
+    }
+
+    /// Resolve a pipelined GET.
+    pub fn recv_get(&mut self, id: u32) -> Result<Vec<u8>, StoreError> {
+        self.recv_matching(id)
+    }
+
+    /// Pipelined send of a DELETE; resolve with
+    /// [`NodeClient::recv_delete`].
+    pub fn send_delete(&mut self, key: &str) -> Result<u32, StoreError> {
+        self.send_request(op::DELETE, &[&keyed(key)])
+    }
+
+    /// Resolve a pipelined DELETE; returns whether the key existed.
+    pub fn recv_delete(&mut self, id: u32) -> Result<bool, StoreError> {
+        let payload = self.recv_matching(id)?;
+        match payload[..] {
+            [existed] => Ok(existed != 0),
+            _ => Err(StoreError::Protocol("malformed DELETE response".into())),
         }
     }
 
     /// Store `data` under `key` on the node.
     pub fn put(&mut self, key: &str, data: &[u8]) -> Result<(), StoreError> {
-        let mut head = Vec::with_capacity(2 + key.len());
-        put_str(&mut head, key);
-        let payload = self.request(op::PUT_SHARD, &[&head, data])?;
-        expect_empty(&payload)
+        let id = self.send_put(key, data)?;
+        self.recv_put(id)
     }
 
     /// Fetch the blob under `key`.
     pub fn get(&mut self, key: &str) -> Result<Vec<u8>, StoreError> {
-        self.request(op::GET_SHARD, &[&keyed(key)])
+        let id = self.send_get(key)?;
+        self.recv_get(id)
     }
 
     /// Delete the blob under `key`; returns whether it existed.
     pub fn delete(&mut self, key: &str) -> Result<bool, StoreError> {
-        let payload = self.request(op::DELETE, &[&keyed(key)])?;
-        match payload[..] {
-            [existed] => Ok(existed != 0),
-            _ => Err(StoreError::Protocol("malformed DELETE response".into())),
-        }
+        let id = self.send_delete(key)?;
+        self.recv_delete(id)
     }
 
     /// All keys on the node starting with `prefix`.
@@ -150,6 +300,16 @@ impl NodeClient {
         r.finish()
             .map_err(|e| StoreError::Protocol(format!("malformed HEALTH response: {e}")))?;
         Ok(health)
+    }
+}
+
+fn resolve(frame: Frame) -> Result<Vec<u8>, StoreError> {
+    match frame.tag {
+        status::OK => Ok(frame.payload),
+        status::ERR => Err(parse_err(&frame.payload)),
+        other => Err(StoreError::Protocol(format!(
+            "unexpected response tag {other:#04x}"
+        ))),
     }
 }
 

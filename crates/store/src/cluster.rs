@@ -1,26 +1,36 @@
-//! The cluster client: erasure-coded objects across shard nodes.
+//! The cluster client: erasure-coded objects across shard nodes, with
+//! every multi-node exchange fanned out concurrently so operations cost
+//! ~max(per-node RTT) instead of the sum.
 //!
 //! * `put` stripes an object into `n + p` shards (one `encode` through
-//!   the SLP-optimized codec), places them on the `n + p` top-ranked
-//!   nodes of the object's rendezvous ordering, and replicates a
-//!   [`Manifest`] to every node;
-//! * `get` reads the data shards, and *degrades* transparently: any `n`
-//!   retrievable shards reconstruct the object through the codec's
+//!   the SLP-optimized codec), ships all of them *concurrently* to the
+//!   top-ranked nodes of the object's rendezvous ordering, and
+//!   replicates a [`Manifest`] to every node in one more fan-out round;
+//! * `get` issues all `n + p` shard fetches at once and returns on the
+//!   **first n** that suffice — all data shards, or (for an MDS codec)
+//!   any `n` arrivals — abandoning stragglers, so one slow node does
+//!   not tax every read; degraded reads reconstruct through the codec's
 //!   cached decode programs;
 //! * `overwrite` is the delta path: only changed data shards ship, and
 //!   parity is brought up to date with the cached per-column programs
 //!   (`old ⊕ new`, not the world);
-//! * `repair_node` rebuilds a dead node's shards onto a replacement,
-//!   fetching only the survivors the codec's repair plan names — a
-//!   locally-repairable codec shrinks a single-shard repair to its
-//!   locality group — and falling back to an any-`n` reconstruct when
-//!   the plan's sources are themselves unavailable;
+//! * `repair_nodes` rebuilds any number of simultaneously-dead nodes
+//!   onto replacements in **one survivor fetch + one reconstruct per
+//!   object** (not one pass per dead node), fetching only the shards
+//!   the codec's repair plan names when it applies — a locally
+//!   repairable codec shrinks a single-shard repair to its locality
+//!   group; `repair_node` is the single-pair convenience;
 //! * `scrub` + `repair_object` verify end-to-end CRCs and chunk-wise
-//!   parity consistency, attributing damage per shard via the manifest
-//!   checksums.
+//!   parity consistency with per-object fan-out, attributing damage per
+//!   shard via the manifest checksums; a node found dead is marked once
+//!   in the shared connection state and fast-fails every later touch;
+//! * an optional per-operation deadline ([`Cluster::with_op_deadline`])
+//!   bounds each operation's wall clock and surfaces as the typed
+//!   [`StoreError::Timeout`].
 
 use crate::client::{NodeClient, NodeHealth};
 use crate::error::{RemoteErrorCode, StoreError};
+use crate::fanout::ParallelConnSet;
 use crate::manifest::{
     self, manifest_key, shard_key, validate_object_name, Manifest, ManifestRecord,
 };
@@ -29,64 +39,15 @@ use crate::proto::{MAX_BODY, MAX_KEY};
 use ec_core::{codec_for_with, CodecSpec, EcError, ErasureCoder, RsConfig};
 use ec_wire::crc32;
 use std::collections::{BTreeSet, HashMap};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// One shard-fetch outcome slot as the first-n predicates see it:
+/// `None` = still in flight, outer `Err` = transport failure, inner
+/// `Err` = the node answered but the shard is damaged or absent.
+type FetchSlot = Option<Result<Result<Vec<u8>, ShardFault>, StoreError>>;
 
 /// Default network timeout (connect + each read/write).
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
-
-/// A pool of at-most-one connection per node address, scoped to one
-/// cluster operation. Connect failures mark the node dead for the rest
-/// of the operation (no per-shard reconnect storms against a down
-/// node); request failures drop the possibly-desynced connection and
-/// the next use reconnects. Typed `ERR` answers keep the connection —
-/// the stream is intact, the node just said no.
-struct ConnSet {
-    timeout: Duration,
-    conns: HashMap<String, Option<NodeClient>>,
-}
-
-impl ConnSet {
-    fn new(timeout: Duration) -> ConnSet {
-        ConnSet { timeout, conns: HashMap::new() }
-    }
-
-    fn with<T>(
-        &mut self,
-        addr: &str,
-        f: impl FnOnce(&mut NodeClient) -> Result<T, StoreError>,
-    ) -> Result<T, StoreError> {
-        let mut conn = match self.conns.remove(addr) {
-            Some(None) => {
-                self.conns.insert(addr.to_string(), None);
-                return Err(StoreError::Io(std::io::Error::new(
-                    std::io::ErrorKind::ConnectionRefused,
-                    format!("node {addr} is unreachable (marked dead this operation)"),
-                )));
-            }
-            Some(Some(conn)) => conn,
-            None => match NodeClient::connect(addr, self.timeout) {
-                Ok(conn) => conn,
-                Err(e) => {
-                    self.conns.insert(addr.to_string(), None);
-                    return Err(e);
-                }
-            },
-        };
-        match f(&mut conn) {
-            Ok(v) => {
-                self.conns.insert(addr.to_string(), Some(conn));
-                Ok(v)
-            }
-            Err(e @ StoreError::Remote { .. }) => {
-                self.conns.insert(addr.to_string(), Some(conn));
-                Err(e)
-            }
-            // Transport/framing failure: the connection may be desynced;
-            // drop it and let the next use reconnect.
-            Err(e) => Err(e),
-        }
-    }
-}
 
 /// Result of a [`Cluster::put`].
 #[derive(Clone, Debug)]
@@ -99,18 +60,66 @@ pub struct PutReport {
     pub manifest_replicas: usize,
 }
 
+/// How one shard fetch of a first-n read ended.
+#[derive(Clone, Debug)]
+pub enum ShardOutcome {
+    /// Arrived and passed validation; available to the decode.
+    Served,
+    /// Still in flight when the read already had enough — the straggler
+    /// the first-n path exists to not wait for.
+    Abandoned,
+    /// The node was unreachable, or the blob absent (reason recorded).
+    Dead(String),
+    /// Bytes arrived but failed the manifest checksum / length check.
+    Corrupt(String),
+}
+
+impl ShardOutcome {
+    /// Whether this fetch failed (as opposed to served or abandoned).
+    pub fn failed(&self) -> bool {
+        matches!(self, ShardOutcome::Dead(_) | ShardOutcome::Corrupt(_))
+    }
+}
+
+/// Per-shard observability of one read: what each of the `n + p`
+/// concurrently-issued fetches did, and how long it took.
+#[derive(Clone, Debug)]
+pub struct ShardFetch {
+    /// Shard index.
+    pub index: usize,
+    /// The node the fetch targeted.
+    pub node: String,
+    pub outcome: ShardOutcome,
+    /// Issue-to-completion time (`None` for abandoned fetches).
+    pub elapsed: Option<Duration>,
+}
+
 /// Result of a [`Cluster::get_with_report`].
 #[derive(Clone, Debug)]
 pub struct GetReport {
-    /// Shard indices that could not be retrieved (or failed their
-    /// manifest checksum) and were reconstructed around.
+    /// Shard indices whose fetch *failed* (unreachable node, absent or
+    /// corrupt blob) and were reconstructed around. Abandoned
+    /// stragglers are not failures and are not listed here.
     pub missing: Vec<usize>,
+    /// Every shard fetch of the read, with outcome and timing.
+    pub shards: Vec<ShardFetch>,
 }
 
 impl GetReport {
-    /// Whether the read had to reconstruct (any shard missing).
+    /// Whether the read observed real damage (a failed shard fetch).
+    /// Early-returning past a slow-but-healthy straggler is not
+    /// degradation.
     pub fn degraded(&self) -> bool {
         !self.missing.is_empty()
+    }
+
+    /// Shard indices abandoned as stragglers.
+    pub fn abandoned(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.outcome, ShardOutcome::Abandoned))
+            .map(|s| s.index)
+            .collect()
     }
 }
 
@@ -273,18 +282,20 @@ pub struct ObjectRepairReport {
 /// failed (so objects that *stayed* broken are visible).
 pub type RepairOutcome = (String, Result<ObjectRepairReport, String>);
 
-/// Result of a [`Cluster::repair_node`].
+/// Result of a [`Cluster::repair_node`] / [`Cluster::repair_nodes`].
 #[derive(Clone, Debug, Default)]
 pub struct NodeRepairReport {
     /// Objects whose manifests were examined.
     pub objects_scanned: usize,
-    /// Shards rebuilt onto the replacement node.
+    /// Shards rebuilt onto replacement nodes.
     pub shards_rebuilt: usize,
-    /// Bytes rebuilt onto the replacement node.
+    /// Bytes rebuilt onto replacement nodes.
     pub bytes_rebuilt: u64,
     /// Survivor shard bytes fetched to drive the rebuilds — the repair
     /// traffic. A locality-aware codec keeps this below the any-`n`
-    /// floor by reading only the lost shard's group.
+    /// floor by reading only the lost shard's group, and a batch
+    /// multi-node repair reads each survivor once, not once per dead
+    /// node.
     pub bytes_read: u64,
     /// Objects that could not be repaired (too few survivors right
     /// now), with the reason.
@@ -311,6 +322,9 @@ pub struct Cluster {
     codec: Box<dyn ErasureCoder>,
     nodes: Vec<String>,
     timeout: Duration,
+    /// Per-operation wall-clock bound (`None` = only the per-I/O
+    /// `timeout` applies).
+    op_deadline: Option<Duration>,
 }
 
 impl Cluster {
@@ -358,12 +372,22 @@ impl Cluster {
             )));
         }
         let codec = codec_for_with(spec, cfg)?;
-        Ok(Cluster { codec, nodes, timeout: DEFAULT_TIMEOUT })
+        Ok(Cluster { codec, nodes, timeout: DEFAULT_TIMEOUT, op_deadline: None })
     }
 
     /// Override the network timeout (connect and each read/write).
     pub fn with_timeout(mut self, timeout: Duration) -> Cluster {
         self.timeout = timeout;
+        self
+    }
+
+    /// Bound every operation (`put`/`get`/`scrub`/…) to `deadline` of
+    /// wall clock from the moment it starts. The budget is carried
+    /// through every fan-out round — per-I/O timeouts shrink to the
+    /// remaining time — and once spent the operation fails with the
+    /// typed [`StoreError::Timeout`].
+    pub fn with_op_deadline(mut self, deadline: Duration) -> Cluster {
+        self.op_deadline = Some(deadline);
         self
     }
 
@@ -377,8 +401,11 @@ impl Cluster {
         &self.nodes
     }
 
-    fn conns(&self) -> ConnSet {
-        ConnSet::new(self.timeout)
+    fn conns(&self) -> ParallelConnSet {
+        ParallelConnSet::new(
+            self.timeout,
+            self.op_deadline.map(|d| Instant::now() + d),
+        )
     }
 
     /// The `n + p` node addresses hosting `object`, shard-index order.
@@ -415,7 +442,7 @@ impl Cluster {
         // Replacing an existing (or deleted) object must advance its
         // generation past every live replica *and* every tombstone, so
         // stale records lose the freshest-record vote.
-        let vote = self.fetch_record(&mut conns, object, None);
+        let vote = self.fetch_record(&mut conns, object, &[]);
         let generation = vote.next_generation();
         let prior = vote.current();
         self.put_inner(&mut conns, object, data, generation, prior)
@@ -427,7 +454,7 @@ impl Cluster {
     /// used to reclaim shards its placement orphans.
     fn put_inner(
         &self,
-        conns: &mut ConnSet,
+        conns: &mut ParallelConnSet,
         object: &str,
         data: &[u8],
         generation: u64,
@@ -455,19 +482,39 @@ impl Cluster {
             placement: placement.clone(),
             shard_crc: shards.iter().map(|s| crc32(s)).collect(),
         };
-        for (i, shard) in shards.iter().enumerate() {
-            conns.with(&placement[i], |c| c.put(&shard_key(object, i), shard))?;
+        // All n + p shards ship in one concurrent round: the put costs
+        // ~max(per-node RTT), not the sum. All must land.
+        let jobs: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let key = shard_key(object, i);
+                let shard: &[u8] = shard;
+                (placement[i].clone(), move |c: &mut NodeClient| c.put(&key, shard))
+            })
+            .collect();
+        for result in conns.run_batch(jobs) {
+            result?;
         }
         let replicas = self.replicate_manifest(conns, object, &manifest)?;
         // Membership churn between writes moves placements: shard blobs
         // at ex-locations would otherwise be orphaned forever (invisible
         // to `get`/`delete`, but consuming disk). Best-effort reclaim.
         if let Some(prior) = prior {
-            for (i, addr) in prior.placement.iter().enumerate() {
-                if placement.get(i) != Some(addr) {
-                    let _ = conns.with(addr, |c| c.delete(&shard_key(object, i)));
-                }
-            }
+            let orphans: Vec<(String, String)> = prior
+                .placement
+                .iter()
+                .enumerate()
+                .filter(|(i, addr)| placement.get(*i) != Some(addr))
+                .map(|(i, addr)| (addr.clone(), shard_key(object, i)))
+                .collect();
+            let jobs: Vec<_> = orphans
+                .iter()
+                .map(|(addr, key)| {
+                    (addr.clone(), move |c: &mut NodeClient| c.delete(key))
+                })
+                .collect();
+            let _ = conns.run_batch(jobs);
         }
         Ok(PutReport {
             shards_written: shards.len(),
@@ -476,19 +523,28 @@ impl Cluster {
         })
     }
 
-    /// Write the manifest to every node: mandatory on the placement
-    /// nodes (they are what repair trusts), best-effort elsewhere.
+    /// Write the manifest to every node concurrently: mandatory on the
+    /// placement nodes (they are what repair trusts), best-effort
+    /// elsewhere.
     fn replicate_manifest(
         &self,
-        conns: &mut ConnSet,
+        conns: &mut ParallelConnSet,
         object: &str,
         manifest: &Manifest,
     ) -> Result<usize, StoreError> {
         let bytes = manifest.to_bytes();
         let key = manifest_key(object);
+        let jobs: Vec<_> = self
+            .nodes
+            .iter()
+            .map(|addr| {
+                let (key, bytes) = (&key, &bytes);
+                (addr.clone(), move |c: &mut NodeClient| c.put(key, bytes))
+            })
+            .collect();
         let mut replicas = 0;
-        for addr in &self.nodes {
-            match conns.with(addr, |c| c.put(&key, &bytes)) {
+        for (addr, result) in self.nodes.iter().zip(conns.run_batch(jobs)) {
+            match result {
                 Ok(()) => replicas += 1,
                 Err(e) if manifest.placement.contains(addr) => return Err(e),
                 Err(_) => {}
@@ -508,21 +564,33 @@ impl Cluster {
     pub fn delete(&self, object: &str) -> Result<usize, StoreError> {
         validate_object_name(object)?;
         let mut conns = self.conns();
-        let manifest = self.fetch_manifest(&mut conns, object, None)?;
-        let mut removed = 0;
-        for (i, addr) in manifest.placement.iter().enumerate() {
-            if let Ok(true) = conns.with(addr, |c| c.delete(&shard_key(object, i))) {
-                removed += 1;
-            }
-        }
+        let manifest = self.fetch_manifest(&mut conns, object, &[])?;
+        let jobs: Vec<_> = manifest
+            .placement
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let key = shard_key(object, i);
+                (addr.clone(), move |c: &mut NodeClient| c.delete(&key))
+            })
+            .collect();
+        let removed = conns
+            .run_batch(jobs)
+            .into_iter()
+            .filter(|r| matches!(r, Ok(true)))
+            .count();
         let tomb = manifest::tombstone_bytes(manifest.generation + 1);
         let key = manifest_key(object);
-        let mut accepted = 0;
-        for addr in &self.nodes {
-            if conns.with(addr, |c| c.put(&key, &tomb)).is_ok() {
-                accepted += 1;
-            }
-        }
+        let jobs: Vec<_> = self
+            .nodes
+            .iter()
+            .map(|addr| {
+                let (key, tomb) = (&key, &tomb);
+                (addr.clone(), move |c: &mut NodeClient| c.put(key, tomb))
+            })
+            .collect();
+        let accepted =
+            conns.run_batch(jobs).into_iter().filter(Result::is_ok).count();
         if accepted == 0 {
             return Err(StoreError::Io(std::io::Error::new(
                 std::io::ErrorKind::ConnectionRefused,
@@ -537,20 +605,32 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Poll every node (skipping `exclude`) for the object's manifest
-    /// record and tally the generation election.
+    /// record — one concurrent fan-out round — and tally the generation
+    /// election. The election deliberately waits for *every* reachable
+    /// node: returning on the first few answers could miss the freshest
+    /// generation or a tombstone and resurrect stale data.
     fn fetch_record(
         &self,
-        conns: &mut ConnSet,
+        conns: &mut ParallelConnSet,
         object: &str,
-        exclude: Option<&str>,
+        exclude: &[&str],
     ) -> RecordVote {
         let key = manifest_key(object);
+        let targets: Vec<&String> = self
+            .nodes
+            .iter()
+            .filter(|a| !exclude.contains(&a.as_str()))
+            .collect();
+        let jobs: Vec<_> = targets
+            .iter()
+            .map(|addr| {
+                let key = &key;
+                (addr.to_string(), move |c: &mut NodeClient| c.get(key))
+            })
+            .collect();
         let mut vote = RecordVote::default();
-        for addr in &self.nodes {
-            if Some(addr.as_str()) == exclude {
-                continue;
-            }
-            match conns.with(addr, |c| c.get(&key)) {
+        for result in conns.run_batch(jobs) {
+            match result {
                 Ok(bytes) => {
                     vote.reachable += 1;
                     match manifest::parse_record(&bytes) {
@@ -588,9 +668,9 @@ impl Cluster {
     /// replica exists (rot must not masquerade as "not found").
     fn fetch_manifest(
         &self,
-        conns: &mut ConnSet,
+        conns: &mut ParallelConnSet,
         object: &str,
-        exclude: Option<&str>,
+        exclude: &[&str],
     ) -> Result<Manifest, StoreError> {
         let vote = self.fetch_record(conns, object, exclude);
         let tomb = vote.tombstone.unwrap_or(0);
@@ -635,44 +715,12 @@ impl Cluster {
         Ok(())
     }
 
-    /// Fetch shard `i`, validating length and manifest checksum.
-    fn fetch_shard(
-        &self,
-        conns: &mut ConnSet,
-        object: &str,
-        manifest: &Manifest,
-        i: usize,
-    ) -> Result<Vec<u8>, ShardFault> {
-        let addr = &manifest.placement[i];
-        match conns.with(addr, |c| c.get(&shard_key(object, i))) {
-            Ok(bytes) => {
-                if bytes.len() as u64 != manifest.shard_len {
-                    return Err(ShardFault::Corrupt(format!(
-                        "node {addr} returned {} bytes, manifest says {}",
-                        bytes.len(),
-                        manifest.shard_len
-                    )));
-                }
-                if crc32(&bytes) != manifest.shard_crc[i] {
-                    return Err(ShardFault::Corrupt(format!(
-                        "shard bytes from {addr} fail the manifest checksum"
-                    )));
-                }
-                Ok(bytes)
-            }
-            Err(StoreError::Remote { code: RemoteErrorCode::CorruptBlob, message }) => {
-                Err(ShardFault::Corrupt(format!("{addr}: corrupt blob: {message}")))
-            }
-            Err(e) => Err(ShardFault::Missing(format!("{addr}: {e}"))),
-        }
-    }
-
     /// The freshest live manifest of `object` — no geometry check, so
     /// this also answers "what codec was this stored under?" for
     /// objects the current cluster codec cannot read.
     pub fn manifest(&self, object: &str) -> Result<Manifest, StoreError> {
         validate_object_name(object)?;
-        self.fetch_manifest(&mut self.conns(), object, None)
+        self.fetch_manifest(&mut self.conns(), object, &[])
     }
 
     /// Read `object` (degrading transparently over up to `p` missing
@@ -681,48 +729,87 @@ impl Cluster {
         self.get_with_report(object).map(|(data, _)| data)
     }
 
-    /// [`Cluster::get`] plus which shards had to be reconstructed
-    /// around.
+    /// [`Cluster::get`] plus the per-shard fetch report: which shards
+    /// were served, which failed and were reconstructed around, which
+    /// stragglers the first-n early return abandoned, and how long each
+    /// fetch took.
     pub fn get_with_report(
         &self,
         object: &str,
     ) -> Result<(Vec<u8>, GetReport), StoreError> {
         validate_object_name(object)?;
         let mut conns = self.conns();
-        let manifest = self.fetch_manifest(&mut conns, object, None)?;
+        let manifest = self.fetch_manifest(&mut conns, object, &[])?;
         self.check_geometry(object, &manifest)?;
         let (n, total) = (self.codec.data_shards(), manifest.total_shards());
-        let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
 
-        // Data shards first: a healthy read never touches parity.
-        for (i, slot) in shards.iter_mut().enumerate().take(n) {
-            *slot = self.fetch_shard(&mut conns, object, &manifest, i).ok();
+        // First-n read: issue all n + p fetches concurrently and return
+        // as soon as enough arrived. Preferred stopping set: all data
+        // shards (a straight column-copy decode). Sufficient, for an
+        // MDS codec: any n arrivals — after a short proportional linger
+        // for the data stragglers, since a reconstruction decode is
+        // dearer than a sub-RTT wait. A non-MDS codec (LRC) must not
+        // stop at n arbitrary arrivals at all: some ≤ p loss patterns
+        // are undecodable, so it waits for all data or for every fetch
+        // to settle.
+        let jobs: Vec<_> = (0..total)
+            .map(|i| {
+                (manifest.placement[i].clone(), shard_fetch_job(object, &manifest, i))
+            })
+            .collect();
+        let is_mds = self.codec.is_mds();
+        let served = |o: &FetchSlot| matches!(o, Some(Ok(Ok(_))));
+        let all_data =
+            move |outcomes: &[FetchSlot]| outcomes[..n].iter().all(served);
+        let first = conns.run_first_n(jobs, all_data, move |outcomes| {
+            all_data(outcomes)
+                || (is_mds && outcomes.iter().filter(|o| served(o)).count() >= n)
+        });
+
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
+        let mut fetches = Vec::with_capacity(total);
+        let mut missing = Vec::new();
+        for (i, outcome) in first.outcomes.into_iter().enumerate() {
+            let outcome = match outcome {
+                Some(Ok(Ok(bytes))) => {
+                    shards[i] = Some(bytes);
+                    ShardOutcome::Served
+                }
+                Some(Ok(Err(ShardFault::Corrupt(msg)))) => {
+                    missing.push(i);
+                    ShardOutcome::Corrupt(msg)
+                }
+                Some(Ok(Err(ShardFault::Missing(msg)))) => {
+                    missing.push(i);
+                    ShardOutcome::Dead(msg)
+                }
+                Some(Err(e)) => {
+                    missing.push(i);
+                    ShardOutcome::Dead(format!("{}: {e}", manifest.placement[i]))
+                }
+                None => ShardOutcome::Abandoned,
+            };
+            fetches.push(ShardFetch {
+                index: i,
+                node: manifest.placement[i].clone(),
+                outcome,
+                elapsed: first.elapsed[i],
+            });
         }
-        if shards[..n].iter().any(Option::is_none) {
-            for (i, slot) in shards.iter_mut().enumerate().take(total).skip(n) {
-                *slot = self.fetch_shard(&mut conns, object, &manifest, i).ok();
-            }
-        }
-        let missing: Vec<usize> = (0..total).filter(|&i| shards[i].is_none()).collect();
-        let have = total - missing.len();
-        // A healthy fast path never fetched parity: only the data-shard
-        // completeness matters there.
-        if shards[..n].iter().any(Option::is_none) && have < n {
-            return Err(StoreError::Unavailable {
-                object: object.to_string(),
-                needed: n,
-                have,
+        let have = shards.iter().flatten().count();
+        if have < n {
+            return Err(if first.timed_out {
+                StoreError::Timeout
+            } else {
+                StoreError::Unavailable {
+                    object: object.to_string(),
+                    needed: n,
+                    have,
+                }
             });
         }
         let data = self.codec.decode(&shards, manifest.object_len as usize)?;
-        let missing = if shards[n..].iter().all(Option::is_none) && have >= n {
-            // Fast path: parity was deliberately not fetched; report
-            // only genuinely-missing data shards (none).
-            missing.into_iter().filter(|&i| i < n).collect()
-        } else {
-            missing
-        };
-        Ok((data, GetReport { missing }))
+        Ok((data, GetReport { missing, shards: fetches }))
     }
 
     // ------------------------------------------------------------------
@@ -752,7 +839,7 @@ impl Cluster {
         // won the generation election, so `generation + 1` beats every
         // replica and tombstone without a second cluster sweep.
         let full = |this: &Cluster,
-                    conns: &mut ConnSet,
+                    conns: &mut ParallelConnSet,
                     prior: Manifest|
          -> Result<OverwriteReport, StoreError> {
             let generation = prior.generation + 1;
@@ -767,7 +854,7 @@ impl Cluster {
         };
 
         let mut conns = self.conns();
-        let mut manifest = match self.fetch_manifest(&mut conns, object, None) {
+        let mut manifest = match self.fetch_manifest(&mut conns, object, &[]) {
             Ok(m) => m,
             Err(StoreError::NotFound(_)) => {
                 // Absent (or tombstoned): a plain put re-runs the
@@ -790,13 +877,13 @@ impl Cluster {
             return full(self, &mut conns, manifest);
         }
 
-        // Old data shards (checksum-validated): without all of them the
-        // change set is unknowable — fall back.
+        // Old data shards (checksum-validated), one fan-out round:
+        // without all of them the change set is unknowable — fall back.
         let mut old: Vec<Vec<u8>> = Vec::with_capacity(n);
-        for i in 0..n {
-            match self.fetch_shard(&mut conns, object, &manifest, i) {
-                Ok(shard) => old.push(shard),
-                Err(_) => return full(self, &mut conns, manifest),
+        for result in self.fetch_shards(&mut conns, object, &manifest, &(0..n).collect::<Vec<_>>()) {
+            match result {
+                Some(shard) => old.push(shard),
+                None => return full(self, &mut conns, manifest),
             }
         }
         let new = self.codec.split_data(data);
@@ -828,11 +915,12 @@ impl Cluster {
 
         // Parity RMW: all p parity shards must be present to update in
         // place.
+        let parity_idx: Vec<usize> = (n..n + p).collect();
         let mut parity: Vec<Vec<u8>> = Vec::with_capacity(p);
-        for j in 0..p {
-            match self.fetch_shard(&mut conns, object, &manifest, n + j) {
-                Ok(shard) => parity.push(shard),
-                Err(_) => return full(self, &mut conns, manifest),
+        for result in self.fetch_shards(&mut conns, object, &manifest, &parity_idx) {
+            match result {
+                Some(shard) => parity.push(shard),
+                None => return full(self, &mut conns, manifest),
             }
         }
         {
@@ -843,17 +931,35 @@ impl Cluster {
             }
         }
 
-        // Ship: changed data shards + all parity shards + the manifest.
+        // Ship changed data shards + all parity shards in one round,
+        // then the manifest.
+        let ships: Vec<(String, String, &[u8])> = changed
+            .iter()
+            .map(|&i| {
+                (manifest.placement[i].clone(), shard_key(object, i), new[i].as_slice())
+            })
+            .chain(parity.iter().enumerate().map(|(j, shard)| {
+                (
+                    manifest.placement[n + j].clone(),
+                    shard_key(object, n + j),
+                    shard.as_slice(),
+                )
+            }))
+            .collect();
+        let jobs: Vec<_> = ships
+            .iter()
+            .map(|(addr, key, bytes)| {
+                let (key, bytes) = (key, *bytes);
+                (addr.clone(), move |c: &mut NodeClient| c.put(key, bytes))
+            })
+            .collect();
+        for result in conns.run_batch(jobs) {
+            result?;
+        }
         for &i in &changed {
-            conns.with(&manifest.placement[i], |c| {
-                c.put(&shard_key(object, i), &new[i])
-            })?;
             manifest.shard_crc[i] = crc32(&new[i]);
         }
         for (j, shard) in parity.iter().enumerate() {
-            conns.with(&manifest.placement[n + j], |c| {
-                c.put(&shard_key(object, n + j), shard)
-            })?;
             manifest.shard_crc[n + j] = crc32(shard);
         }
         manifest.object_len = data.len() as u64;
@@ -868,6 +974,58 @@ impl Cluster {
         })
     }
 
+    /// Fetch the given shard indices concurrently; per-index `Some`
+    /// only for shards that arrived and validated.
+    fn fetch_shards(
+        &self,
+        conns: &mut ParallelConnSet,
+        object: &str,
+        manifest: &Manifest,
+        indices: &[usize],
+    ) -> Vec<Option<Vec<u8>>> {
+        let jobs: Vec<_> = indices
+            .iter()
+            .map(|&i| {
+                (manifest.placement[i].clone(), shard_fetch_job(object, manifest, i))
+            })
+            .collect();
+        conns
+            .run_batch(jobs)
+            .into_iter()
+            .map(|r| match r {
+                Ok(Ok(bytes)) => Some(bytes),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Like [`Cluster::fetch_shards`] but keeping the typed fault per
+    /// failed shard (for scrub attribution).
+    fn fetch_shards_attributed(
+        &self,
+        conns: &mut ParallelConnSet,
+        object: &str,
+        manifest: &Manifest,
+        indices: &[usize],
+    ) -> Vec<Result<Vec<u8>, ShardFault>> {
+        let jobs: Vec<_> = indices
+            .iter()
+            .map(|&i| {
+                (manifest.placement[i].clone(), shard_fetch_job(object, manifest, i))
+            })
+            .collect();
+        indices
+            .iter()
+            .zip(conns.run_batch(jobs))
+            .map(|(&i, r)| match r {
+                Ok(inner) => inner,
+                Err(e) => {
+                    Err(ShardFault::Missing(format!("{}: {e}", manifest.placement[i])))
+                }
+            })
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Discovery, health, scrub, repair
     // ------------------------------------------------------------------
@@ -876,7 +1034,7 @@ impl Cluster {
     /// manifests.
     pub fn objects(&self) -> Result<Vec<String>, StoreError> {
         let mut conns = self.conns();
-        let names = self.objects_via(&mut conns, None)?;
+        let names = self.objects_via(&mut conns, &[])?;
         // Tombstoned (deleted) objects still hold an `m:` record on
         // every node; the listing is by key, so filter them through the
         // record election.
@@ -884,7 +1042,7 @@ impl Cluster {
             .into_iter()
             .filter(|name| {
                 !matches!(
-                    self.fetch_manifest(&mut conns, name, None),
+                    self.fetch_manifest(&mut conns, name, &[]),
                     Err(StoreError::NotFound(_))
                 )
             })
@@ -893,41 +1051,62 @@ impl Cluster {
 
     fn objects_via(
         &self,
-        conns: &mut ConnSet,
-        exclude: Option<&str>,
+        conns: &mut ParallelConnSet,
+        exclude: &[&str],
     ) -> Result<Vec<String>, StoreError> {
+        let targets: Vec<&String> = self
+            .nodes
+            .iter()
+            .filter(|a| !exclude.contains(&a.as_str()))
+            .collect();
+        let jobs: Vec<_> = targets
+            .iter()
+            .map(|addr| (addr.to_string(), |c: &mut NodeClient| c.list("m:")))
+            .collect();
         let mut names = BTreeSet::new();
         let mut reachable = 0usize;
-        for addr in &self.nodes {
-            if Some(addr.as_str()) == exclude {
-                continue;
-            }
-            if let Ok(keys) = conns.with(addr, |c| c.list("m:")) {
-                reachable += 1;
-                for key in keys {
-                    names.insert(key["m:".len()..].to_string());
+        let mut timed_out = false;
+        for result in conns.run_batch(jobs) {
+            match result {
+                Ok(keys) => {
+                    reachable += 1;
+                    for key in keys {
+                        names.insert(key["m:".len()..].to_string());
+                    }
                 }
+                Err(StoreError::Timeout) => timed_out = true,
+                Err(_) => {}
             }
         }
         if reachable == 0 {
-            return Err(StoreError::Io(std::io::Error::new(
-                std::io::ErrorKind::ConnectionRefused,
-                "no cluster node is reachable",
-            )));
+            // The operation budget running out is a different story
+            // from every node being down — keep the timeout typed.
+            return Err(if timed_out {
+                StoreError::Timeout
+            } else {
+                StoreError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "no cluster node is reachable",
+                ))
+            });
         }
         Ok(names.into_iter().collect())
     }
 
-    /// Per-node liveness and usage.
+    /// Per-node liveness and usage, probed concurrently.
     pub fn health(&self) -> ClusterHealth {
         let mut conns = self.conns();
+        let jobs: Vec<_> = self
+            .nodes
+            .iter()
+            .map(|addr| (addr.clone(), |c: &mut NodeClient| c.health()))
+            .collect();
         ClusterHealth {
             nodes: self
                 .nodes
                 .iter()
-                .map(|addr| {
-                    (addr.clone(), conns.with(addr, |c| c.health()).ok())
-                })
+                .zip(conns.run_batch(jobs))
+                .map(|(addr, result)| (addr.clone(), result.ok()))
                 .collect(),
         }
     }
@@ -939,22 +1118,30 @@ impl Cluster {
         self.scrub_via(&mut self.conns())
     }
 
-    /// One ConnSet for the whole sweep: a node found dead by the health
-    /// probe fast-fails every later touch this cycle instead of paying
-    /// a fresh connect timeout per damaged object.
-    fn scrub_via(&self, conns: &mut ConnSet) -> Result<ClusterScrubReport, StoreError> {
+    /// One connection set for the whole sweep: the opening health probe
+    /// fans out to every node at once, and a node it finds dead is
+    /// marked dead *once* in the shared state — every later touch this
+    /// cycle fast-fails instead of paying a fresh connect timeout per
+    /// damaged object.
+    fn scrub_via(&self, conns: &mut ParallelConnSet) -> Result<ClusterScrubReport, StoreError> {
+        let jobs: Vec<_> = self
+            .nodes
+            .iter()
+            .map(|addr| (addr.clone(), |c: &mut NodeClient| c.health()))
+            .collect();
         let dead_nodes: Vec<String> = self
             .nodes
             .iter()
-            .filter(|addr| conns.with(addr, |c| c.health()).is_err())
-            .cloned()
+            .zip(conns.run_batch(jobs))
+            .filter(|(_, result)| result.is_err())
+            .map(|(addr, _)| addr.clone())
             .collect();
         let mut report = ClusterScrubReport {
             dead_nodes,
             objects: Vec::new(),
             failed_objects: Vec::new(),
         };
-        for object in self.objects_via(conns, None)? {
+        for object in self.objects_via(conns, &[])? {
             match self.scrub_object(conns, &object) {
                 Ok(scrub) => report.objects.push(scrub),
                 // Tombstoned (deleted) — the key listing can't filter
@@ -968,18 +1155,23 @@ impl Cluster {
 
     fn scrub_object(
         &self,
-        conns: &mut ConnSet,
+        conns: &mut ParallelConnSet,
         object: &str,
     ) -> Result<ObjectScrub, StoreError> {
-        let manifest = self.fetch_manifest(conns, object, None)?;
+        let manifest = self.fetch_manifest(conns, object, &[])?;
         self.check_geometry(object, &manifest)?;
         let total = manifest.total_shards();
+        let all: Vec<usize> = (0..total).collect();
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
         let mut health = Vec::with_capacity(total);
-        for (i, slot) in shards.iter_mut().enumerate() {
-            match self.fetch_shard(conns, object, &manifest, i) {
+        for (i, result) in self
+            .fetch_shards_attributed(conns, object, &manifest, &all)
+            .into_iter()
+            .enumerate()
+        {
+            match result {
                 Ok(bytes) => {
-                    *slot = Some(bytes);
+                    shards[i] = Some(bytes);
                     health.push(ShardHealth::Ok);
                 }
                 Err(fault) => health.push(fault.into()),
@@ -1003,17 +1195,16 @@ impl Cluster {
 
     fn repair_object_via(
         &self,
-        conns: &mut ConnSet,
+        conns: &mut ParallelConnSet,
         object: &str,
     ) -> Result<ObjectRepairReport, StoreError> {
         validate_object_name(object)?;
-        let manifest = self.fetch_manifest(conns, object, None)?;
+        let manifest = self.fetch_manifest(conns, object, &[])?;
         self.check_geometry(object, &manifest)?;
         let total = manifest.total_shards();
-        let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
-        for (i, slot) in shards.iter_mut().enumerate() {
-            *slot = self.fetch_shard(conns, object, &manifest, i).ok();
-        }
+        let all: Vec<usize> = (0..total).collect();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            self.fetch_shards(conns, object, &manifest, &all);
         let damaged: Vec<usize> = (0..total).filter(|&i| shards[i].is_none()).collect();
         if damaged.is_empty() {
             return Ok(ObjectRepairReport::default());
@@ -1104,48 +1295,99 @@ impl Cluster {
     /// (which may equal `dead` for a node that came back empty), update
     /// the manifests, and swap the membership. Objects that cannot be
     /// repaired right now (too few survivors) are reported, not fatal.
+    ///
+    /// The single-pair convenience over [`Cluster::repair_nodes`].
     pub fn repair_node(
         &mut self,
         dead: &str,
         replacement: &str,
     ) -> Result<NodeRepairReport, StoreError> {
-        let dead_pos = self.nodes.iter().position(|a| a == dead);
-        let replacement_member = self.nodes.iter().any(|a| a == replacement);
-        match dead_pos {
-            Some(_) => {
-                if replacement != dead && replacement_member {
+        self.repair_nodes(&[(dead.to_string(), replacement.to_string())])
+    }
+
+    /// Rebuild every shard that lived on any of the dead nodes onto its
+    /// pair's replacement — **one survivor fetch and one reconstruct
+    /// per object**, placing all of that object's lost shards at once,
+    /// instead of one full fetch-and-rebuild pass per dead node. For k
+    /// simultaneous failures this reads each survivor shard once, not k
+    /// times ([`NodeRepairReport::bytes_read`] is the proof).
+    ///
+    /// Each pair follows [`Cluster::repair_node`]'s rules: `dead` must
+    /// be a member (or `replacement` already one — the retry after an
+    /// earlier partial repair swapped the membership), and `replacement
+    /// == dead` means the node restarted empty in place. Memberships
+    /// are swapped after the sweep.
+    pub fn repair_nodes(
+        &mut self,
+        pairs: &[(String, String)],
+    ) -> Result<NodeRepairReport, StoreError> {
+        if pairs.is_empty() {
+            return Err(StoreError::InvalidArg(
+                "no (dead, replacement) pairs given".into(),
+            ));
+        }
+        for (i, (dead, replacement)) in pairs.iter().enumerate() {
+            if replacement.len() > crate::manifest::MAX_ADDR {
+                return Err(StoreError::InvalidArg("replacement address too long".into()));
+            }
+            for (prior_dead, prior_repl) in &pairs[..i] {
+                if prior_dead == dead {
+                    return Err(StoreError::InvalidArg(format!(
+                        "{dead} is listed as dead twice"
+                    )));
+                }
+                if prior_repl == replacement {
+                    return Err(StoreError::InvalidArg(format!(
+                        "{replacement} is the replacement of two nodes"
+                    )));
+                }
+            }
+            if pairs.iter().any(|(d, r)| d != dead && r == dead) {
+                return Err(StoreError::InvalidArg(format!(
+                    "{dead} is both a dead node and a replacement"
+                )));
+            }
+            let dead_member = self.nodes.iter().any(|a| a == dead);
+            let replacement_member = self.nodes.iter().any(|a| a == replacement);
+            match (dead_member, replacement_member) {
+                (true, true) if dead != replacement => {
                     return Err(StoreError::InvalidArg(format!(
                         "{replacement} is already a cluster member"
                     )));
                 }
-            }
-            // Retry path: an earlier (partially failed) repair already
-            // swapped the membership. Re-running with the same pair is
-            // allowed and finishes the objects that failed then.
-            None if replacement_member => {}
-            None => {
-                return Err(StoreError::InvalidArg(format!(
-                    "{dead} is not a cluster member"
-                )));
+                (true, _) => {}
+                // Retry path: an earlier (partially failed) repair
+                // already swapped the membership. Re-running with the
+                // same pair is allowed and finishes the objects that
+                // failed then.
+                (false, true) => {}
+                (false, false) => {
+                    return Err(StoreError::InvalidArg(format!(
+                        "{dead} is not a cluster member"
+                    )));
+                }
             }
         }
-        if replacement.len() > crate::manifest::MAX_ADDR {
-            return Err(StoreError::InvalidArg("replacement address too long".into()));
-        }
+        let dead: Vec<&str> = pairs.iter().map(|(d, _)| d.as_str()).collect();
+        let replacements: HashMap<&str, &str> =
+            pairs.iter().map(|(d, r)| (d.as_str(), r.as_str())).collect();
         let mut conns = self.conns();
-        let objects = self.objects_via(&mut conns, Some(dead))?;
+        let objects = self.objects_via(&mut conns, &dead)?;
         let mut report = NodeRepairReport::default();
         for object in &objects {
             report.objects_scanned += 1;
-            match self.repair_object_onto(&mut conns, object, dead, replacement, &mut report) {
+            match self.repair_object_onto(&mut conns, object, &dead, &replacements, &mut report)
+            {
                 Ok(()) => {}
                 // Tombstoned (deleted) objects need no repair.
                 Err(StoreError::NotFound(_)) => {}
                 Err(e) => report.failed.push((object.clone(), e.to_string())),
             }
         }
-        if let Some(pos) = dead_pos {
-            self.nodes[pos] = replacement.to_string();
+        for (dead, replacement) in pairs {
+            if let Some(pos) = self.nodes.iter().position(|a| a == dead) {
+                self.nodes[pos] = replacement.clone();
+            }
         }
         Ok(report)
     }
@@ -1156,33 +1398,39 @@ impl Cluster {
     /// under LRC that is the shard's locality group, a fraction of the
     /// any-`n` read floor. Falls back to fetching everything when the
     /// plan's sources are themselves missing. Fetched survivor bytes
-    /// are tallied into `report.bytes_read`.
+    /// are tallied into `report.bytes_read` — once per object, however
+    /// many dead nodes `lost` spans.
     fn rebuild_lost(
         &self,
-        conns: &mut ConnSet,
+        conns: &mut ParallelConnSet,
         object: &str,
         manifest: &Manifest,
-        dead: &str,
+        dead: &[&str],
         lost: &[usize],
         report: &mut NodeRepairReport,
     ) -> Result<Vec<Option<Vec<u8>>>, StoreError> {
         let total = manifest.total_shards();
         if let Ok(plan) = self.codec.repair_sources(lost) {
             if plan.len() + lost.len() < total
-                && plan.iter().all(|&i| manifest.placement[i] != dead)
+                && plan
+                    .iter()
+                    .all(|&i| !dead.contains(&manifest.placement[i].as_str()))
             {
                 let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
                 let mut bytes = 0u64;
-                let complete = plan.iter().all(|&i| {
-                    match self.fetch_shard(conns, object, manifest, i) {
-                        Ok(s) => {
+                let mut complete = true;
+                for (&i, fetched) in plan
+                    .iter()
+                    .zip(self.fetch_shards(conns, object, manifest, &plan))
+                {
+                    match fetched {
+                        Some(s) => {
                             bytes += s.len() as u64;
                             shards[i] = Some(s);
-                            true
                         }
-                        Err(_) => false,
+                        None => complete = false,
                     }
-                });
+                }
                 if complete {
                     match self.codec.reconstruct_subset(&mut shards, lost) {
                         Ok(()) => {
@@ -1197,15 +1445,18 @@ impl Cluster {
                 }
             }
         }
+        let survivors: Vec<usize> = (0..total)
+            .filter(|&i| !dead.contains(&manifest.placement[i].as_str()))
+            .collect();
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
         let mut bytes = 0u64;
-        for (i, slot) in shards.iter_mut().enumerate() {
-            if manifest.placement[i] == dead {
-                continue; // that's the node we're replacing
-            }
-            if let Ok(s) = self.fetch_shard(conns, object, manifest, i) {
+        for (&i, fetched) in survivors
+            .iter()
+            .zip(self.fetch_shards(conns, object, manifest, &survivors))
+        {
+            if let Some(s) = fetched {
                 bytes += s.len() as u64;
-                *slot = Some(s);
+                shards[i] = Some(s);
             }
         }
         let have = shards.iter().flatten().count();
@@ -1217,32 +1468,51 @@ impl Cluster {
             });
         }
         // `reconstruct` rebuilds every missing shard; the caller places
-        // only the dead node's shards — other damage belongs to other
+        // only the dead nodes' shards — other damage belongs to other
         // repairs.
         self.codec.reconstruct(&mut shards)?;
         report.bytes_read += bytes;
         Ok(shards)
     }
 
+    /// Repair one object across all dead nodes at once: find every
+    /// shard placed on a dead node, rebuild them in a single
+    /// reconstruct from one survivor fetch, and place each onto its
+    /// dead node's replacement.
     fn repair_object_onto(
         &self,
-        conns: &mut ConnSet,
+        conns: &mut ParallelConnSet,
         object: &str,
-        dead: &str,
-        replacement: &str,
+        dead: &[&str],
+        replacements: &HashMap<&str, &str>,
         report: &mut NodeRepairReport,
     ) -> Result<(), StoreError> {
-        let mut manifest = self.fetch_manifest(conns, object, Some(dead))?;
+        let mut manifest = self.fetch_manifest(conns, object, dead)?;
         self.check_geometry(object, &manifest)?;
         let total = manifest.total_shards();
-        let affected: Vec<usize> =
-            (0..total).filter(|&i| manifest.placement[i] == dead).collect();
+        let affected: Vec<usize> = (0..total)
+            .filter(|&i| dead.contains(&manifest.placement[i].as_str()))
+            .collect();
         if !affected.is_empty() {
-            let shards = self.rebuild_lost(conns, object, &manifest, dead, &affected, report)?;
-            for &i in &affected {
-                let shard = shards[i].as_deref().expect("reconstructed");
-                conns.with(replacement, |c| c.put(&shard_key(object, i), shard))?;
-                manifest.placement[i] = replacement.to_string();
+            let shards =
+                self.rebuild_lost(conns, object, &manifest, dead, &affected, report)?;
+            // One concurrent round places every rebuilt shard on its
+            // replacement node.
+            let jobs: Vec<_> = affected
+                .iter()
+                .map(|&i| {
+                    let target = replacements[manifest.placement[i].as_str()];
+                    let key = shard_key(object, i);
+                    let shard: &[u8] = shards[i].as_deref().expect("reconstructed");
+                    (target.to_string(), move |c: &mut NodeClient| c.put(&key, shard))
+                })
+                .collect();
+            let placed = conns.run_batch(jobs);
+            for (&i, result) in affected.iter().zip(placed) {
+                result?;
+                let target = replacements[manifest.placement[i].as_str()];
+                manifest.placement[i] = target.to_string();
+                let shard = shards[i].as_ref().expect("reconstructed");
                 report.shards_rebuilt += 1;
                 report.bytes_rebuilt += shard.len() as u64;
             }
@@ -1250,28 +1520,136 @@ impl Cluster {
         let key = manifest_key(object);
         if affected.is_empty() {
             // Nothing moved: the manifest is unchanged, so no
-            // generation bump and no cluster-wide republish — the
+            // generation bump and no cluster-wide republish — each
             // replacement just needs its discovery copy seeded.
             let bytes = manifest.to_bytes();
-            conns.with(replacement, |c| c.put(&key, &bytes))?;
+            let jobs: Vec<_> = replacements
+                .values()
+                .map(|&target| {
+                    let (key, bytes) = (&key, &bytes);
+                    (target.to_string(), move |c: &mut NodeClient| c.put(key, bytes))
+                })
+                .collect();
+            for result in conns.run_batch(jobs) {
+                result?;
+            }
             return Ok(());
         }
         // The shard map changed: refresh it on the post-repair
-        // membership. Only the replacement is *required* to accept it
-        // (it just proved alive; without a manifest its new shards are
-        // undiscoverable) — other nodes may themselves be dead
-        // mid-multi-failure, and their stale replicas lose the
-        // generation vote until their own repair refreshes them.
+        // membership, concurrently. Only the replacements are
+        // *required* to accept it (they just proved alive; without a
+        // manifest their new shards are undiscoverable) — other nodes
+        // may themselves be dead mid-multi-failure, and their stale
+        // replicas lose the generation vote until their own repair
+        // refreshes them.
         manifest.generation += 1;
         let bytes = manifest.to_bytes();
-        for addr in self.nodes.iter().map(String::as_str) {
-            let addr = if addr == dead { replacement } else { addr };
-            match conns.with(addr, |c| c.put(&key, &bytes)) {
+        let targets: Vec<&str> = self
+            .nodes
+            .iter()
+            .map(|addr| {
+                replacements.get(addr.as_str()).copied().unwrap_or(addr.as_str())
+            })
+            .collect();
+        let jobs: Vec<_> = targets
+            .iter()
+            .map(|&addr| {
+                let (key, bytes) = (&key, &bytes);
+                (addr.to_string(), move |c: &mut NodeClient| c.put(key, bytes))
+            })
+            .collect();
+        for (&addr, result) in targets.iter().zip(conns.run_batch(jobs)) {
+            match result {
                 Ok(()) => {}
-                Err(e) if addr == replacement => return Err(e),
+                Err(e) if replacements.values().any(|&r| r == addr) => return Err(e),
                 Err(_) => {}
             }
         }
         Ok(())
+    }
+}
+
+/// A self-contained (`'static`) fetch-and-validate job for shard `i` of
+/// `object`: suitable for both barrier batches and detached first-n
+/// workers. The outer `Err` is a transport failure (the fan-out layer
+/// drops the connection); the inner result is the typed shard outcome.
+fn shard_fetch_job(
+    object: &str,
+    manifest: &Manifest,
+    i: usize,
+) -> impl FnOnce(&mut NodeClient) -> Result<Result<Vec<u8>, ShardFault>, StoreError>
+       + Send
+       + 'static {
+    let key = shard_key(object, i);
+    let addr = manifest.placement[i].clone();
+    let want_len = manifest.shard_len;
+    let want_crc = manifest.shard_crc[i];
+    move |c| match c.get(&key) {
+        Ok(bytes) => {
+            if bytes.len() as u64 != want_len {
+                return Ok(Err(ShardFault::Corrupt(format!(
+                    "node {addr} returned {} bytes, manifest says {want_len}",
+                    bytes.len()
+                ))));
+            }
+            if crc32(&bytes) != want_crc {
+                return Ok(Err(ShardFault::Corrupt(format!(
+                    "shard bytes from {addr} fail the manifest checksum"
+                ))));
+            }
+            Ok(Ok(bytes))
+        }
+        Err(StoreError::Remote { code: RemoteErrorCode::CorruptBlob, message }) => {
+            Ok(Err(ShardFault::Corrupt(format!("{addr}: corrupt blob: {message}"))))
+        }
+        Err(e @ StoreError::Remote { .. }) => {
+            Ok(Err(ShardFault::Missing(format!("{addr}: {e}"))))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeHandle;
+
+    /// Regression for the shared-connection-state contract: a node
+    /// found dead by the scrub health probe is marked dead exactly once
+    /// in the operation's `ParallelConnSet` — every per-object touch
+    /// afterwards fast-fails without a new dial, so a sweep over many
+    /// objects pays one connect failure, not one per object.
+    #[test]
+    fn scrub_marks_a_dead_node_exactly_once() {
+        let root = std::env::temp_dir()
+            .join(format!("ec_store_deadonce_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut nodes: Vec<NodeHandle> = (0..4)
+            .map(|i| {
+                NodeHandle::spawn(&root.join(format!("n{i}")), "127.0.0.1:0", 2)
+                    .expect("spawn node")
+            })
+            .collect();
+        let addrs: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+        let cluster = Cluster::new(addrs.clone(), RsConfig::new(2, 1)).unwrap();
+        for k in 0..12 {
+            cluster
+                .put(&format!("obj-{k}"), &vec![k as u8; 4096])
+                .unwrap();
+        }
+        let dead = addrs[0].clone();
+        nodes.remove(0).shutdown();
+
+        let mut conns = cluster.conns();
+        let report = cluster.scrub_via(&mut conns).unwrap();
+        assert_eq!(report.dead_nodes, vec![dead.clone()]);
+        assert_eq!(report.objects.len() + report.failed_objects.len(), 12);
+        assert_eq!(
+            conns.connect_attempts(&dead),
+            1,
+            "a dead node must be dialed once per sweep, not once per object"
+        );
+        drop(nodes);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

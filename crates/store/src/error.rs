@@ -76,6 +76,9 @@ pub enum StoreError {
     /// Invalid caller-supplied arguments (object name, geometry, node
     /// set).
     InvalidArg(String),
+    /// A per-operation deadline (or a per-I/O socket timeout) expired
+    /// before the operation completed.
+    Timeout,
 }
 
 impl fmt::Display for StoreError {
@@ -97,6 +100,7 @@ impl fmt::Display for StoreError {
             ),
             StoreError::Manifest(msg) => write!(f, "invalid manifest: {msg}"),
             StoreError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+            StoreError::Timeout => f.write_str("operation deadline exceeded"),
         }
     }
 }
@@ -113,7 +117,17 @@ impl std::error::Error for StoreError {
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
-        StoreError::Io(e)
+        // A socket read/write timeout surfaces as WouldBlock or TimedOut
+        // depending on the platform; both mean "the deadline expired",
+        // which callers want to see as the typed variant.
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            StoreError::Timeout
+        } else {
+            StoreError::Io(e)
+        }
     }
 }
 

@@ -1,0 +1,439 @@
+//! Concurrent per-node fan-out: the engine that turns sum-of-RTT
+//! cluster operations into max-of-RTT ones.
+//!
+//! [`ParallelConnSet`] keeps at most one connection per node address
+//! (like the serial set it replaces) and adds two shapes of
+//! concurrency:
+//!
+//! * [`ParallelConnSet::run_batch`] — run every job of a batch
+//!   concurrently, one scoped thread per distinct address; jobs for the
+//!   same address share that address's single connection and run in
+//!   order on it. The batch completes in ~max(per-node time) instead of
+//!   the sum, and the barrier returns every connection to the pool.
+//! * [`ParallelConnSet::run_first_n`] — issue every job and return as
+//!   soon as a caller-supplied predicate over the partial results is
+//!   satisfied, abandoning stragglers: the first-n-of-n+p read path,
+//!   where one slow node must not add its RTT to every read. Workers
+//!   are detached; a straggler that finishes after the harvest just
+//!   drops its connection.
+//!
+//! The threading mirrors `xor_runtime::ExecPool` idiom: shared state
+//! behind a `Mutex` + `Condvar` board, `lock_unpoisoned` everywhere,
+//! scoped threads where a barrier is wanted.
+//!
+//! Connection lifecycle (same rules as the serial set had): a connect
+//! failure marks the address *dead for the rest of the operation* — no
+//! reconnect storms against a down node — typed `ERR` answers keep the
+//! connection (the stream is intact, the node just said no), and any
+//! other failure drops the possibly-desynced connection so the next
+//! use reconnects. A per-operation deadline, when set, shrinks every
+//! per-I/O timeout to the remaining budget and fails the whole batch
+//! with [`StoreError::Timeout`] once spent.
+
+use crate::client::NodeClient;
+use crate::error::StoreError;
+use std::collections::HashMap;
+use std::mem;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use xor_runtime::lock_unpoisoned as lock;
+
+/// Fan-out threads spawned at once by one batch; larger batches run in
+/// waves. Real geometries sit far below this — it only bounds thread
+/// count under a pathological membership list.
+const MAX_FANOUT: usize = 64;
+
+/// Condvar re-check tick while waiting for first-n results.
+const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// One node address's slot in the pool.
+enum Slot {
+    /// An idle, believed-good connection.
+    Ready(NodeClient),
+    /// Connect failed earlier this operation: every further touch
+    /// fast-fails without a new connect attempt.
+    Dead,
+}
+
+/// One node's slice of a batch: address, pooled slot, indexed jobs.
+type NodeWork<F> = (String, Option<Slot>, Vec<(usize, F)>);
+
+/// What [`drive`] hands back: the slot to re-pool (`None` = dropped),
+/// connect attempts made, and the per-job results.
+type Driven<T> = (Option<Slot>, u32, Vec<(usize, Result<T, StoreError>)>);
+
+/// Result of a [`ParallelConnSet::run_first_n`].
+pub(crate) struct FirstN<T> {
+    /// Per-job outcome; `None` = still in flight when the harvest
+    /// happened (an abandoned straggler).
+    pub outcomes: Vec<Option<Result<T, StoreError>>>,
+    /// Issue-to-completion time per job (`None` for abandoned jobs).
+    pub elapsed: Vec<Option<Duration>>,
+    /// Whether the per-operation deadline expired before the predicate
+    /// was satisfied or every job completed.
+    pub timed_out: bool,
+}
+
+/// Shared completion board of one first-n fan-out.
+struct Board<T> {
+    state: Mutex<BoardState<T>>,
+    progress: Condvar,
+}
+
+struct BoardState<T> {
+    outcomes: Vec<Option<Result<T, StoreError>>>,
+    elapsed: Vec<Option<Duration>>,
+    done: usize,
+    /// Set once the caller has taken the results: late finishers must
+    /// not touch the (already moved-out) vectors, and their connections
+    /// are dropped rather than returned.
+    harvested: bool,
+    /// Slots (and connect-attempt counts) to fold back into the pool.
+    returns: Vec<(String, Option<Slot>, u32)>,
+}
+
+/// A pool of at-most-one connection per node address, scoped to one
+/// cluster operation, with concurrent batch execution.
+pub(crate) struct ParallelConnSet {
+    timeout: Duration,
+    /// Absolute deadline of the operation this set serves (`None` =
+    /// unbounded; only the per-I/O `timeout` applies).
+    deadline: Option<Instant>,
+    slots: HashMap<String, Slot>,
+    /// Connect attempts per address — observability, and the proof that
+    /// a dead node is dialed once per operation, not once per object.
+    connects: HashMap<String, u32>,
+}
+
+impl ParallelConnSet {
+    pub(crate) fn new(timeout: Duration, deadline: Option<Instant>) -> ParallelConnSet {
+        ParallelConnSet {
+            timeout,
+            deadline,
+            slots: HashMap::new(),
+            connects: HashMap::new(),
+        }
+    }
+
+    /// The per-I/O budget right now: the configured timeout, shrunk to
+    /// the operation deadline's remaining time. [`StoreError::Timeout`]
+    /// once the deadline is spent.
+    fn io_budget(&self) -> Result<Duration, StoreError> {
+        match self.deadline {
+            None => Ok(self.timeout),
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    Err(StoreError::Timeout)
+                } else {
+                    Ok(self.timeout.min(remaining))
+                }
+            }
+        }
+    }
+
+    /// How many times this operation actually dialed `addr`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn connect_attempts(&self, addr: &str) -> u32 {
+        self.connects.get(addr).copied().unwrap_or(0)
+    }
+
+    /// Run one job against one node on the pooled connection (the
+    /// serial path, for low-volume touches).
+    pub(crate) fn with<T>(
+        &mut self,
+        addr: &str,
+        f: impl FnOnce(&mut NodeClient) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let budget = self.io_budget()?;
+        let slot = self.slots.remove(addr);
+        let (slot, attempts, mut outs) = drive(addr, slot, budget, vec![(0usize, f)]);
+        self.credit(addr.to_string(), slot, attempts);
+        outs.pop().expect("exactly one job ran").1
+    }
+
+    /// Run every job concurrently — one scoped thread per distinct
+    /// address, same-address jobs serialized on that address's single
+    /// connection — and return the results in job order. The whole
+    /// batch costs ~max(per-node time).
+    pub(crate) fn run_batch<T, F>(
+        &mut self,
+        jobs: Vec<(String, F)>,
+    ) -> Vec<Result<T, StoreError>>
+    where
+        T: Send,
+        F: FnOnce(&mut NodeClient) -> Result<T, StoreError> + Send,
+    {
+        let budget = match self.io_budget() {
+            Ok(b) => b,
+            Err(_) => return jobs.into_iter().map(|_| Err(StoreError::Timeout)).collect(),
+        };
+        let count = jobs.len();
+        // Group by address, preserving per-address job order.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<(usize, F)>> = HashMap::new();
+        for (idx, (addr, job)) in jobs.into_iter().enumerate() {
+            match groups.get_mut(&addr) {
+                Some(list) => list.push((idx, job)),
+                None => {
+                    order.push(addr.clone());
+                    groups.insert(addr, vec![(idx, job)]);
+                }
+            }
+        }
+        let mut results: Vec<Option<Result<T, StoreError>>> =
+            (0..count).map(|_| None).collect();
+        for wave in order.chunks(MAX_FANOUT) {
+            let work: Vec<NodeWork<F>> = wave
+                .iter()
+                .map(|addr| {
+                    (
+                        addr.clone(),
+                        self.slots.remove(addr),
+                        groups.remove(addr).expect("grouped above"),
+                    )
+                })
+                .collect();
+            let finished: Vec<(String, Driven<T>)> =
+                thread::scope(|s| {
+                    let handles: Vec<_> = work
+                        .into_iter()
+                        .map(|(addr, slot, jobs)| {
+                            s.spawn(move || {
+                                let driven = drive(&addr, slot, budget, jobs);
+                                (addr, driven)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|panic| {
+                                std::panic::resume_unwind(panic)
+                            })
+                        })
+                        .collect()
+                });
+            for (addr, (slot, attempts, outs)) in finished {
+                self.credit(addr, slot, attempts);
+                for (idx, result) in outs {
+                    results[idx] = Some(result);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job was dispatched"))
+            .collect()
+    }
+
+    /// Issue every job on its own detached worker and return as soon as
+    /// enough of them finished (or every job finished, or the deadline
+    /// expired). Stragglers are abandoned: their slot entry leaves the
+    /// pool (the next touch of that address reconnects) and whatever
+    /// they produce is dropped.
+    ///
+    /// Two completion predicates over the partial outcomes:
+    ///
+    /// * `prefer` — the ideal stopping set; return the moment it holds;
+    /// * `stop` — a sufficient set. Once it holds the wait *lingers*
+    ///   briefly — half the time taken to reach it — hoping `prefer`
+    ///   lands too, then returns anyway.
+    ///
+    /// The linger is the hedged-read compromise: when `stop` is merely
+    /// sufficient (an MDS "any n of n + p" read that would pay an extra
+    /// reconstruction) and the outstanding fetches are only
+    /// microseconds behind the n-th arrival — the common case on
+    /// uniform-latency clusters — a wait proportional to the observed
+    /// round-trip collects them and the cheap path applies. A genuinely
+    /// slow straggler (the case first-n reads exist for) blows through
+    /// the linger and is abandoned at ~1.5x the fast-node RTT, nowhere
+    /// near the straggler's. Pass the same closure for both to disable
+    /// the distinction.
+    pub(crate) fn run_first_n<T, F>(
+        &mut self,
+        jobs: Vec<(String, F)>,
+        prefer: impl Fn(&[Option<Result<T, StoreError>>]) -> bool,
+        stop: impl Fn(&[Option<Result<T, StoreError>>]) -> bool,
+    ) -> FirstN<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut NodeClient) -> Result<T, StoreError> + Send + 'static,
+    {
+        let count = jobs.len();
+        let budget = match self.io_budget() {
+            Ok(b) => b,
+            Err(_) => {
+                return FirstN {
+                    outcomes: (0..count).map(|_| None).collect(),
+                    elapsed: vec![None; count],
+                    timed_out: true,
+                }
+            }
+        };
+        let board = Arc::new(Board {
+            state: Mutex::new(BoardState {
+                outcomes: (0..count).map(|_| None).collect(),
+                elapsed: vec![None; count],
+                done: 0,
+                harvested: false,
+                returns: Vec::new(),
+            }),
+            progress: Condvar::new(),
+        });
+        for (idx, (addr, job)) in jobs.into_iter().enumerate() {
+            let slot = self.slots.remove(&addr);
+            let worker_board = board.clone();
+            let spawned = thread::Builder::new()
+                .name(format!("store-fanout-{idx}"))
+                .spawn(move || {
+                    let start = Instant::now();
+                    let (slot, attempts, mut outs) =
+                        drive(&addr, slot, budget, vec![(idx, job)]);
+                    let result = outs.pop().expect("exactly one job ran").1;
+                    let mut st = lock(&worker_board.state);
+                    if st.harvested {
+                        return; // straggler: result unwanted, conn dropped
+                    }
+                    st.outcomes[idx] = Some(result);
+                    st.elapsed[idx] = Some(start.elapsed());
+                    st.done += 1;
+                    st.returns.push((addr, slot, attempts));
+                    drop(st);
+                    worker_board.progress.notify_all();
+                });
+            if spawned.is_err() {
+                // Spawn failure (resource exhaustion): the job and slot
+                // are gone with the dropped closure; record the loss so
+                // the caller is not left waiting on a job that never ran.
+                let mut st = lock(&board.state);
+                st.outcomes[idx] = Some(Err(StoreError::Io(std::io::Error::other(
+                    "could not spawn a fan-out worker",
+                ))));
+                st.elapsed[idx] = Some(Duration::ZERO);
+                st.done += 1;
+            }
+        }
+        let issued = Instant::now();
+        let mut linger_until: Option<Instant> = None;
+        let mut timed_out = false;
+        let mut st = lock(&board.state);
+        loop {
+            if st.done == count || prefer(&st.outcomes) {
+                break;
+            }
+            let now = Instant::now();
+            if stop(&st.outcomes) {
+                // Sufficient but not ideal: linger for `prefer` by half
+                // of the time the sufficient set took to arrive.
+                let until = *linger_until
+                    .get_or_insert_with(|| now + now.duration_since(issued) / 2);
+                if now >= until {
+                    break;
+                }
+            }
+            if let Some(deadline) = self.deadline {
+                if now >= deadline {
+                    timed_out = true;
+                    break;
+                }
+            }
+            let mut wait = self
+                .deadline
+                .map(|d| d.saturating_duration_since(now).min(WAIT_TICK))
+                .unwrap_or(WAIT_TICK);
+            if let Some(until) = linger_until {
+                wait = wait.min(until.saturating_duration_since(now)).max(Duration::from_micros(100));
+            }
+            st = board
+                .progress
+                .wait_timeout(st, wait)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        st.harvested = true;
+        let outcomes = mem::take(&mut st.outcomes);
+        let elapsed = mem::take(&mut st.elapsed);
+        let returns = mem::take(&mut st.returns);
+        drop(st);
+        for (addr, slot, attempts) in returns {
+            self.credit(addr, slot, attempts);
+        }
+        FirstN { outcomes, elapsed, timed_out }
+    }
+
+    /// Fold a worker's slot and connect-attempt count back into the
+    /// pool (`None` slot = connection dropped as possibly desynced).
+    fn credit(&mut self, addr: String, slot: Option<Slot>, attempts: u32) {
+        if attempts > 0 {
+            *self.connects.entry(addr.clone()).or_insert(0) += attempts;
+        }
+        if let Some(slot) = slot {
+            self.slots.insert(addr, slot);
+        }
+    }
+}
+
+/// Drive `jobs` serially over `addr`'s single connection, applying the
+/// lifecycle rules (connect failure ⇒ dead for the operation; `Remote`
+/// answer keeps the connection; any other failure drops it and the
+/// next job reconnects). Returns the slot to pool (`None` = dropped),
+/// the connect attempts made, and the per-job results.
+fn drive<T, F>(
+    addr: &str,
+    slot: Option<Slot>,
+    budget: Duration,
+    jobs: Vec<(usize, F)>,
+) -> Driven<T>
+where
+    F: FnOnce(&mut NodeClient) -> Result<T, StoreError>,
+{
+    let mut conn = None;
+    let mut dead = false;
+    match slot {
+        Some(Slot::Ready(mut c)) => {
+            let _ = c.set_io_timeout(budget);
+            conn = Some(c);
+        }
+        Some(Slot::Dead) => dead = true,
+        None => {}
+    }
+    let mut attempts = 0u32;
+    let mut outs = Vec::with_capacity(jobs.len());
+    for (idx, job) in jobs {
+        if dead {
+            outs.push((idx, Err(dead_err(addr))));
+            continue;
+        }
+        if conn.is_none() {
+            attempts += 1;
+            match NodeClient::connect(addr, budget) {
+                Ok(c) => conn = Some(c),
+                Err(e) => {
+                    dead = true;
+                    outs.push((idx, Err(e)));
+                    continue;
+                }
+            }
+        }
+        let c = conn.as_mut().expect("connected above");
+        match job(c) {
+            Ok(v) => outs.push((idx, Ok(v))),
+            Err(e @ StoreError::Remote { .. }) => outs.push((idx, Err(e))),
+            Err(e) => {
+                conn = None;
+                outs.push((idx, Err(e)));
+            }
+        }
+    }
+    let slot = if dead { Some(Slot::Dead) } else { conn.map(Slot::Ready) };
+    (slot, attempts, outs)
+}
+
+fn dead_err(addr: &str) -> StoreError {
+    StoreError::Io(std::io::Error::new(
+        std::io::ErrorKind::ConnectionRefused,
+        format!("node {addr} is unreachable (marked dead this operation)"),
+    ))
+}

@@ -14,12 +14,18 @@
 //!   placement with replicated shard-map [`Manifest`]s, striped `put`
 //!   through any registered [`ec_core::ErasureCoder`] (the manifest
 //!   records the codec; mismatches are typed errors, never garbage
-//!   decodes), `get` with **degraded reads** (any `n` of `n + p` live
-//!   nodes reconstruct through the decode-program LRU), delta
-//!   `overwrite` (changed shards + per-column parity updates, not a
-//!   full re-put), and online `repair_node` onto a replacement that
-//!   fetches only the codec's repair plan — under LRC a single lost
-//!   shard reads just its locality group;
+//!   decodes), **first-n reads** (`get` issues all `n + p` shard
+//!   fetches concurrently and returns on the first `n` that suffice,
+//!   abandoning stragglers; degraded reads reconstruct through the
+//!   decode-program LRU), delta `overwrite` (changed shards +
+//!   per-column parity updates, not a full re-put), and online batch
+//!   `repair_nodes` — any number of simultaneously-dead nodes rebuilt
+//!   with one survivor fetch + one reconstruct per object, fetching
+//!   only the codec's repair plan when it applies (under LRC a single
+//!   lost shard reads just its locality group). Every multi-node
+//!   exchange fans out concurrently over pipelined request-id framed
+//!   connections, so operations cost ~max(per-node RTT), not the sum,
+//!   and an optional per-op deadline surfaces as a typed timeout;
 //! * **scrub** ([`ScrubScheduler`]): periodic end-to-end verification —
 //!   per-shard manifest CRCs plus chunk-wise data↔parity re-encode —
 //!   with automatic repair of what it finds;
@@ -56,6 +62,7 @@ mod blob;
 mod client;
 mod cluster;
 mod error;
+mod fanout;
 mod manifest;
 mod node;
 mod placement;
@@ -63,11 +70,11 @@ pub mod proto;
 mod scrub;
 
 pub use blob::{BlobError, BlobStat, BlobStore, BLOB_MAGIC, BLOB_OVERHEAD};
-pub use client::{NodeClient, NodeHealth};
+pub use client::{BatchOp, NodeClient, NodeHealth};
 pub use cluster::{
     Cluster, ClusterHealth, ClusterScrubReport, GetReport, NodeRepairReport,
     ObjectRepairReport, ObjectScrub, OverwriteMode, OverwriteReport, PutReport,
-    RepairOutcome, ShardHealth, DEFAULT_TIMEOUT,
+    RepairOutcome, ShardFetch, ShardHealth, ShardOutcome, DEFAULT_TIMEOUT,
 };
 pub use error::{RemoteErrorCode, StoreError};
 pub use manifest::{
@@ -75,6 +82,6 @@ pub use manifest::{
     MANIFEST_MAGIC, MANIFEST_VERSION, MAX_OBJECT_NAME, MIN_MANIFEST_VERSION,
     TOMBSTONE_MAGIC,
 };
-pub use node::NodeHandle;
+pub use node::{NodeHandle, NodeOptions};
 pub use placement::{rank_nodes, score};
 pub use scrub::{ScrubCycle, ScrubScheduler};

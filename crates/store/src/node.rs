@@ -57,6 +57,28 @@ struct Shared {
     /// for a connection that keeps getting requeued).
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
+    /// Artificial per-request service delay (RTT injection for latency
+    /// benchmarks and the CI slow-node round). Applied after a request
+    /// frame is read, before it is dispatched.
+    response_delay: Option<Duration>,
+    /// When set, [`Shared::response_delay`] applies only to keyed
+    /// requests whose key starts with this prefix (e.g. `"s:"` to slow
+    /// shard traffic while manifest traffic stays fast).
+    delay_key_prefix: Option<String>,
+}
+
+/// Tuning knobs for [`NodeHandle::spawn_with`].
+#[derive(Clone, Debug, Default)]
+pub struct NodeOptions {
+    /// Connection-serving threads (`0` = default).
+    pub workers: usize,
+    /// Sleep this long before answering each request — a deterministic
+    /// stand-in for network RTT, used to demonstrate that cluster
+    /// operations pay max-of-RTT rather than sum-of-RTT.
+    pub response_delay: Option<Duration>,
+    /// Restrict [`NodeOptions::response_delay`] to keyed requests whose
+    /// key starts with this prefix. `None` delays every request.
+    pub delay_key_prefix: Option<String>,
 }
 
 /// A running shard node. Dropping the handle (or calling
@@ -72,6 +94,11 @@ impl NodeHandle {
     /// Serve `dir` on `bind` (e.g. `"127.0.0.1:0"` for an ephemeral
     /// port) with `workers` connection-serving threads (`0` = default).
     pub fn spawn(dir: &Path, bind: &str, workers: usize) -> std::io::Result<NodeHandle> {
+        NodeHandle::spawn_with(dir, bind, NodeOptions { workers, ..NodeOptions::default() })
+    }
+
+    /// [`NodeHandle::spawn`] with the full option set.
+    pub fn spawn_with(dir: &Path, bind: &str, opts: NodeOptions) -> std::io::Result<NodeHandle> {
         let store = BlobStore::open(dir)?;
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
@@ -80,8 +107,10 @@ impl NodeHandle {
             shutdown: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            response_delay: opts.response_delay,
+            delay_key_prefix: opts.delay_key_prefix,
         });
-        let workers = if workers == 0 { DEFAULT_WORKERS } else { workers };
+        let workers = if opts.workers == 0 { DEFAULT_WORKERS } else { opts.workers };
         let mut threads = Vec::with_capacity(workers + 1);
         {
             let shared = shared.clone();
@@ -296,11 +325,26 @@ fn serve_connection(
         };
         match frame {
             Ok(frame) => {
+                // RTT injection for benchmarks: pretend the request
+                // spent `response_delay` on the wire. Sleep in poll-tick
+                // slices so shutdown still lands promptly.
+                if let Some(delay) = shared.response_delay.filter(|_| delay_applies(shared, &frame)) {
+                    let until = Instant::now() + delay;
+                    while Instant::now() < until {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            return ConnOutcome::Done;
+                        }
+                        thread::sleep(POLL_TICK.min(until.saturating_duration_since(Instant::now())));
+                    }
+                }
                 // Payload-level errors answer with a typed ERR on an
                 // intact stream and keep serving; only a failed write
                 // (or the framing errors below) closes the connection.
+                // The response echoes the request's id (and with it the
+                // frame version): a version-1 peer gets a version-1
+                // answer, a pipelining peer gets its id back.
                 let (tag, payload) = dispatch(&frame, &shared.store);
-                if write_frame(&mut stream, tag, &[&payload]).is_err() {
+                if write_frame(&mut stream, tag, frame.request_id, &[&payload]).is_err() {
                     return ConnOutcome::Done;
                 }
                 idle_since = Instant::now();
@@ -309,8 +353,10 @@ fn serve_connection(
             Err(e) => {
                 // One best-effort typed answer, then close: after a
                 // framing error the stream position is unknowable.
+                // No request id was recovered from the broken frame, so
+                // the answer is a version-1 (id-less) frame.
                 let payload = err_payload(RemoteErrorCode::BadFrame, &e.detail());
-                let _ = write_frame(&mut stream, status::ERR, &[&payload]);
+                let _ = write_frame(&mut stream, status::ERR, None, &[&payload]);
                 // Half-close and briefly drain what the peer already
                 // sent: closing a socket with unread received bytes
                 // RSTs the connection, which would destroy the ERR
@@ -336,6 +382,20 @@ fn serve_connection(
             }
         }
     }
+}
+
+/// Whether the injected [`Shared::response_delay`] applies to `frame`.
+/// With no key-prefix filter every request is delayed; with one, only
+/// keyed requests (put/get/delete/stat) whose key matches the prefix.
+fn delay_applies(shared: &Shared, frame: &Frame) -> bool {
+    let Some(prefix) = &shared.delay_key_prefix else {
+        return true;
+    };
+    if !matches!(frame.tag, op::PUT_SHARD | op::GET_SHARD | op::DELETE | op::STAT) {
+        return false;
+    }
+    let mut r = PayloadReader::new(&frame.payload);
+    r.key().map(|key| key.starts_with(prefix.as_str())).unwrap_or(false)
 }
 
 /// Handle one parsed request frame; returns the response tag + payload.
@@ -376,7 +436,7 @@ fn handle(frame: &Frame, store: &BlobStore) -> Handled {
             // The blob layer allows up to 4 GiB; the frame layer does
             // not. A blob written out-of-band past the frame cap must
             // get a typed answer, not panic `write_frame`'s contract.
-            if payload.len() + 2 > proto::MAX_BODY {
+            if payload.len() + 6 > proto::MAX_BODY {
                 return Err((
                     RemoteErrorCode::Io,
                     format!(
@@ -403,7 +463,7 @@ fn handle(frame: &Frame, store: &BlobStore) -> Handled {
             for key in &keys {
                 proto::put_str(&mut payload, key);
             }
-            if payload.len() + 2 > proto::MAX_BODY {
+            if payload.len() + 6 > proto::MAX_BODY {
                 return Err(bad_req(format!(
                     "listing of {} keys exceeds the frame cap; narrow the prefix",
                     keys.len()

@@ -4,12 +4,20 @@
 //! Every message is one *frame*:
 //!
 //! ```text
-//! ┌────────────┬──────────────────────────────┬───────────────┐
-//! │ u32 LE len │ body (len bytes)             │ u32 LE CRC-32 │
-//! │            │  [0] version  [1] tag        │ of the body   │
-//! │            │  [2..] payload               │               │
-//! └────────────┴──────────────────────────────┴───────────────┘
+//! ┌────────────┬──────────────────────────────────────┬───────────────┐
+//! │ u32 LE len │ body (len bytes)                     │ u32 LE CRC-32 │
+//! │            │  [0] version  [1] tag                │ of the body   │
+//! │            │  [2..6] u32 request id (version ≥ 2) │               │
+//! │            │  [..] payload                        │               │
+//! └────────────┴──────────────────────────────────────┴───────────────┘
 //! ```
+//!
+//! Version 2 adds a u32 **request id** between the tag and the payload:
+//! a node echoes the id (and the version) of the request it is
+//! answering, which lets a client keep several requests in flight on
+//! one connection and match responses without trusting arrival order.
+//! Version-1 frames (no id field) are still read — an old client
+//! talking to a new node gets version-1 answers back.
 //!
 //! The reader is hostile-input hardened: the length prefix is bounded by
 //! [`MAX_BODY`] *before* any allocation, the CRC covers the whole body,
@@ -19,12 +27,17 @@
 use crate::error::{RemoteErrorCode, StoreError};
 use std::io::{Read, Write};
 
-/// Protocol version byte carried in every frame.
-pub const PROTO_VERSION: u8 = 1;
+/// Protocol version this build speaks (and writes by default).
+pub const PROTO_VERSION: u8 = 2;
 
-/// Upper bound on a frame body (version + tag + payload). Shard payloads
-/// dominate; 64 MiB bounds a single object shard, and a hostile length
-/// prefix beyond it is rejected before any buffer is sized from it.
+/// Oldest protocol version still read. Version 1 framed the body as
+/// `[version][tag][payload]` with no request id.
+pub const MIN_PROTO_VERSION: u8 = 1;
+
+/// Upper bound on a frame body (version + tag + id + payload). Shard
+/// payloads dominate; 64 MiB bounds a single object shard, and a
+/// hostile length prefix beyond it is rejected before any buffer is
+/// sized from it.
 pub const MAX_BODY: usize = 64 << 20;
 
 /// Upper bound on a blob key. Keys are hex-encoded into node-local file
@@ -65,8 +78,8 @@ pub enum FrameError {
     Eof,
     /// The stream ended mid-frame.
     Truncated,
-    /// The length prefix exceeds [`MAX_BODY`] (or is too short to hold
-    /// the version and tag bytes).
+    /// The length prefix exceeds [`MAX_BODY`], or is too short to hold
+    /// the header its version byte demands.
     BadLength(u32),
     /// The body checksum does not match.
     BadCrc,
@@ -83,11 +96,14 @@ impl FrameError {
             FrameError::Eof => "connection closed".into(),
             FrameError::Truncated => "stream ended mid-frame".into(),
             FrameError::BadLength(len) => {
-                format!("frame length {len} outside 2..={MAX_BODY}")
+                format!("frame length {len} outside 2..={MAX_BODY} (or too short for its version's header)")
             }
             FrameError::BadCrc => "frame checksum mismatch".into(),
             FrameError::BadVersion(v) => {
-                format!("unsupported protocol version {v} (this build speaks {PROTO_VERSION})")
+                format!(
+                    "unsupported protocol version {v} (this build speaks \
+                     {MIN_PROTO_VERSION}..={PROTO_VERSION})"
+                )
             }
             FrameError::Io(e) => format!("i/o error: {e}"),
         }
@@ -106,34 +122,64 @@ impl From<std::io::Error> for FrameError {
 impl From<FrameError> for StoreError {
     fn from(e: FrameError) -> Self {
         match e {
-            FrameError::Io(io) => StoreError::Io(io),
+            FrameError::Io(io) => {
+                if io.kind() == std::io::ErrorKind::WouldBlock
+                    || io.kind() == std::io::ErrorKind::TimedOut
+                {
+                    StoreError::Timeout
+                } else {
+                    StoreError::Io(io)
+                }
+            }
             other => StoreError::Protocol(other.detail()),
         }
     }
 }
 
-/// A parsed frame: the tag byte and the payload after version + tag.
+/// A parsed frame: the tag byte, the request id (`None` for a version-1
+/// frame) and the payload.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Frame {
     pub tag: u8,
+    /// Echo token for pipelining. `Some` on version-2 frames; a node
+    /// answering a request copies the request's id (and version) into
+    /// the response.
+    pub request_id: Option<u32>,
     pub payload: Vec<u8>,
 }
 
 /// Write one frame (`tag` + concatenated `parts`) to the stream.
 ///
+/// `request_id: Some(id)` writes a version-2 frame carrying the id;
+/// `None` writes a version-1 frame (used to answer version-1 peers and
+/// for framing-error responses, where no request id was recovered).
+///
 /// Taking the payload in parts lets callers frame a shard without first
 /// copying it into one contiguous buffer.
-pub fn write_frame(w: &mut impl Write, tag: u8, parts: &[&[u8]]) -> std::io::Result<()> {
+pub fn write_frame(
+    w: &mut impl Write,
+    tag: u8,
+    request_id: Option<u32>,
+    parts: &[&[u8]],
+) -> std::io::Result<()> {
     let payload_len: usize = parts.iter().map(|p| p.len()).sum();
-    let body_len = payload_len + 2;
+    let head: &[u8] = match request_id {
+        Some(_) => &[PROTO_VERSION, tag],
+        None => &[MIN_PROTO_VERSION, tag],
+    };
+    let id_bytes = request_id.map(u32::to_le_bytes);
+    let id_slice: &[u8] = id_bytes.as_ref().map(|b| &b[..]).unwrap_or(&[]);
+    let body_len = payload_len + head.len() + id_slice.len();
     assert!(body_len <= MAX_BODY, "frame payload exceeds MAX_BODY");
     let mut crc = ec_wire::Crc32::new();
-    crc.update(&[PROTO_VERSION, tag]);
+    crc.update(head);
+    crc.update(id_slice);
     for part in parts {
         crc.update(part);
     }
     w.write_all(&(body_len as u32).to_le_bytes())?;
-    w.write_all(&[PROTO_VERSION, tag])?;
+    w.write_all(head)?;
+    w.write_all(id_slice)?;
     for part in parts {
         w.write_all(part)?;
     }
@@ -141,11 +187,13 @@ pub fn write_frame(w: &mut impl Write, tag: u8, parts: &[&[u8]]) -> std::io::Res
     w.flush()
 }
 
-/// Read and validate one frame.
+/// Read and validate one frame (either version).
 ///
 /// The length prefix is checked against [`MAX_BODY`] before the body
 /// buffer is allocated, so a hostile peer cannot make the node reserve
-/// more than the cap.
+/// more than the cap. An unknown version byte is still CRC-checked
+/// before being rejected — a corrupted frame reports `BadCrc`, not a
+/// phantom version error.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let mut len_bytes = [0u8; 4];
     read_exact_or_eof(r, &mut len_bytes)?;
@@ -153,25 +201,39 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     if body_len < 2 || body_len as usize > MAX_BODY {
         return Err(FrameError::BadLength(body_len));
     }
-    // Version + tag are read separately so the payload lands in its own
-    // exact-size buffer — no post-hoc drain() memmove of a potentially
-    // 64 MiB shard to strip two header bytes.
+    // Version + tag (and the v2 request id) are read separately so the
+    // payload lands in its own exact-size buffer — no post-hoc drain()
+    // memmove of a potentially 64 MiB shard to strip the header bytes.
     let mut head = [0u8; 2];
     r.read_exact(&mut head)?;
-    let mut payload = vec![0u8; body_len as usize - 2];
+    let (request_id, id_bytes): (Option<u32>, [u8; 4]) = if head[0] == 2 {
+        if body_len < 6 {
+            return Err(FrameError::BadLength(body_len));
+        }
+        let mut id = [0u8; 4];
+        r.read_exact(&mut id)?;
+        (Some(u32::from_le_bytes(id)), id)
+    } else {
+        (None, [0u8; 4])
+    };
+    let header_len = if request_id.is_some() { 6 } else { 2 };
+    let mut payload = vec![0u8; body_len as usize - header_len];
     r.read_exact(&mut payload)?;
     let mut crc_bytes = [0u8; 4];
     r.read_exact(&mut crc_bytes)?;
     let mut crc = ec_wire::Crc32::new();
     crc.update(&head);
+    if request_id.is_some() {
+        crc.update(&id_bytes);
+    }
     crc.update(&payload);
     if u32::from_le_bytes(crc_bytes) != crc.finish() {
         return Err(FrameError::BadCrc);
     }
-    if head[0] != PROTO_VERSION {
+    if head[0] < MIN_PROTO_VERSION || head[0] > PROTO_VERSION {
         return Err(FrameError::BadVersion(head[0]));
     }
-    Ok(Frame { tag: head[1], payload })
+    Ok(Frame { tag: head[1], request_id, payload })
 }
 
 /// Read exactly `buf.len()` bytes, mapping a clean close *before the
@@ -323,12 +385,26 @@ mod tests {
     use std::io::Cursor;
 
     #[test]
-    fn frame_roundtrips() {
+    fn v2_frame_roundtrips_with_id() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, op::PUT_SHARD, &[b"abc", b"", b"defg"]).unwrap();
+        write_frame(&mut buf, op::PUT_SHARD, Some(0xDEAD_BEEF), &[b"abc", b"", b"defg"])
+            .unwrap();
         let frame = read_frame(&mut Cursor::new(&buf)).unwrap();
         assert_eq!(frame.tag, op::PUT_SHARD);
+        assert_eq!(frame.request_id, Some(0xDEAD_BEEF));
         assert_eq!(frame.payload, b"abcdefg");
+    }
+
+    #[test]
+    fn v1_frame_roundtrips_without_id() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, op::GET_SHARD, None, &[b"key"]).unwrap();
+        // The legacy framing: version byte 1, no id field.
+        assert_eq!(buf[4], 1);
+        let frame = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(frame.tag, op::GET_SHARD);
+        assert_eq!(frame.request_id, None);
+        assert_eq!(frame.payload, b"key");
     }
 
     #[test]
@@ -341,17 +417,19 @@ mod tests {
 
     #[test]
     fn truncation_everywhere_is_typed() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, op::HEALTH, &[b"xy"]).unwrap();
-        // Cutting the stream at every byte boundary: the first 0..4 bytes
-        // are a truncated length prefix (or clean EOF at 0); everything
-        // after is a truncated body/CRC.
-        for cut in 1..buf.len() {
-            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
-            assert!(
-                matches!(err, FrameError::Truncated),
-                "cut at {cut}: {err:?}"
-            );
+        for id in [None, Some(7u32)] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, op::HEALTH, id, &[b"xy"]).unwrap();
+            // Cutting the stream at every byte boundary: the first 0..4
+            // bytes are a truncated length prefix (or clean EOF at 0);
+            // everything after is a truncated body/CRC.
+            for cut in 1..buf.len() {
+                let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+                assert!(
+                    matches!(err, FrameError::Truncated),
+                    "id {id:?}, cut at {cut}: {err:?}"
+                );
+            }
         }
     }
 
@@ -378,17 +456,37 @@ mod tests {
     }
 
     #[test]
+    fn v2_frame_too_short_for_its_id_is_bad_length() {
+        // A version-2 frame must carry at least version + tag + u32 id.
+        // body_len in 2..6 with version byte 2 is structurally invalid.
+        for body in [vec![2u8, op::HEALTH], vec![2u8, op::HEALTH, 0, 0]] {
+            let mut buf = Vec::from((body.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&body);
+            buf.extend_from_slice(&crc32(&body).to_le_bytes());
+            assert!(matches!(
+                read_frame(&mut Cursor::new(&buf)),
+                Err(FrameError::BadLength(_))
+            ));
+        }
+    }
+
+    #[test]
     fn corrupt_body_detected() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, op::GET_SHARD, &[b"key"]).unwrap();
-        for flip in 4..buf.len() {
-            let mut bad = buf.clone();
-            bad[flip] ^= 0x20;
-            let err = read_frame(&mut Cursor::new(&bad)).unwrap_err();
-            assert!(
-                matches!(err, FrameError::BadCrc),
-                "flip at {flip}: {err:?}"
-            );
+        for id in [None, Some(42u32)] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, op::GET_SHARD, id, &[b"key"]).unwrap();
+            for flip in 4..buf.len() {
+                let mut bad = buf.clone();
+                bad[flip] ^= 0x20;
+                let err = read_frame(&mut Cursor::new(&bad)).unwrap_err();
+                // Flipping the version byte of a v1 frame to 0x21 (or a
+                // v2 byte to 0x22) re-frames the body, but either way
+                // the CRC no longer matches what is read.
+                assert!(
+                    matches!(err, FrameError::BadCrc | FrameError::Truncated),
+                    "id {id:?}, flip at {flip}: {err:?}"
+                );
+            }
         }
     }
 
@@ -403,6 +501,14 @@ mod tests {
         assert!(matches!(
             read_frame(&mut Cursor::new(&buf)),
             Err(FrameError::BadVersion(9))
+        ));
+        // The same future-version frame with a corrupt byte reports the
+        // CRC failure, not a phantom version error.
+        let mut bad = buf.clone();
+        bad[5] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad)),
+            Err(FrameError::BadCrc)
         ));
     }
 

@@ -582,3 +582,99 @@ fn background_scrubber_heals_rot() {
     scheduler.stop();
     assert_eq!(cluster.get("watched").unwrap(), data);
 }
+
+#[test]
+fn op_deadline_expiry_is_a_typed_timeout() {
+    let tc = TestCluster::spawn("deadline", 5);
+    // An already-expired deadline: every operation fails with the typed
+    // Timeout before (and regardless of) any socket I/O.
+    let expired = Cluster::new(tc.addrs.clone(), RsConfig::new(3, 2))
+        .unwrap()
+        .with_timeout(TIMEOUT)
+        .with_op_deadline(Duration::ZERO);
+    let data = sample_data(10_000, 1);
+    for result in [
+        expired.put("budgeted", &data).map(|_| ()),
+        expired.get("budgeted").map(|_| ()),
+        expired.objects().map(|_| ()),
+        expired.scrub().map(|_| ()),
+    ] {
+        match result {
+            Err(StoreError::Timeout) => {}
+            other => panic!("expected StoreError::Timeout, got {other:?}"),
+        }
+    }
+    // A generous deadline changes nothing about a healthy cluster.
+    let generous = Cluster::new(tc.addrs.clone(), RsConfig::new(3, 2))
+        .unwrap()
+        .with_timeout(TIMEOUT)
+        .with_op_deadline(Duration::from_secs(30));
+    generous.put("budgeted", &data).unwrap();
+    assert_eq!(generous.get("budgeted").unwrap(), data);
+}
+
+#[test]
+fn batch_repair_reads_each_survivor_once() {
+    let mut tc = TestCluster::spawn("batchrepair", 8);
+    let mut cluster = tc.cluster(4, 2);
+    let data = sample_data(48_000, 9);
+    let mut shard_len = 0u64;
+    for k in 0..5 {
+        let report = cluster.put(&format!("obj-{k}"), &data).unwrap();
+        shard_len = report.shard_len as u64;
+    }
+
+    // Pick two victims and tally, per object, how many survivor-shard
+    // reads a batch repair needs: RS(4, 2) rebuilds any ≤2 lost shards
+    // of an object from exactly n = 4 survivors, read once — however
+    // many of the lost shards each dead node held.
+    let dead_a = cluster.manifest("obj-0").unwrap().placement[0].clone();
+    let dead_b = cluster.manifest("obj-0").unwrap().placement[1].clone();
+    let mut expected_read = 0u64;
+    for k in 0..5 {
+        let placement = cluster.manifest(&format!("obj-{k}")).unwrap().placement;
+        if placement.contains(&dead_a) || placement.contains(&dead_b) {
+            expected_read += 4 * shard_len;
+        }
+    }
+    tc.kill(tc.index_of(&dead_a));
+    tc.kill(tc.index_of(&dead_b));
+    let repl_a = tc.spawn_replacement("a");
+    let repl_b = tc.spawn_replacement("b");
+
+    // ONE repair pass for both dead nodes: one survivor fetch + one
+    // reconstruct per object places all of that object's lost shards.
+    let report = cluster
+        .repair_nodes(&[
+            (dead_a.clone(), repl_a.clone()),
+            (dead_b.clone(), repl_b.clone()),
+        ])
+        .unwrap();
+    assert_eq!(report.objects_scanned, 5);
+    assert!(report.failed.is_empty(), "failed: {:?}", report.failed);
+    assert_eq!(
+        report.bytes_read, expected_read,
+        "a batch repair must read each survivor shard once per object, \
+         not once per dead node"
+    );
+    assert!(cluster.nodes().contains(&repl_a));
+    assert!(cluster.nodes().contains(&repl_b));
+    assert!(!cluster.nodes().iter().any(|a| a == &dead_a || a == &dead_b));
+
+    // The cluster is whole again: clean scrub, healthy reads.
+    let scrub = cluster.scrub().unwrap();
+    assert!(scrub.clean(), "post-repair scrub: {scrub:?}");
+    for k in 0..5 {
+        let (got, report) = cluster.get_with_report(&format!("obj-{k}")).unwrap();
+        assert_eq!(got, data);
+        assert!(!report.degraded());
+    }
+
+    // Pair validation is typed: duplicate dead entries and a node used
+    // as both dead and replacement are refused up front.
+    let bad = cluster.repair_nodes(&[
+        (repl_a.clone(), repl_b.clone()),
+        (repl_a.clone(), repl_b.clone()),
+    ]);
+    assert!(matches!(bad, Err(StoreError::InvalidArg(_))), "{bad:?}");
+}

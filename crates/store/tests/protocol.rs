@@ -48,8 +48,10 @@ fn assert_still_serving(addr: &str) {
     c.delete("liveness-probe").unwrap();
 }
 
-/// Read one raw frame (len, body, crc) and return (tag, payload).
-fn read_raw_frame(s: &mut TcpStream) -> (u8, Vec<u8>) {
+/// Read one raw frame (len, body, crc) and return
+/// `(tag, request_id, payload)`. Accepts both wire versions: a v2 body
+/// carries a 4-byte request id after the tag; a v1 body does not.
+fn read_raw_frame(s: &mut TcpStream) -> (u8, Option<u32>, Vec<u8>) {
     let mut len = [0u8; 4];
     s.read_exact(&mut len).expect("frame length");
     let body_len = u32::from_le_bytes(len) as usize;
@@ -58,8 +60,16 @@ fn read_raw_frame(s: &mut TcpStream) -> (u8, Vec<u8>) {
     let mut crc = [0u8; 4];
     s.read_exact(&mut crc).expect("frame crc");
     assert_eq!(u32::from_le_bytes(crc), ec_wire::crc32(&body), "response CRC");
-    assert_eq!(body[0], proto::PROTO_VERSION);
-    (body[1], body[2..].to_vec())
+    match body[0] {
+        proto::PROTO_VERSION => {
+            let id = u32::from_le_bytes(body[2..6].try_into().unwrap());
+            (body[1], Some(id), body[6..].to_vec())
+        }
+        v => {
+            assert_eq!(v, proto::MIN_PROTO_VERSION, "unknown response version");
+            (body[1], None, body[2..].to_vec())
+        }
+    }
 }
 
 #[test]
@@ -68,7 +78,7 @@ fn garbage_bytes_get_a_typed_answer_and_a_close() {
     let mut s = raw(&addr);
     // An HTTP request: the first 4 bytes parse as an absurd length.
     s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
-    let (tag, payload) = read_raw_frame(&mut s);
+    let (tag, _, payload) = read_raw_frame(&mut s);
     assert_eq!(tag, status::ERR);
     assert_eq!(payload[0], RemoteErrorCode::BadFrame as u8);
     // The node closes after a framing error.
@@ -85,7 +95,7 @@ fn oversized_length_prefix_rejected_without_allocation() {
     // Claim a body of u32::MAX bytes (4 GiB): the MAX_BODY check fires
     // before any buffer is sized from the hostile length.
     s.write_all(&u32::MAX.to_le_bytes()).unwrap();
-    let (tag, payload) = read_raw_frame(&mut s);
+    let (tag, _, payload) = read_raw_frame(&mut s);
     assert_eq!(tag, status::ERR);
     assert_eq!(payload[0], RemoteErrorCode::BadFrame as u8);
     assert_still_serving(&addr);
@@ -112,11 +122,11 @@ fn bad_crc_and_bad_version_are_rejected() {
     {
         let mut s = raw(&addr);
         let mut frame = Vec::new();
-        proto::write_frame(&mut frame, op::HEALTH, &[]).unwrap();
+        proto::write_frame(&mut frame, op::HEALTH, None, &[]).unwrap();
         let body_start = 4;
         frame[body_start + 1] ^= 0x01; // flip the opcode under the CRC
         s.write_all(&frame).unwrap();
-        let (tag, payload) = read_raw_frame(&mut s);
+        let (tag, _, payload) = read_raw_frame(&mut s);
         assert_eq!(tag, status::ERR);
         assert_eq!(payload[0], RemoteErrorCode::BadFrame as u8);
     }
@@ -127,7 +137,7 @@ fn bad_crc_and_bad_version_are_rejected() {
         s.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
         s.write_all(&body).unwrap();
         s.write_all(&ec_wire::crc32(&body).to_le_bytes()).unwrap();
-        let (tag, payload) = read_raw_frame(&mut s);
+        let (tag, _, payload) = read_raw_frame(&mut s);
         assert_eq!(tag, status::ERR);
         assert_eq!(payload[0], RemoteErrorCode::BadFrame as u8);
     }
@@ -140,8 +150,8 @@ fn malformed_payloads_keep_the_connection_alive() {
     let (_node, addr, dir) = spawn_node("badreq");
     let mut s = raw(&addr);
     // Unknown opcode: typed BadRequest, stream stays usable.
-    proto::write_frame(&mut s, 0x7F, &[]).unwrap();
-    let (tag, payload) = read_raw_frame(&mut s);
+    proto::write_frame(&mut s, 0x7F, None, &[]).unwrap();
+    let (tag, _, payload) = read_raw_frame(&mut s);
     assert_eq!(tag, status::ERR);
     assert_eq!(payload[0], RemoteErrorCode::BadRequest as u8);
 
@@ -149,8 +159,8 @@ fn malformed_payloads_keep_the_connection_alive() {
     let mut bad_key = Vec::new();
     bad_key.extend_from_slice(&200u16.to_le_bytes());
     bad_key.extend_from_slice(b"short");
-    proto::write_frame(&mut s, op::GET_SHARD, &[&bad_key]).unwrap();
-    let (tag, payload) = read_raw_frame(&mut s);
+    proto::write_frame(&mut s, op::GET_SHARD, None, &[&bad_key]).unwrap();
+    let (tag, _, payload) = read_raw_frame(&mut s);
     assert_eq!(tag, status::ERR);
     assert_eq!(payload[0], RemoteErrorCode::BadRequest as u8);
 
@@ -159,8 +169,8 @@ fn malformed_payloads_keep_the_connection_alive() {
     let key = "k".repeat(proto::MAX_KEY + 1);
     long_key.extend_from_slice(&(key.len() as u16).to_le_bytes());
     long_key.extend_from_slice(key.as_bytes());
-    proto::write_frame(&mut s, op::GET_SHARD, &[&long_key]).unwrap();
-    let (tag, payload) = read_raw_frame(&mut s);
+    proto::write_frame(&mut s, op::GET_SHARD, None, &[&long_key]).unwrap();
+    let (tag, _, payload) = read_raw_frame(&mut s);
     assert_eq!(tag, status::ERR);
     assert_eq!(payload[0], RemoteErrorCode::BadRequest as u8);
 
@@ -168,14 +178,14 @@ fn malformed_payloads_keep_the_connection_alive() {
     let mut trailing = Vec::new();
     trailing.extend_from_slice(&1u16.to_le_bytes());
     trailing.extend_from_slice(b"kEXTRA");
-    proto::write_frame(&mut s, op::GET_SHARD, &[&trailing]).unwrap();
-    let (tag, payload) = read_raw_frame(&mut s);
+    proto::write_frame(&mut s, op::GET_SHARD, None, &[&trailing]).unwrap();
+    let (tag, _, payload) = read_raw_frame(&mut s);
     assert_eq!(tag, status::ERR);
     assert_eq!(payload[0], RemoteErrorCode::BadRequest as u8);
 
     // …and the same connection still serves honest requests.
-    proto::write_frame(&mut s, op::HEALTH, &[]).unwrap();
-    let (tag, _) = read_raw_frame(&mut s);
+    proto::write_frame(&mut s, op::HEALTH, None, &[]).unwrap();
+    let (tag, _, _) = read_raw_frame(&mut s);
     assert_eq!(tag, status::OK);
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -260,8 +270,8 @@ fn idle_connections_do_not_starve_honest_clients() {
     // The silent connections are still alive (not dropped), just
     // deprioritized: one of them can still speak and be served.
     let mut late = _silent.into_iter().next().unwrap();
-    proto::write_frame(&mut late, op::HEALTH, &[]).unwrap();
-    let (tag, _) = read_raw_frame(&mut late);
+    proto::write_frame(&mut late, op::HEALTH, None, &[]).unwrap();
+    let (tag, _, _) = read_raw_frame(&mut late);
     assert_eq!(tag, status::OK);
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -277,4 +287,122 @@ fn shutdown_kills_inflight_connections() {
     assert!(c.get("k").is_err());
     assert!(NodeClient::connect(&addr, Duration::from_millis(500)).is_err());
     let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn v2_responses_echo_the_request_id() {
+    let (_node, addr, dir) = spawn_node("idecho");
+    let mut s = raw(&addr);
+    proto::write_frame(&mut s, op::HEALTH, Some(0xDEAD_BEEF), &[]).unwrap();
+    let (tag, id, _) = read_raw_frame(&mut s);
+    assert_eq!(tag, status::OK);
+    assert_eq!(id, Some(0xDEAD_BEEF), "response must echo the request id");
+    // Ids are opaque to the node: no ordering or uniqueness demands.
+    for weird in [0u32, u32::MAX, 7, 7] {
+        proto::write_frame(&mut s, op::HEALTH, Some(weird), &[]).unwrap();
+        let (tag, id, _) = read_raw_frame(&mut s);
+        assert_eq!(tag, status::OK);
+        assert_eq!(id, Some(weird));
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn v1_requests_get_v1_answers() {
+    // Old-version compat: a v1 (id-less) request is answered with a v1
+    // frame — an old client never sees four mystery bytes prepended to
+    // its payload.
+    let (_node, addr, dir) = spawn_node("v1compat");
+    let mut s = raw(&addr);
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u16.to_le_bytes());
+    payload.push(b'k');
+    payload.extend_from_slice(b"value-bytes");
+    proto::write_frame(&mut s, op::PUT_SHARD, None, &[&payload]).unwrap();
+    let (tag, id, body) = read_raw_frame(&mut s);
+    assert_eq!(tag, status::OK);
+    assert_eq!(id, None, "a v1 request must be answered with a v1 frame");
+    assert!(body.is_empty());
+    let mut get = Vec::new();
+    get.extend_from_slice(&1u16.to_le_bytes());
+    get.push(b'k');
+    proto::write_frame(&mut s, op::GET_SHARD, None, &[&get]).unwrap();
+    let (tag, id, body) = read_raw_frame(&mut s);
+    assert_eq!(tag, status::OK);
+    assert_eq!(id, None);
+    assert_eq!(body, b"value-bytes");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn pipelined_responses_resolve_out_of_order() {
+    let (_node, addr, dir) = spawn_node("pipeline");
+    let mut c = client(&addr);
+    c.put("a", b"alpha").unwrap();
+    c.put("b", b"beta").unwrap();
+    c.put("c", b"gamma").unwrap();
+    // Three requests on the wire before any answer is read; resolved in
+    // reverse order. The node answers in arrival order, so the client's
+    // parking lot is doing the reordering.
+    let ids = c
+        .send_batch(&[
+            ec_store::BatchOp::Get { key: "a" },
+            ec_store::BatchOp::Get { key: "b" },
+            ec_store::BatchOp::Get { key: "c" },
+        ])
+        .unwrap();
+    assert_eq!(ids.len(), 3);
+    assert_eq!(c.recv_get(ids[2]).unwrap(), b"gamma");
+    assert_eq!(c.recv_get(ids[1]).unwrap(), b"beta");
+    assert_eq!(c.recv_get(ids[0]).unwrap(), b"alpha");
+    // An id that was never issued (or already resolved) is refused
+    // without touching the stream.
+    match c.recv_get(ids[0]) {
+        Err(StoreError::Protocol(msg)) => assert!(msg.contains("not outstanding")),
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    // The connection is still healthy after the pipelined exchange.
+    assert_eq!(c.get("b").unwrap(), b"beta");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn hostile_response_id_is_a_typed_error_and_poisons_the_connection() {
+    // A lying "node": answers every request with a well-formed v2 frame
+    // carrying a request id the client never issued.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        loop {
+            let mut len = [0u8; 4];
+            if s.read_exact(&mut len).is_err() {
+                return;
+            }
+            let mut body = vec![0u8; u32::from_le_bytes(len) as usize + 4];
+            if s.read_exact(&mut body).is_err() {
+                return; // body + trailing crc
+            }
+            if proto::write_frame(&mut s, status::OK, Some(0x4141_4141), &[b"x"])
+                .is_err()
+            {
+                return;
+            }
+        }
+    });
+    let mut c = NodeClient::connect(&addr, TIMEOUT).unwrap();
+    match c.get("anything") {
+        Err(StoreError::Protocol(msg)) => {
+            assert!(
+                msg.contains("unexpected request id"),
+                "error must name the lie: {msg}"
+            );
+        }
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    // The stream can no longer be trusted: the client is dropped (as the
+    // cluster layer does on any non-Remote error) and the server sees
+    // the close rather than more requests on a desynced stream.
+    drop(c);
+    server.join().unwrap();
 }
