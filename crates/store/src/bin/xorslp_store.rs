@@ -29,7 +29,7 @@ USAGE:
     xorslp-store delete    <cluster> <object>        [GEOMETRY]
     xorslp-store list      <cluster>                 [GEOMETRY]
     xorslp-store health    <cluster>                 [GEOMETRY]
-    xorslp-store scrub     <cluster> [--repair]      [GEOMETRY]
+    xorslp-store scrub     <cluster> [--repair] [--gc-grace SECS] [GEOMETRY]
     xorslp-store repair    <cluster> --dead ADDR [--replacement ADDR]
                            [--dead ADDR [--replacement ADDR]]... [GEOMETRY]
 
@@ -54,7 +54,13 @@ VERBS:
     list       all objects known to the cluster
     health     per-node liveness and usage
     scrub      verify every object end-to-end; exit 1 on damage
-               (--repair: rebuild damaged shards in place first)
+               (--repair: rebuild damaged shards in place first). Each
+               scrub ends with the generation GC: shard keys no live
+               manifest references — superseded by a later write, or
+               orphaned by a crashed one — are collected once older
+               than the grace window (--gc-grace SECS, default 300;
+               0 collects immediately — safe only with no writer
+               mid-put)
     repair     rebuild dead nodes' shards onto their --replacement (default:
                the same address, e.g. after restarting it empty); repeat
                --dead/--replacement pairs to repair several nodes in one
@@ -102,6 +108,7 @@ struct Opts {
     workers: usize,
     repair: bool,
     verbose: bool,
+    gc_grace: Option<u64>,
     delay_ms: Option<u64>,
     delay_prefix: Option<String>,
     dead: Vec<String>,
@@ -117,6 +124,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         workers: 0,
         repair: false,
         verbose: false,
+        gc_grace: None,
         delay_ms: None,
         delay_prefix: None,
         dead: Vec::new(),
@@ -143,6 +151,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             }
             "--repair" => opts.repair = true,
             "--verbose" => opts.verbose = true,
+            "--gc-grace" => {
+                opts.gc_grace = Some(num(args, &mut i, "--gc-grace")? as u64)
+            }
             "--delay-ms" => {
                 opts.delay_ms = Some(num(args, &mut i, "--delay-ms")? as u64)
             }
@@ -184,7 +195,12 @@ fn cluster_from(opts: &Opts, which: usize) -> Result<Cluster, CliError> {
     let nodes: Vec<String> = spec.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
     let codec = CodecSpec::parse(&opts.codec, opts.n, opts.p)
         .map_err(|e| CliError::Usage(format!("--codec: {e}")))?;
-    Ok(Cluster::with_spec(nodes, &codec)?.with_timeout(Duration::from_secs(10)))
+    let mut cluster =
+        Cluster::with_spec(nodes, &codec)?.with_timeout(Duration::from_secs(10));
+    if let Some(secs) = opts.gc_grace {
+        cluster = cluster.with_gc_grace(Duration::from_secs(secs));
+    }
+    Ok(cluster)
 }
 
 fn run(args: &[String]) -> Result<ExitCode, CliError> {
@@ -388,7 +404,7 @@ fn health(opts: &Opts) -> Result<ExitCode, CliError> {
 fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
     let cluster = cluster_from(opts, 0)?;
     let report = if opts.repair {
-        let (_, repairs) = cluster.scrub_and_repair()?;
+        let (first, repairs) = cluster.scrub_and_repair()?;
         for (object, outcome) in &repairs {
             match outcome {
                 Ok(report) => {
@@ -397,8 +413,13 @@ fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
                 Err(reason) => println!("`{object}` NOT repaired: {reason}"),
             }
         }
-        // Re-scrub so the exit code reflects the post-repair state.
-        cluster.scrub()?
+        // Re-scrub so the exit code reflects the post-repair state;
+        // fold in the GC work the first pass already did so the
+        // printed tally covers the whole invocation.
+        let mut report = cluster.scrub()?;
+        report.generations_collected += first.generations_collected;
+        report.bytes_reclaimed += first.bytes_reclaimed;
+        report
     } else {
         cluster.scrub()?
     };
@@ -419,6 +440,10 @@ fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
     for (object, err) in &report.failed_objects {
         println!("object `{object}`: scrub failed: {err}");
     }
+    println!(
+        "gc: {} generations collected, {} bytes reclaimed",
+        report.generations_collected, report.bytes_reclaimed
+    );
     if report.clean() {
         println!("scrub clean: {} objects verified", report.objects.len());
         Ok(ExitCode::SUCCESS)

@@ -219,6 +219,43 @@ impl BlobStore {
         Ok(keys)
     }
 
+    /// All keys starting with `prefix` as `(key, age_secs, len)`
+    /// triples, sorted by key — the listing the scrub-time GC drives
+    /// on, where plain [`BlobStore::list`] lacks the age and size.
+    ///
+    /// `age_secs` comes from the blob file's mtime — measured on *this
+    /// node's* clock, so the GC's grace window needs no cross-node clock
+    /// agreement. `len` is the payload length the frame claims (file
+    /// size minus framing), good enough for reclaim accounting even on
+    /// a damaged blob.
+    pub fn list_meta(&self, prefix: &str) -> std::io::Result<Vec<(String, u64, u64)>> {
+        let now = std::time::SystemTime::now();
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name.strip_suffix(BLOB_SUFFIX) else { continue };
+            let Some(bytes) = hex_decode(hex) else { continue };
+            let Ok(key) = String::from_utf8(bytes) else { continue };
+            if !key.starts_with(prefix) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            // A file whose mtime is in the future (clock step) ages as
+            // zero: it stays inside the grace window, never the reverse.
+            let age_secs = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .map_or(0, |d| d.as_secs());
+            let len = meta.len().saturating_sub(BLOB_OVERHEAD);
+            entries.push((key, age_secs, len));
+        }
+        entries.sort();
+        Ok(entries)
+    }
+
     /// Blob count and total payload bytes (framing excluded), for
     /// `HEALTH` reporting.
     pub fn usage(&self) -> std::io::Result<(u64, u64)> {
@@ -351,6 +388,22 @@ mod tests {
         let stat = store.stat("k").unwrap();
         assert_eq!(stat, BlobStat { len: 10, crc: crc32(b"0123456789"), ok: true });
         assert!(matches!(store.stat("missing"), Err(BlobError::NotFound)));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn list_meta_reports_age_and_len() {
+        let store = temp_store("listmeta");
+        store.put("s:000g0000000000000001:obj", &[1u8; 64]).unwrap();
+        store.put("s:001g0000000000000001:obj", &[2u8; 32]).unwrap();
+        store.put("m:obj", b"manifest").unwrap();
+        let entries = store.list_meta("s:").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "s:000g0000000000000001:obj");
+        assert_eq!(entries[0].2, 64);
+        assert_eq!(entries[1].2, 32);
+        // Just written: well inside any real grace window.
+        assert!(entries.iter().all(|(_, age, _)| *age < 60));
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -268,6 +268,37 @@ impl NodeClient {
         Ok(keys)
     }
 
+    /// All keys on the node starting with `prefix`, each with its age
+    /// in seconds (node-clock mtime) and payload length — the
+    /// scrub-time GC's view of a node. A pre-GC node answers
+    /// `ERR BadRequest` for the unknown opcode; callers treat that as
+    /// "this node cannot be collected yet", not as damage.
+    pub fn list_aged(
+        &mut self,
+        prefix: &str,
+    ) -> Result<Vec<(String, u64, u64)>, StoreError> {
+        let payload = self.request(op::LIST_AGED, &[&keyed_allow_empty(prefix)])?;
+        let mut r = PayloadReader::new(&payload);
+        let parse = |r: &mut PayloadReader| -> Result<Vec<(String, u64, u64)>, String> {
+            let count = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                let key = r.str_bounded(crate::proto::MAX_KEY, "key")?.to_string();
+                let age_secs = r.u64()?;
+                let len = r.u64()?;
+                entries.push((key, age_secs, len));
+            }
+            Ok(entries)
+        };
+        let entries = parse(&mut r).map_err(|e| {
+            StoreError::Protocol(format!("malformed LIST_AGED response: {e}"))
+        })?;
+        r.finish().map_err(|e| {
+            StoreError::Protocol(format!("malformed LIST_AGED response: {e}"))
+        })?;
+        Ok(entries)
+    }
+
     /// Size and integrity of the blob under `key`, without transferring
     /// it.
     pub fn stat(&mut self, key: &str) -> Result<BlobStat, StoreError> {

@@ -27,18 +27,32 @@
 //! * an optional per-operation deadline ([`Cluster::with_op_deadline`])
 //!   bounds each operation's wall clock and surfaces as the typed
 //!   [`StoreError::Timeout`].
+//!
+//! **Crash atomicity** (the generation-keyed write discipline): every
+//! write path — `put`, delta `overwrite`, `repair_nodes` — *prepares*
+//! its shards under fresh generation-qualified keys beside the live
+//! generation, *publishes* by replicating the new manifest only after
+//! every shard landed, and leaves *collection* of superseded and
+//! crash-orphaned generations to the scrub-time GC
+//! ([`Cluster::scrub`], grace window via [`Cluster::with_gc_grace`]).
+//! No published shard byte is ever mutated in place, so a client that
+//! dies at any point mid-write leaves the prior generation fully
+//! readable, and a `get` racing a re-put decodes one generation or the
+//! other, never a mixture.
 
 use crate::client::{NodeClient, NodeHealth};
 use crate::error::{RemoteErrorCode, StoreError};
 use crate::fanout::ParallelConnSet;
 use crate::manifest::{
-    self, manifest_key, shard_key, validate_object_name, Manifest, ManifestRecord,
+    self, manifest_key, parse_shard_key, validate_object_name, Manifest,
+    ManifestRecord,
 };
 use crate::placement;
 use crate::proto::{MAX_BODY, MAX_KEY};
 use ec_core::{codec_for_with, CodecSpec, EcError, ErasureCoder, RsConfig};
 use ec_wire::crc32;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One shard-fetch outcome slot as the first-n predicates see it:
@@ -48,6 +62,56 @@ type FetchSlot = Option<Result<Result<Vec<u8>, ShardFault>, StoreError>>;
 
 /// Default network timeout (connect + each read/write).
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default GC grace window: a shard blob younger than this (by its own
+/// node's clock) is never collected, however orphaned it looks — it may
+/// belong to a put whose manifest has not landed *yet*.
+pub const DEFAULT_GC_GRACE: Duration = Duration::from_secs(300);
+
+/// A crash-injection hook for the fault-injection tests: called as
+/// `(point, index)` before each guarded write step, and the step fails
+/// (as if the client died there) when it returns `true`.
+///
+/// Points: `put.shard` / `overwrite.shard` / `repair.shard` fire per
+/// shard write with the write's index, so `index >= k` simulates a
+/// client crashing after `k` of `n + p` shard writes; `put.publish` /
+/// `overwrite.publish` / `repair.publish` fire once (index 0) just
+/// before the manifest replication that makes the write visible.
+///
+/// Install with [`Cluster::with_failpoint`], or via the environment for
+/// CLI-driven tests: `XORSLP_FAILPOINT="<point>=<k>"` makes `point`
+/// fail at every `index >= k`.
+pub type FailPoint = Arc<dyn Fn(&str, usize) -> bool + Send + Sync>;
+
+/// Parse `XORSLP_FAILPOINT="<point>=<k>"` into a hook (`None` when the
+/// variable is unset or malformed — a malformed spec must not silently
+/// disable the injection a test asked for, so it is at least loud).
+fn failpoint_from_env() -> Option<FailPoint> {
+    let spec = std::env::var("XORSLP_FAILPOINT").ok()?;
+    let Some((point, k)) = spec.split_once('=') else {
+        eprintln!("ignoring malformed XORSLP_FAILPOINT `{spec}` (want <point>=<k>)");
+        return None;
+    };
+    let Ok(k) = k.trim().parse::<usize>() else {
+        eprintln!("ignoring malformed XORSLP_FAILPOINT `{spec}` (want <point>=<k>)");
+        return None;
+    };
+    let point = point.trim().to_string();
+    Some(Arc::new(move |p: &str, index: usize| p == point && index >= k))
+}
+
+/// Evaluate a failpoint inside a write step: `Err` = the injected
+/// crash. A tripped step errors before touching the network, so the
+/// write aborts exactly as if the client process died there — shards
+/// already written stay on their nodes as an unpublished generation.
+fn trip(fp: &Option<FailPoint>, point: &'static str, index: usize) -> Result<(), StoreError> {
+    match fp {
+        Some(f) if f(point, index) => Err(StoreError::Io(std::io::Error::other(
+            format!("failpoint {point} tripped at index {index}"),
+        ))),
+        _ => Ok(()),
+    }
+}
 
 /// Result of a [`Cluster::put`].
 #[derive(Clone, Debug)]
@@ -250,6 +314,12 @@ pub struct ClusterScrubReport {
     pub objects: Vec<ObjectScrub>,
     /// Objects whose manifest could not be fetched or parsed.
     pub failed_objects: Vec<(String, String)>,
+    /// Distinct `(object, generation)` shard-key groups the scrub-time
+    /// GC collected this cycle: superseded generations a later write
+    /// replaced, and orphans a crashed writer left unpublished.
+    pub generations_collected: u64,
+    /// Payload bytes freed by the GC deletions.
+    pub bytes_reclaimed: u64,
 }
 
 impl ClusterScrubReport {
@@ -325,6 +395,12 @@ pub struct Cluster {
     /// Per-operation wall-clock bound (`None` = only the per-I/O
     /// `timeout` applies).
     op_deadline: Option<Duration>,
+    /// Minimum age (node-clock) a shard blob must reach before the
+    /// scrub-time GC may collect it.
+    gc_grace: Duration,
+    /// Crash injection for the fault tests ([`FailPoint`]); `None` in
+    /// production unless `XORSLP_FAILPOINT` is set.
+    failpoint: Option<FailPoint>,
 }
 
 impl Cluster {
@@ -372,7 +448,14 @@ impl Cluster {
             )));
         }
         let codec = codec_for_with(spec, cfg)?;
-        Ok(Cluster { codec, nodes, timeout: DEFAULT_TIMEOUT, op_deadline: None })
+        Ok(Cluster {
+            codec,
+            nodes,
+            timeout: DEFAULT_TIMEOUT,
+            op_deadline: None,
+            gc_grace: DEFAULT_GC_GRACE,
+            failpoint: failpoint_from_env(),
+        })
     }
 
     /// Override the network timeout (connect and each read/write).
@@ -388,6 +471,23 @@ impl Cluster {
     /// typed [`StoreError::Timeout`].
     pub fn with_op_deadline(mut self, deadline: Duration) -> Cluster {
         self.op_deadline = Some(deadline);
+        self
+    }
+
+    /// Override the GC grace window ([`DEFAULT_GC_GRACE`]). Zero means
+    /// "collect every non-live shard key immediately" — right for tests
+    /// and controlled maintenance, wrong while any writer may be
+    /// mid-put: an unpublished generation younger than the grace window
+    /// is the only thing standing between an in-flight put and the GC.
+    pub fn with_gc_grace(mut self, grace: Duration) -> Cluster {
+        self.gc_grace = grace;
+        self
+    }
+
+    /// Install a crash-injection hook (see [`FailPoint`]). Test-only by
+    /// intent; overrides any `XORSLP_FAILPOINT` environment hook.
+    pub fn with_failpoint(mut self, failpoint: FailPoint) -> Cluster {
+        self.failpoint = Some(failpoint);
         self
     }
 
@@ -424,18 +524,21 @@ impl Cluster {
     /// Store `data` under `object`, replacing any previous version.
     ///
     /// Writes to one object must be serialized by the caller (single
-    /// writer per object): replacement is not transactional across
-    /// nodes, so concurrent writers of the *same* object can interleave
-    /// shard generations. Concurrent writers of different objects are
-    /// safe.
+    /// writer per object): two concurrent writers can race the
+    /// generation election and the loser's publish silently supersede
+    /// the winner's. The race is *detectable and collectable* — each
+    /// writer's shards live under its own generation keys, the election
+    /// picks exactly one manifest, and the loser's generation is
+    /// GC'd — but last-publish-wins is not a merge. Concurrent writers
+    /// of different objects are safe.
     ///
-    /// Replacement is also not crash-atomic: new shards overwrite old
-    /// ones in place, so a client that dies mid-re-put after rewriting
-    /// more than `p` shards leaves neither generation reconstructable
-    /// (the surviving manifest's checksums reject the new shards).
-    /// Treat a re-put that errored midway as damage and re-drive it to
-    /// completion; generation-suffixed shard keys are the planned fix
-    /// (see ROADMAP).
+    /// Replacement is crash-atomic: the new generation's shards are
+    /// written under fresh generation-qualified keys *beside* the live
+    /// generation, and the manifest that makes them visible replicates
+    /// only after all `n + p` landed. A client that dies at any point
+    /// mid-re-put leaves the prior generation byte-exact (its keys were
+    /// never touched) and its partial shards unpublished, to be
+    /// collected by the next scrub cycle's GC after the grace window.
     pub fn put(&self, object: &str, data: &[u8]) -> Result<PutReport, StoreError> {
         validate_object_name(object)?;
         let mut conns = self.conns();
@@ -444,21 +547,22 @@ impl Cluster {
         // stale records lose the freshest-record vote.
         let vote = self.fetch_record(&mut conns, object, &[]);
         let generation = vote.next_generation();
-        let prior = vote.current();
-        self.put_inner(&mut conns, object, data, generation, prior)
+        self.put_inner(&mut conns, object, data, generation)
     }
 
     /// [`Cluster::put`] with the generation election already decided
     /// (the overwrite fallbacks fetched the manifest; no second
-    /// cluster-wide sweep). `prior` is the superseded live manifest,
-    /// used to reclaim shards its placement orphans.
+    /// cluster-wide sweep). Superseded shards — the prior generation's
+    /// keys, and ex-placement blobs stranded by membership churn — are
+    /// deliberately *not* reclaimed here: a concurrent reader may still
+    /// be fetching the prior generation it resolved, so collection
+    /// belongs to the scrub-time GC.
     fn put_inner(
         &self,
         conns: &mut ParallelConnSet,
         object: &str,
         data: &[u8],
         generation: u64,
-        prior: Option<Manifest>,
     ) -> Result<PutReport, StoreError> {
         let shard_len = self.codec.shard_len(data.len());
         if shard_len + MAX_KEY + 64 > MAX_BODY {
@@ -481,41 +585,33 @@ impl Cluster {
             shard_len: shard_len as u64,
             placement: placement.clone(),
             shard_crc: shards.iter().map(|s| crc32(s)).collect(),
+            shard_gen: vec![generation; shards.len()],
         };
-        // All n + p shards ship in one concurrent round: the put costs
-        // ~max(per-node RTT), not the sum. All must land.
+        // Prepare: all n + p shards ship in one concurrent round under
+        // the new generation's keys — beside the live generation, never
+        // over it — so the put costs ~max(per-node RTT), not the sum.
+        // All must land before the manifest publishes; any failure here
+        // aborts with the prior generation untouched and the partial
+        // shards left for GC.
         let jobs: Vec<_> = shards
             .iter()
             .enumerate()
             .map(|(i, shard)| {
-                let key = shard_key(object, i);
+                let key = manifest.shard_key(object, i);
                 let shard: &[u8] = shard;
-                (placement[i].clone(), move |c: &mut NodeClient| c.put(&key, shard))
+                let fp = self.failpoint.clone();
+                (placement[i].clone(), move |c: &mut NodeClient| {
+                    trip(&fp, "put.shard", i)?;
+                    c.put(&key, shard)
+                })
             })
             .collect();
         for result in conns.run_batch(jobs) {
             result?;
         }
+        // Publish: the manifest replication is the commit point.
+        trip(&self.failpoint, "put.publish", 0)?;
         let replicas = self.replicate_manifest(conns, object, &manifest)?;
-        // Membership churn between writes moves placements: shard blobs
-        // at ex-locations would otherwise be orphaned forever (invisible
-        // to `get`/`delete`, but consuming disk). Best-effort reclaim.
-        if let Some(prior) = prior {
-            let orphans: Vec<(String, String)> = prior
-                .placement
-                .iter()
-                .enumerate()
-                .filter(|(i, addr)| placement.get(*i) != Some(addr))
-                .map(|(i, addr)| (addr.clone(), shard_key(object, i)))
-                .collect();
-            let jobs: Vec<_> = orphans
-                .iter()
-                .map(|(addr, key)| {
-                    (addr.clone(), move |c: &mut NodeClient| c.delete(key))
-                })
-                .collect();
-            let _ = conns.run_batch(jobs);
-        }
         Ok(PutReport {
             shards_written: shards.len(),
             shard_len,
@@ -565,20 +661,12 @@ impl Cluster {
         validate_object_name(object)?;
         let mut conns = self.conns();
         let manifest = self.fetch_manifest(&mut conns, object, &[])?;
-        let jobs: Vec<_> = manifest
-            .placement
-            .iter()
-            .enumerate()
-            .map(|(i, addr)| {
-                let key = shard_key(object, i);
-                (addr.clone(), move |c: &mut NodeClient| c.delete(&key))
-            })
-            .collect();
-        let removed = conns
-            .run_batch(jobs)
-            .into_iter()
-            .filter(|r| matches!(r, Ok(true)))
-            .count();
+        // The tombstone publishes *first*: the index swing is the
+        // delete, exactly as the manifest swing is the put. A client
+        // that dies right after this point has deleted the object; the
+        // shard blobs it did not get to are ordinary superseded keys
+        // for the GC. The old order (shards first) had a crash window
+        // where the object was half-destroyed yet still live.
         let tomb = manifest::tombstone_bytes(manifest.generation + 1);
         let key = manifest_key(object);
         let jobs: Vec<_> = self
@@ -597,6 +685,23 @@ impl Cluster {
                 "no node accepted the delete tombstone",
             )));
         }
+        // Best-effort eager reclaim of the shard keys the manifest
+        // referenced; whatever this misses (unreachable nodes, older
+        // generations) the GC collects after the grace window.
+        let jobs: Vec<_> = manifest
+            .placement
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let key = manifest.shard_key(object, i);
+                (addr.clone(), move |c: &mut NodeClient| c.delete(&key))
+            })
+            .collect();
+        let removed = conns
+            .run_batch(jobs)
+            .into_iter()
+            .filter(|r| matches!(r, Ok(true)))
+            .count();
         Ok(removed)
     }
 
@@ -843,7 +948,7 @@ impl Cluster {
                     prior: Manifest|
          -> Result<OverwriteReport, StoreError> {
             let generation = prior.generation + 1;
-            let report = this.put_inner(conns, object, data, generation, Some(prior))?;
+            let report = this.put_inner(conns, object, data, generation)?;
             Ok(OverwriteReport {
                 mode: OverwriteMode::Full,
                 changed: (0..this.codec.data_shards()).collect(),
@@ -931,26 +1036,44 @@ impl Cluster {
             }
         }
 
-        // Ship changed data shards + all parity shards in one round,
-        // then the manifest.
+        // Prepare: ship changed data shards + all updated parity under
+        // the *new* generation's keys, in one round. Unchanged data
+        // shards keep their existing keys — that is the delta saving —
+        // and the old generation's changed/parity keys stay untouched
+        // beside the new ones, so a crash anywhere below leaves the
+        // published generation byte-exact for readers and the partial
+        // new-generation shards for GC. (The old delta path RMW'd
+        // parity *in place* under the live keys: a crash mid-round
+        // could leave more than `p` published shards clobbered, losing
+        // both generations.)
+        let new_gen = manifest.generation + 1;
         let ships: Vec<(String, String, &[u8])> = changed
             .iter()
             .map(|&i| {
-                (manifest.placement[i].clone(), shard_key(object, i), new[i].as_slice())
+                (
+                    manifest.placement[i].clone(),
+                    manifest::shard_key(object, i, new_gen),
+                    new[i].as_slice(),
+                )
             })
             .chain(parity.iter().enumerate().map(|(j, shard)| {
                 (
                     manifest.placement[n + j].clone(),
-                    shard_key(object, n + j),
+                    manifest::shard_key(object, n + j, new_gen),
                     shard.as_slice(),
                 )
             }))
             .collect();
         let jobs: Vec<_> = ships
             .iter()
-            .map(|(addr, key, bytes)| {
+            .enumerate()
+            .map(|(ship_idx, (addr, key, bytes))| {
                 let (key, bytes) = (key, *bytes);
-                (addr.clone(), move |c: &mut NodeClient| c.put(key, bytes))
+                let fp = self.failpoint.clone();
+                (addr.clone(), move |c: &mut NodeClient| {
+                    trip(&fp, "overwrite.shard", ship_idx)?;
+                    c.put(key, bytes)
+                })
             })
             .collect();
         for result in conns.run_batch(jobs) {
@@ -958,12 +1081,16 @@ impl Cluster {
         }
         for &i in &changed {
             manifest.shard_crc[i] = crc32(&new[i]);
+            manifest.shard_gen[i] = new_gen;
         }
         for (j, shard) in parity.iter().enumerate() {
             manifest.shard_crc[n + j] = crc32(shard);
+            manifest.shard_gen[n + j] = new_gen;
         }
         manifest.object_len = data.len() as u64;
-        manifest.generation += 1;
+        manifest.generation = new_gen;
+        // Publish: the commit point of the delta.
+        trip(&self.failpoint, "overwrite.publish", 0)?;
         self.replicate_manifest(&mut conns, object, &manifest)?;
         Ok(OverwriteReport {
             mode: OverwriteMode::Delta,
@@ -1113,7 +1240,11 @@ impl Cluster {
 
     /// Verify every object end to end: per-shard manifest checksums
     /// (bit-rot attribution) plus a chunk-wise data↔parity consistency
-    /// re-encode when all shards are intact.
+    /// re-encode when all shards are intact. The sweep ends with the
+    /// generation GC pass — superseded and crash-orphaned shard keys
+    /// past the grace window are collected and tallied into
+    /// [`ClusterScrubReport::generations_collected`] /
+    /// [`ClusterScrubReport::bytes_reclaimed`].
     pub fn scrub(&self) -> Result<ClusterScrubReport, StoreError> {
         self.scrub_via(&mut self.conns())
     }
@@ -1140,6 +1271,8 @@ impl Cluster {
             dead_nodes,
             objects: Vec::new(),
             failed_objects: Vec::new(),
+            generations_collected: 0,
+            bytes_reclaimed: 0,
         };
         for object in self.objects_via(conns, &[])? {
             match self.scrub_object(conns, &object) {
@@ -1150,7 +1283,104 @@ impl Cluster {
                 Err(e) => report.failed_objects.push((object, e.to_string())),
             }
         }
+        self.gc_via(conns, &mut report);
         Ok(report)
+    }
+
+    /// The scrub-time garbage collector: collect every shard key no
+    /// live manifest references, once it has outlived the grace window.
+    ///
+    /// A shard key on node `A` is **live** iff the object's winning
+    /// manifest `m` has `m.placement[idx] == A && m.shard_gen[idx] ==
+    /// gen` — one rule that uniformly covers superseded generations
+    /// (a later write swung the manifest away), crash orphans (their
+    /// manifest never published, or a tombstone won), and ex-placement
+    /// strays from membership churn. Everything else about the pass is
+    /// refusal to over-collect:
+    ///
+    /// * an object whose record election hit *any* transport failure is
+    ///   skipped this cycle — the unreachable node might hold the
+    ///   freshest manifest, and collecting against a stale one would
+    ///   eat a published generation;
+    /// * a key younger than the grace window is kept even when no
+    ///   manifest references it: it may belong to a put that has not
+    ///   published *yet* (ages come from each node's own clock via
+    ///   `LIST_AGED`, so no cross-node clock agreement is assumed);
+    /// * a node that cannot answer `LIST_AGED` — unreachable, or a
+    ///   pre-GC build answering `BadRequest` to the unknown opcode — is
+    ///   skipped; its garbage waits for a later cycle.
+    ///
+    /// GC failures are deliberately non-fatal to the scrub: collection
+    /// is bookkeeping, and the next cycle retries everything.
+    fn gc_via(&self, conns: &mut ParallelConnSet, report: &mut ClusterScrubReport) {
+        let grace_secs = self.gc_grace.as_secs();
+        // Every node's shard-key listing first: the election set must
+        // cover objects that *only* exist as orphaned shards (a first
+        // put that died before any manifest landed leaves keys no
+        // manifest listing will ever name).
+        type AgedListing = Vec<(String, u64, u64)>; // (key, age_secs, len)
+        let mut listings: Vec<(String, AgedListing)> = Vec::new();
+        for addr in &self.nodes {
+            if let Ok(entries) = conns.with(addr, |c| c.list_aged("s:")) {
+                listings.push((addr.clone(), entries));
+            }
+        }
+        let mut objects = BTreeSet::new();
+        for (_, entries) in &listings {
+            for (key, _, _) in entries {
+                if let Some((object, _, _)) = parse_shard_key(key) {
+                    objects.insert(object.to_string());
+                }
+            }
+        }
+        // One record election per object: `Some(m)` = live manifest,
+        // `None` = provably deleted or never published; objects whose
+        // election saw a transport failure stay out of the map and are
+        // skipped entirely.
+        let mut live: HashMap<String, Option<Manifest>> = HashMap::new();
+        for object in &objects {
+            let vote = self.fetch_record(conns, object, &[]);
+            if vote.conn_err.is_some() {
+                continue;
+            }
+            live.insert(object.clone(), vote.current());
+        }
+        let mut collected: BTreeSet<(String, u64)> = BTreeSet::new();
+        for (addr, entries) in &listings {
+            let doomed: Vec<&(String, u64, u64)> = entries
+                .iter()
+                .filter(|(key, age_secs, _)| {
+                    let Some((object, idx, gen)) = parse_shard_key(key) else {
+                        return false; // not ours to judge
+                    };
+                    let is_live = match live.get(object) {
+                        None => return false, // election deferred: keep
+                        Some(None) => false,
+                        Some(Some(m)) => {
+                            m.placement.get(idx) == Some(addr)
+                                && m.shard_gen.get(idx) == Some(&gen)
+                        }
+                    };
+                    !is_live && *age_secs >= grace_secs
+                })
+                .collect();
+            let jobs: Vec<_> = doomed
+                .iter()
+                .map(|(key, _, _)| {
+                    (addr.clone(), move |c: &mut NodeClient| c.delete(key))
+                })
+                .collect();
+            for (entry, result) in doomed.iter().zip(conns.run_batch(jobs)) {
+                if matches!(result, Ok(true)) {
+                    let (key, _, len) = entry;
+                    let (object, _, gen) =
+                        parse_shard_key(key).expect("filtered above");
+                    collected.insert((object.to_string(), gen));
+                    report.bytes_reclaimed += len;
+                }
+            }
+        }
+        report.generations_collected = collected.len() as u64;
     }
 
     fn scrub_object(
@@ -1232,9 +1462,17 @@ impl Cluster {
                     retargeted.push(i);
                 }
             }
+            // In-place rewrite under the manifest's own key is safe
+            // here (and only here): the bytes written are exactly what
+            // the live manifest already promises for this key, so the
+            // write is idempotent, a crash mid-way leaves at worst the
+            // same damage scrub just attributed, and the node-side
+            // temp-file + rename makes each single rewrite atomic. No
+            // new generation is needed because nothing is *changing* —
+            // damage is being restored to the published state.
             let shard = shards[i].as_deref().expect("reconstructed");
             match conns.with(&manifest.placement[i], |c| {
-                c.put(&shard_key(object, i), shard)
+                c.put(&manifest.shard_key(object, i), shard)
             }) {
                 Ok(()) => report.repaired.push(i),
                 Err(_) => report.unplaced.push(i),
@@ -1479,6 +1717,14 @@ impl Cluster {
     /// shard placed on a dead node, rebuild them in a single
     /// reconstruct from one survivor fetch, and place each onto its
     /// dead node's replacement.
+    ///
+    /// Replacement writes follow the same prepare→publish discipline as
+    /// `put`: rebuilt shards land under a *new* generation's keys, and
+    /// the manifest naming them replicates only after every placement
+    /// succeeded. A repairer that dies mid-object leaves the old
+    /// manifest (and every key it references) exactly as it was —
+    /// still degraded, still repairable by the retry — and its partial
+    /// placements as GC-able orphans on the replacements.
     fn repair_object_onto(
         &self,
         conns: &mut ParallelConnSet,
@@ -1493,18 +1739,24 @@ impl Cluster {
         let affected: Vec<usize> = (0..total)
             .filter(|&i| dead.contains(&manifest.placement[i].as_str()))
             .collect();
+        let new_gen = manifest.generation + 1;
         if !affected.is_empty() {
             let shards =
                 self.rebuild_lost(conns, object, &manifest, dead, &affected, report)?;
-            // One concurrent round places every rebuilt shard on its
-            // replacement node.
+            // Prepare: one concurrent round places every rebuilt shard
+            // on its replacement node, under the new generation's keys.
             let jobs: Vec<_> = affected
                 .iter()
-                .map(|&i| {
+                .enumerate()
+                .map(|(write_idx, &i)| {
                     let target = replacements[manifest.placement[i].as_str()];
-                    let key = shard_key(object, i);
+                    let key = manifest::shard_key(object, i, new_gen);
                     let shard: &[u8] = shards[i].as_deref().expect("reconstructed");
-                    (target.to_string(), move |c: &mut NodeClient| c.put(&key, shard))
+                    let fp = self.failpoint.clone();
+                    (target.to_string(), move |c: &mut NodeClient| {
+                        trip(&fp, "repair.shard", write_idx)?;
+                        c.put(&key, shard)
+                    })
                 })
                 .collect();
             let placed = conns.run_batch(jobs);
@@ -1512,6 +1764,7 @@ impl Cluster {
                 result?;
                 let target = replacements[manifest.placement[i].as_str()];
                 manifest.placement[i] = target.to_string();
+                manifest.shard_gen[i] = new_gen;
                 let shard = shards[i].as_ref().expect("reconstructed");
                 report.shards_rebuilt += 1;
                 report.bytes_rebuilt += shard.len() as u64;
@@ -1535,14 +1788,15 @@ impl Cluster {
             }
             return Ok(());
         }
-        // The shard map changed: refresh it on the post-repair
-        // membership, concurrently. Only the replacements are
-        // *required* to accept it (they just proved alive; without a
-        // manifest their new shards are undiscoverable) — other nodes
-        // may themselves be dead mid-multi-failure, and their stale
-        // replicas lose the generation vote until their own repair
-        // refreshes them.
-        manifest.generation += 1;
+        // Publish: the shard map changed — refresh it on the
+        // post-repair membership, concurrently. Only the replacements
+        // are *required* to accept it (they just proved alive; without
+        // a manifest their new shards are undiscoverable) — other
+        // nodes may themselves be dead mid-multi-failure, and their
+        // stale replicas lose the generation vote until their own
+        // repair refreshes them.
+        trip(&self.failpoint, "repair.publish", 0)?;
+        manifest.generation = new_gen;
         let bytes = manifest.to_bytes();
         let targets: Vec<&str> = self
             .nodes
@@ -1580,7 +1834,7 @@ fn shard_fetch_job(
 ) -> impl FnOnce(&mut NodeClient) -> Result<Result<Vec<u8>, ShardFault>, StoreError>
        + Send
        + 'static {
-    let key = shard_key(object, i);
+    let key = manifest.shard_key(object, i);
     let addr = manifest.placement[i].clone();
     let want_len = manifest.shard_len;
     let want_crc = manifest.shard_crc[i];

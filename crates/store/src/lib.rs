@@ -72,15 +72,16 @@ mod scrub;
 pub use blob::{BlobError, BlobStat, BlobStore, BLOB_MAGIC, BLOB_OVERHEAD};
 pub use client::{BatchOp, NodeClient, NodeHealth};
 pub use cluster::{
-    Cluster, ClusterHealth, ClusterScrubReport, GetReport, NodeRepairReport,
-    ObjectRepairReport, ObjectScrub, OverwriteMode, OverwriteReport, PutReport,
-    RepairOutcome, ShardFetch, ShardHealth, ShardOutcome, DEFAULT_TIMEOUT,
+    Cluster, ClusterHealth, ClusterScrubReport, FailPoint, GetReport,
+    NodeRepairReport, ObjectRepairReport, ObjectScrub, OverwriteMode,
+    OverwriteReport, PutReport, RepairOutcome, ShardFetch, ShardHealth,
+    ShardOutcome, DEFAULT_GC_GRACE, DEFAULT_TIMEOUT,
 };
 pub use error::{RemoteErrorCode, StoreError};
 pub use manifest::{
-    manifest_key, parse_record, shard_key, tombstone_bytes, Manifest, ManifestRecord,
-    MANIFEST_MAGIC, MANIFEST_VERSION, MAX_OBJECT_NAME, MIN_MANIFEST_VERSION,
-    TOMBSTONE_MAGIC,
+    manifest_key, parse_record, parse_shard_key, shard_key, tombstone_bytes,
+    Manifest, ManifestRecord, MANIFEST_MAGIC, MANIFEST_VERSION, MAX_OBJECT_NAME,
+    MIN_MANIFEST_VERSION, TOMBSTONE_MAGIC,
 };
 pub use node::{NodeHandle, NodeOptions};
 pub use placement::{rank_nodes, score};

@@ -2,13 +2,23 @@
 //! they must contain.
 //!
 //! A manifest is written at `put` time and replicated to every cluster
-//! node under key `m:<object>`; each shard lives under `s:<idx>:<object>`
-//! on the node the manifest names. The per-shard CRC-32s recorded here
-//! are the *end-to-end* ground truth for scrub: a shard whose blob frame
-//! is internally consistent but whose content no longer matches the
+//! node under key `m:<object>`; each shard lives under a
+//! generation-qualified key `s:<idx>g<gen>:<object>` on the node the
+//! manifest names (legacy shards, written before generations were
+//! key-qualified, live under `s:<idx>:<object>` and are recorded with
+//! `shard_gen == 0`). The per-shard CRC-32s recorded here are the
+//! *end-to-end* ground truth for scrub: a shard whose blob frame is
+//! internally consistent but whose content no longer matches the
 //! manifest is attributably damaged (rewritten or rotted before its
 //! frame CRC was computed), which is what lets scrub name the lying
 //! shard instead of only proving "data and parity disagree".
+//!
+//! Generation-qualified keys are what make the write path crash-atomic:
+//! a re-put writes its shards under *new* keys beside the live
+//! generation and publishes by swinging the manifest, so no published
+//! byte is ever mutated in place; superseded and crash-orphaned
+//! generations are collected later by the scrub-time GC
+//! (`docs/STORE.md` §GC).
 
 use crate::error::StoreError;
 use crate::proto::{put_str, PayloadReader, MAX_KEY};
@@ -19,8 +29,10 @@ use ec_wire::crc32;
 pub const MANIFEST_MAGIC: [u8; 8] = *b"XSLPECM1";
 
 /// Serialization version this build writes. Version 1 (no codec
-/// identity) is still read and normalizes to the RS codec it implied.
-pub const MANIFEST_VERSION: u8 = 2;
+/// identity) is still read and normalizes to the RS codec it implied;
+/// version 2 (no per-shard generations) reads with every `shard_gen`
+/// zero, i.e. the legacy un-suffixed shard keys.
+pub const MANIFEST_VERSION: u8 = 3;
 
 /// Oldest manifest/tombstone version this build still reads.
 pub const MIN_MANIFEST_VERSION: u8 = 1;
@@ -28,18 +40,47 @@ pub const MIN_MANIFEST_VERSION: u8 = 1;
 /// Upper bound on one node address string in a manifest.
 pub const MAX_ADDR: usize = 256;
 
-/// Upper bound on an object name: the shard key `s:NNN:<object>` must
-/// fit the protocol's key cap.
-pub const MAX_OBJECT_NAME: usize = MAX_KEY - 7;
+/// Upper bound on an object name: the generation-qualified shard key
+/// `s:NNNg<16 hex>:<object>` must fit the protocol's key cap.
+pub const MAX_OBJECT_NAME: usize = MAX_KEY - 23;
 
 /// Key of an object's manifest blob.
 pub fn manifest_key(object: &str) -> String {
     format!("m:{object}")
 }
 
-/// Key of shard `index` of an object.
-pub fn shard_key(object: &str, index: usize) -> String {
-    format!("s:{index:03}:{object}")
+/// Key of shard `index` of an object at write `generation`.
+///
+/// Generation 0 never occurs on the write path (the first write of any
+/// object is generation ≥ 1) and denotes a *legacy* shard written by a
+/// pre-v3 build under the un-suffixed key form; everything newer embeds
+/// the generation as 16 hex digits so that concurrent generations of
+/// the same shard coexist on one node. The two forms stay unambiguous —
+/// the byte after the 3-digit index is `:` (legacy) or `g` (qualified),
+/// before the object name (which may itself contain `:`) begins.
+pub fn shard_key(object: &str, index: usize, generation: u64) -> String {
+    if generation == 0 {
+        format!("s:{index:03}:{object}")
+    } else {
+        format!("s:{index:03}g{generation:016x}:{object}")
+    }
+}
+
+/// Decompose a shard key into `(object, index, generation)` — the GC's
+/// inverse of [`shard_key`]. `None` for keys that are not shard keys
+/// (callers list with prefix `s:` but must not trip over foreign keys).
+pub fn parse_shard_key(key: &str) -> Option<(&str, usize, u64)> {
+    let rest = key.strip_prefix("s:")?;
+    let (idx_digits, rest) = rest.split_at_checked(3)?;
+    let index = idx_digits.parse::<usize>().ok()?;
+    if let Some(object) = rest.strip_prefix(':') {
+        return Some((object, index, 0));
+    }
+    let rest = rest.strip_prefix('g')?;
+    let (gen_digits, rest) = rest.split_at_checked(16)?;
+    let generation = u64::from_str_radix(gen_digits, 16).ok()?;
+    let object = rest.strip_prefix(':')?;
+    Some((object, index, generation))
 }
 
 /// Validate a caller-supplied object name against the key grammar.
@@ -139,12 +180,26 @@ pub struct Manifest {
     pub placement: Vec<String>,
     /// `shard_crc[i]` is the CRC-32 of shard `i`'s exact bytes.
     pub shard_crc: Vec<u32>,
+    /// `shard_gen[i]` is the write generation embedded in shard `i`'s
+    /// key ([`shard_key`]); `0` means the legacy un-suffixed key form
+    /// (pre-v3 manifests read as all-zero). Per-shard rather than
+    /// manifest-wide so a delta overwrite can publish changed shards
+    /// under the new generation while unchanged data shards keep their
+    /// existing immutable keys.
+    pub shard_gen: Vec<u64>,
 }
 
 impl Manifest {
     /// Total shards `n + p`.
     pub fn total_shards(&self) -> usize {
         self.data_shards as usize + self.parity_shards as usize
+    }
+
+    /// Key of shard `index` as this manifest references it: the
+    /// placement address plus this key is the complete, immutable
+    /// location of the shard's bytes.
+    pub fn shard_key(&self, object: &str, index: usize) -> String {
+        shard_key(object, index, self.shard_gen.get(index).copied().unwrap_or(0))
     }
 
     /// The codec spec the object was encoded under, validated: an
@@ -172,9 +227,11 @@ impl Manifest {
         out.extend_from_slice(&self.generation.to_le_bytes());
         out.extend_from_slice(&self.object_len.to_le_bytes());
         out.extend_from_slice(&self.shard_len.to_le_bytes());
-        for (addr, crc) in self.placement.iter().zip(&self.shard_crc) {
+        for (i, (addr, crc)) in self.placement.iter().zip(&self.shard_crc).enumerate() {
             put_str(&mut out, addr);
             out.extend_from_slice(&crc.to_le_bytes());
+            let gen = self.shard_gen.get(i).copied().unwrap_or(0);
+            out.extend_from_slice(&gen.to_le_bytes());
         }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -233,9 +290,13 @@ impl Manifest {
             }
             let mut placement = Vec::with_capacity(total);
             let mut shard_crc = Vec::with_capacity(total);
+            let mut shard_gen = Vec::with_capacity(total);
             for _ in 0..total {
                 placement.push(r.str_bounded(MAX_ADDR, "node address")?.to_string());
                 shard_crc.push(r.u32()?);
+                // Versions 1–2 predate per-shard generations; their
+                // shards live under the legacy un-suffixed keys.
+                shard_gen.push(if version >= 3 { r.u64()? } else { 0 });
             }
             Ok(Manifest {
                 data_shards,
@@ -247,6 +308,7 @@ impl Manifest {
                 shard_len,
                 placement,
                 shard_crc,
+                shard_gen,
             })
         };
         let manifest = parse(&mut r).map_err(bad)?;
@@ -283,6 +345,7 @@ mod tests {
             shard_len: 256,
             placement: (0..6).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect(),
             shard_crc: (0..6).map(|i| 0xDEAD_0000 + i).collect(),
+            shard_gen: vec![3, 3, 1, 3, 3, 3],
         }
     }
 
@@ -328,7 +391,7 @@ mod tests {
         assert!(Manifest::from_bytes(&cannot_hold.to_bytes()).is_err());
         let unaligned = Manifest { shard_len: 12, ..sample() };
         assert!(Manifest::from_bytes(&unaligned.to_bytes()).is_err());
-        let zero_parity = Manifest { parity_shards: 0, shard_crc: vec![0; 4], placement: sample().placement[..4].to_vec(), ..sample() };
+        let zero_parity = Manifest { parity_shards: 0, shard_crc: vec![0; 4], shard_gen: vec![1; 4], placement: sample().placement[..4].to_vec(), ..sample() };
         assert!(Manifest::from_bytes(&zero_parity.to_bytes()).is_err());
     }
 
@@ -371,6 +434,7 @@ mod tests {
             parity_shards: 3,
             placement: (0..7).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect(),
             shard_crc: (0..7).map(|i| 0xBEEF_0000 + i).collect(),
+            shard_gen: vec![3; 7],
             ..sample()
         };
         let parsed = Manifest::from_bytes(&m.to_bytes()).unwrap();
@@ -380,8 +444,9 @@ mod tests {
 
     #[test]
     fn v1_manifests_read_as_rs() {
-        // Fabricate the version-1 wire form: no codec fields at all.
-        let m = sample();
+        // Fabricate the version-1 wire form: no codec fields at all,
+        // no per-shard generations.
+        let m = Manifest { shard_gen: vec![0; 6], ..sample() };
         let mut out = Vec::new();
         out.extend_from_slice(&MANIFEST_MAGIC);
         out.push(1);
@@ -399,6 +464,34 @@ mod tests {
         let parsed = Manifest::from_bytes(&out).unwrap();
         assert_eq!(parsed, m);
         assert_eq!(parsed.codec_spec().unwrap(), CodecSpec::rs(4, 2));
+    }
+
+    #[test]
+    fn v2_manifests_read_with_legacy_shard_keys() {
+        // Fabricate the version-2 wire form: codec fields present,
+        // per-shard `[addr][crc]` without generations. The parse must
+        // fill `shard_gen` with zeros so every shard key resolves to
+        // the legacy un-suffixed form the v2 writer actually used.
+        let m = Manifest { shard_gen: vec![0; 6], ..sample() };
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.push(2);
+        out.extend_from_slice(&m.data_shards.to_le_bytes());
+        out.extend_from_slice(&m.parity_shards.to_le_bytes());
+        out.extend_from_slice(&m.codec_id.to_le_bytes());
+        out.extend_from_slice(&m.group_size.to_le_bytes());
+        out.extend_from_slice(&m.generation.to_le_bytes());
+        out.extend_from_slice(&m.object_len.to_le_bytes());
+        out.extend_from_slice(&m.shard_len.to_le_bytes());
+        for (addr, crc) in m.placement.iter().zip(&m.shard_crc) {
+            put_str(&mut out, addr);
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        let parsed = Manifest::from_bytes(&out).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.shard_key("obj", 3), "s:003:obj");
     }
 
     #[test]
@@ -420,10 +513,38 @@ mod tests {
     #[test]
     fn keys_and_names() {
         assert_eq!(manifest_key("obj"), "m:obj");
-        assert_eq!(shard_key("obj", 7), "s:007:obj");
+        assert_eq!(shard_key("obj", 7, 0), "s:007:obj");
+        assert_eq!(shard_key("obj", 7, 0x2a), "s:007g000000000000002a:obj");
         validate_object_name("obj").unwrap();
         assert!(validate_object_name("").is_err());
         assert!(validate_object_name(&"x".repeat(MAX_OBJECT_NAME + 1)).is_err());
         validate_object_name(&"x".repeat(MAX_OBJECT_NAME)).unwrap();
+        // The longest legal key fits the protocol cap.
+        assert!(shard_key(&"x".repeat(MAX_OBJECT_NAME), 255, u64::MAX).len() <= MAX_KEY);
+    }
+
+    #[test]
+    fn shard_keys_parse_back() {
+        for gen in [0u64, 1, 42, u64::MAX] {
+            let key = shard_key("a:b/c", 17, gen);
+            assert_eq!(parse_shard_key(&key), Some(("a:b/c", 17, gen)));
+        }
+        // Foreign or mangled keys are refused, not misparsed.
+        for bad in [
+            "m:obj",
+            "s:",
+            "s:01",
+            "s:007",
+            "s:007obj",
+            "s:007g123:obj",
+            "s:007g00000000000000zz:obj",
+            "s:007g0000000000000001obj",
+        ] {
+            assert_eq!(parse_shard_key(bad), None, "{bad}");
+        }
+        // The manifest-side accessor agrees with the free function.
+        let m = sample();
+        assert_eq!(m.shard_key("obj", 2), "s:002g0000000000000001:obj");
+        assert_eq!(m.shard_key("obj", 0), "s:000g0000000000000003:obj");
     }
 }

@@ -471,6 +471,25 @@ fn handle(frame: &Frame, store: &BlobStore) -> Handled {
             }
             Ok(payload)
         }
+        op::LIST_AGED => {
+            let prefix = r.str_bounded(proto::MAX_KEY, "prefix").map_err(bad_req)?;
+            r.finish().map_err(bad_req)?;
+            let entries = store.list_meta(prefix).map_err(|e| blob_err(e.into()))?;
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (key, age_secs, len) in &entries {
+                proto::put_str(&mut payload, key);
+                payload.extend_from_slice(&age_secs.to_le_bytes());
+                payload.extend_from_slice(&len.to_le_bytes());
+            }
+            if payload.len() + 6 > proto::MAX_BODY {
+                return Err(bad_req(format!(
+                    "listing of {} keys exceeds the frame cap; narrow the prefix",
+                    entries.len()
+                )));
+            }
+            Ok(payload)
+        }
         op::STAT => {
             let key = r.key().map_err(bad_req)?;
             r.finish().map_err(bad_req)?;

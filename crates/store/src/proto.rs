@@ -59,6 +59,14 @@ pub mod op {
     pub const STAT: u8 = 0x05;
     /// Node liveness and usage: empty payload.
     pub const HEALTH: u8 = 0x06;
+    /// List keys by prefix with per-blob age and size:
+    /// `[u16 prefix_len][prefix]` → OK payload
+    /// `[u32 count] count × ([u16 key_len][key][u64 age_secs][u64 len])`.
+    /// Age is seconds since the blob's last write *on the node's own
+    /// clock*, which is what lets the scrub-time GC apply its grace
+    /// window without any cross-node clock agreement. A pre-GC node
+    /// answers `ERR BadRequest` (unknown opcode) and the GC skips it.
+    pub const LIST_AGED: u8 = 0x07;
 }
 
 /// Response tags (node → client).

@@ -422,12 +422,15 @@ fn repair_node_is_retryable_after_membership_swap() {
 }
 
 #[test]
-fn reput_after_membership_change_reclaims_orphans() {
+fn scrub_gc_reclaims_orphans_after_membership_change() {
     use ec_store::NodeClient;
     // Six nodes; membership A = {0..4}, membership B = {1..5}. An
     // object placed (partly) on node 0 under A is re-put under B:
     // node 0 is no longer a member but still reachable, and the prior
-    // manifest names it — the re-put must reclaim its stale shard.
+    // manifest names it. The re-put deliberately leaves the prior
+    // generation in place (snapshot readers may still hold it); a
+    // union-membership scrub with zero GC grace must then collect the
+    // stale shard.
     let tc = TestCluster::spawn("orphans", 6);
     let cluster_a = Cluster::new(tc.addrs[..5].to_vec(), RsConfig::new(2, 2))
         .unwrap()
@@ -457,8 +460,26 @@ fn reput_after_membership_change_reclaims_orphans() {
     let v2 = sample_data(10_000, 99);
     cluster_b.put(&name, &v2).unwrap();
     assert!(
+        shard_of(&name),
+        "re-put must leave the prior generation in place for snapshot readers"
+    );
+    assert_eq!(cluster_b.get(&name).unwrap(), v2);
+
+    // A scrub over the union membership sees the winning (B) manifest,
+    // finds node 0's shard unreferenced by it, and collects it.
+    let gc_cluster = Cluster::new(tc.addrs.clone(), RsConfig::new(2, 2))
+        .unwrap()
+        .with_timeout(TIMEOUT)
+        .with_gc_grace(Duration::ZERO);
+    let report = gc_cluster.scrub().unwrap();
+    assert!(
+        report.generations_collected >= 1,
+        "scrub GC must report the superseded generation: {report:?}"
+    );
+    assert!(report.bytes_reclaimed > 0);
+    assert!(
         !shard_of(&name),
-        "stale shard on the reachable ex-member must be reclaimed"
+        "stale shard on the reachable ex-member must be collected by scrub GC"
     );
     assert_eq!(cluster_b.get(&name).unwrap(), v2);
 }

@@ -8,7 +8,7 @@
 //! cargo run --release --example storage_cluster
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xorslp_ec::store::{Cluster, NodeHandle};
 use xorslp_ec::RsConfig;
 
@@ -33,8 +33,11 @@ fn main() {
         .iter()
         .map(|n| n.as_ref().unwrap().addr().to_string())
         .collect();
-    let mut cluster =
-        Cluster::new(addrs.clone(), RsConfig::new(N, P)).expect("cluster client");
+    // Zero GC grace so the final scrub collects superseded generations
+    // immediately (fine here: no writer is ever mid-put when we scrub).
+    let mut cluster = Cluster::new(addrs.clone(), RsConfig::new(N, P))
+        .expect("cluster client")
+        .with_gc_grace(Duration::ZERO);
     println!("cluster: {} loopback nodes, RS({N}, {P})\n", N + P);
 
     // Store fifty 256 KiB objects.
@@ -130,12 +133,17 @@ fn main() {
 
     // Scrub proves the cluster fully healthy: every shard passes its
     // manifest CRC and data ↔ parity re-encode consistently, chunk-wise.
+    // The GC pass at the end collects the generation the delta overwrite
+    // superseded (its old shard keys stayed behind for snapshot readers).
     let scrub = cluster.scrub().expect("scrub");
     assert!(scrub.clean(), "scrub found damage: {scrub:?}");
     println!(
-        "scrub clean: {} objects verified end-to-end on {} nodes",
+        "scrub clean: {} objects verified end-to-end on {} nodes; \
+         gc collected {} superseded generations ({} bytes)",
         scrub.objects.len(),
         cluster.nodes().len(),
+        scrub.generations_collected,
+        scrub.bytes_reclaimed,
     );
 
     // And every object reads back healthy (no reconstruction needed).
