@@ -8,7 +8,10 @@
 //! * one slow node: first-n early-return keeps healthy reads near the
 //!   fast-node RTT instead of the straggler's;
 //! * batch multi-node repair: one pass for two dead nodes reads each
-//!   survivor once — about half the bytes of two sequential passes.
+//!   survivor once — about half the bytes of two sequential passes;
+//! * scrub cost: the incremental Merkle scrub verifies a healthy cluster
+//!   by comparing 32-byte roots (zero payload bytes), asserted at ≥ 5x
+//!   fewer bytes than the CRC-era full re-read.
 //!
 //! A plain-main bench (harness = false): spins up an in-process RS(4, 2)
 //! cluster of 6 loopback shard nodes and measures wall-clock through the
@@ -213,6 +216,7 @@ fn main() {
     fanout_vs_serial();
     first_n_straggler();
     batch_repair_traffic();
+    scrub_cost();
 }
 
 /// Uniform 20 ms service delay on every node of a 14-node RS(10, 4)
@@ -399,5 +403,60 @@ fn batch_repair_traffic() {
         seq_read as f64 >= 1.8 * batch_read as f64,
         "a batch repair must read each survivor about once, not once per \
          dead node: batch {batch_read}, sequential {seq_read}"
+    );
+}
+
+/// Scrub cost, CRC-era vs Merkle-era. The pre-hash scrub had no choice
+/// but to fetch every shard of every object and re-encode; the
+/// incremental scrub compares 32-byte Merkle roots over `HASH_SUBTREE`
+/// and moves **zero** payload bytes while the cluster is healthy.
+/// Asserted at ≥ 5x fewer bytes on the wire (in practice it is orders
+/// of magnitude).
+fn scrub_cost() {
+    const OBJECTS: usize = 8;
+    let fx = Fixture::spawn_with(
+        "scrubcost",
+        N + P,
+        |_| NodeOptions { workers: 4, ..NodeOptions::default() },
+    );
+    let cluster = fx.cluster();
+    for k in 0..OBJECTS {
+        cluster.put(&format!("sc-{k}"), &payload(k)).expect("put");
+    }
+
+    let start = Instant::now();
+    let incremental = cluster.scrub().expect("incremental scrub");
+    let inc_elapsed = start.elapsed();
+    assert!(incremental.clean(), "fixture must be healthy");
+    assert_eq!(
+        incremental.payload_bytes_read, 0,
+        "a healthy incremental scrub fetches zero shard payload bytes"
+    );
+    let inc_bytes = incremental.hash_bytes_read + incremental.payload_bytes_read;
+
+    let start = Instant::now();
+    let full = cluster.scrub_deep().expect("deep scrub");
+    let full_elapsed = start.elapsed();
+    assert!(full.clean(), "fixture must be healthy");
+    let full_bytes = full.hash_bytes_read + full.payload_bytes_read;
+
+    println!(
+        "\nSCRUB COST, {OBJECTS} x {} MiB objects (RS({N}, {P})):",
+        OBJECT_BYTES >> 20
+    );
+    println!(
+        "  full re-read (CRC-era):   {full_bytes:>12} bytes  {:>7.1} ms",
+        full_elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "  Merkle incremental:       {inc_bytes:>12} bytes  {:>7.1} ms  \
+         ({:.0}x fewer bytes)",
+        inc_elapsed.as_secs_f64() * 1e3,
+        full_bytes as f64 / inc_bytes.max(1) as f64
+    );
+    assert!(
+        full_bytes >= 5 * inc_bytes.max(1),
+        "the incremental scrub must move at least 5x fewer bytes than the \
+         full re-read: {inc_bytes} vs {full_bytes}"
     );
 }

@@ -27,9 +27,9 @@ USAGE:
     xorslp-store get       <cluster> <object> <file> [--verbose] [GEOMETRY]
     xorslp-store overwrite <cluster> <object> <file> [GEOMETRY]
     xorslp-store delete    <cluster> <object>        [GEOMETRY]
-    xorslp-store list      <cluster>                 [GEOMETRY]
+    xorslp-store list      <cluster> [--verbose]     [GEOMETRY]
     xorslp-store health    <cluster>                 [GEOMETRY]
-    xorslp-store scrub     <cluster> [--repair] [--gc-grace SECS] [GEOMETRY]
+    xorslp-store scrub     <cluster> [--repair] [--deep] [--gc-grace SECS] [GEOMETRY]
     xorslp-store repair    <cluster> --dead ADDR [--replacement ADDR]
                            [--dead ADDR [--replacement ADDR]]... [GEOMETRY]
 
@@ -48,13 +48,20 @@ VERBS:
     get        fetch <object> into <file>: all N+P shard fetches are
                issued at once and the read completes on the first N that
                suffice, abandoning stragglers; degrades over up to P dead
-               nodes (--verbose: per-shard outcome and timing)
+               nodes (--verbose: per-shard outcome and timing, and whether
+               the read was Merkle-verified or CRC-only)
     overwrite  replace <object> with <file>, shipping deltas when possible
     delete     remove <object> from all nodes
-    list       all objects known to the cluster
+    list       all objects known to the cluster (--verbose: the object's
+               Merkle root and per-shard roots, or `crc-only` for objects
+               stored before hashing)
     health     per-node liveness and usage
-    scrub      verify every object end-to-end; exit 1 on damage
-               (--repair: rebuild damaged shards in place first). Each
+    scrub      verify every object end-to-end; exit 1 on damage.
+               Hash-carrying objects verify incrementally: 32-byte Merkle
+               roots are compared and mismatches descended to the exact
+               damaged leaves, moving zero payload bytes when healthy
+               (--deep: force the full-read data↔parity re-encode;
+               --repair: rebuild damaged shards in place first). Each
                scrub ends with the generation GC: shard keys no live
                manifest references — superseded by a later write, or
                orphaned by a crashed one — are collected once older
@@ -108,6 +115,7 @@ struct Opts {
     workers: usize,
     repair: bool,
     verbose: bool,
+    deep: bool,
     gc_grace: Option<u64>,
     delay_ms: Option<u64>,
     delay_prefix: Option<String>,
@@ -124,6 +132,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         workers: 0,
         repair: false,
         verbose: false,
+        deep: false,
         gc_grace: None,
         delay_ms: None,
         delay_prefix: None,
@@ -151,6 +160,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             }
             "--repair" => opts.repair = true,
             "--verbose" => opts.verbose = true,
+            "--deep" => opts.deep = true,
             "--gc-grace" => {
                 opts.gc_grace = Some(num(args, &mut i, "--gc-grace")? as u64)
             }
@@ -309,6 +319,14 @@ fn get(opts: &Opts) -> Result<ExitCode, CliError> {
         println!("fetched `{object}` ({} bytes), all shards healthy", data.len());
     }
     if opts.verbose {
+        println!(
+            "  integrity: {}",
+            if report.hash_verified {
+                "every served shard verified against its manifest Merkle root"
+            } else {
+                "CRC-only (object stored before per-shard hashing)"
+            }
+        );
         for fetch in &report.shards {
             let elapsed = fetch
                 .elapsed
@@ -378,6 +396,20 @@ fn list(opts: &Opts) -> Result<ExitCode, CliError> {
                     "{object}  {codec}({}, {})  {} bytes",
                     m.data_shards, m.parity_shards, m.object_len
                 );
+                if opts.verbose {
+                    if m.has_hashes() {
+                        println!(
+                            "  object root {} ({} B leaves)",
+                            hex(&m.object_root),
+                            m.hash_leaf_size
+                        );
+                        for (i, root) in m.shard_root.iter().enumerate() {
+                            println!("  shard {i:>2} root {}", hex(root));
+                        }
+                    } else {
+                        println!("  crc-only (stored before per-shard hashing)");
+                    }
+                }
             }
             Err(e) => println!("{object}  <manifest unreadable: {e}>"),
         }
@@ -403,12 +435,20 @@ fn health(opts: &Opts) -> Result<ExitCode, CliError> {
 
 fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
     let cluster = cluster_from(opts, 0)?;
+    let run = |cluster: &Cluster| if opts.deep { cluster.scrub_deep() } else { cluster.scrub() };
     let report = if opts.repair {
         let (first, repairs) = cluster.scrub_and_repair()?;
         for (object, outcome) in &repairs {
             match outcome {
                 Ok(report) => {
-                    println!("repaired `{object}`: shards {:?}", report.repaired)
+                    if report.hash_blobs_rewritten.is_empty() {
+                        println!("repaired `{object}`: shards {:?}", report.repaired);
+                    } else {
+                        println!(
+                            "repaired `{object}`: shards {:?}, hash blobs rewritten {:?}",
+                            report.repaired, report.hash_blobs_rewritten
+                        );
+                    }
                 }
                 Err(reason) => println!("`{object}` NOT repaired: {reason}"),
             }
@@ -416,12 +456,12 @@ fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
         // Re-scrub so the exit code reflects the post-repair state;
         // fold in the GC work the first pass already did so the
         // printed tally covers the whole invocation.
-        let mut report = cluster.scrub()?;
+        let mut report = run(&cluster)?;
         report.generations_collected += first.generations_collected;
         report.bytes_reclaimed += first.bytes_reclaimed;
         report
     } else {
-        cluster.scrub()?
+        run(&cluster)?
     };
     for addr in &report.dead_nodes {
         println!("node {addr}: UNREACHABLE");
@@ -436,10 +476,17 @@ fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
             object.damaged(),
             object.parity_consistent
         );
+        for (shard, leaves) in &object.damaged_leaves {
+            println!("  shard {shard}: damaged leaves {leaves:?}");
+        }
     }
     for (object, err) in &report.failed_objects {
         println!("object `{object}`: scrub failed: {err}");
     }
+    println!(
+        "read: {} hash bytes, {} payload bytes",
+        report.hash_bytes_read, report.payload_bytes_read
+    );
     println!(
         "gc: {} generations collected, {} bytes reclaimed",
         report.generations_collected, report.bytes_reclaimed
@@ -451,6 +498,10 @@ fn scrub(opts: &Opts) -> Result<ExitCode, CliError> {
         println!("damage found");
         Ok(ExitCode::from(1))
     }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
 fn repair(opts: &Opts) -> Result<ExitCode, CliError> {

@@ -18,6 +18,7 @@
 
 use crate::blob::BlobStat;
 use crate::error::StoreError;
+use ec_wire::merkle::Hash;
 use crate::proto::{
     op, parse_err, put_str, read_frame, status, write_frame, Frame, FrameError, PayloadReader,
 };
@@ -315,6 +316,54 @@ impl NodeClient {
         r.finish()
             .map_err(|e| StoreError::Protocol(format!("malformed STAT response: {e}")))?;
         Ok(stat)
+    }
+
+    /// A slice of one level of the Merkle tree over the blob at `key`:
+    /// `stored == false` re-hashes the shard blob at `leaf_size` on the
+    /// node (its *computed* tree), `stored == true` rebuilds the tree
+    /// from the node's `t:` hash blob. Level 0 is the leaves; the slice
+    /// is `[start, start + count)` within that level. This is the scrub
+    /// descent's transport: O(log leaves) hash bytes instead of the
+    /// shard payload.
+    pub fn hash_subtree(
+        &mut self,
+        key: &str,
+        leaf_size: u32,
+        stored: bool,
+        level: u8,
+        start: u32,
+        count: u32,
+    ) -> Result<Vec<Hash>, StoreError> {
+        let mut req = keyed(key);
+        req.extend_from_slice(&leaf_size.to_le_bytes());
+        req.push(stored as u8);
+        req.push(level);
+        req.extend_from_slice(&start.to_le_bytes());
+        req.extend_from_slice(&count.to_le_bytes());
+        let payload = self.request(op::HASH_SUBTREE, &[&req])?;
+        let mut r = PayloadReader::new(&payload);
+        let parse = |r: &mut PayloadReader| -> Result<Vec<Hash>, String> {
+            let got = r.u32()? as usize;
+            if got != count as usize {
+                return Err(format!("asked for {count} hashes, node sent {got}"));
+            }
+            let mut hashes = Vec::with_capacity(got.min(4096));
+            for _ in 0..got {
+                let mut h = [0u8; 32];
+                for b in &mut h {
+                    *b = r.u8()?;
+                }
+                hashes.push(h);
+            }
+            Ok(hashes)
+        };
+        let hashes = parse(&mut r).map_err(|e| {
+            StoreError::Protocol(format!("malformed HASH_SUBTREE response: {e}"))
+        })?;
+        r.finish().map_err(|e| {
+            StoreError::Protocol(format!("malformed HASH_SUBTREE response: {e}"))
+        })?;
+        Ok(hashes)
     }
 
     /// Node liveness and usage.

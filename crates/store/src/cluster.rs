@@ -49,8 +49,10 @@ use crate::manifest::{
 };
 use crate::placement;
 use crate::proto::{MAX_BODY, MAX_KEY};
+use crate::tree::{tree_key, HashBlob, HASH_LEAF_SIZE};
 use ec_core::{codec_for_with, CodecSpec, EcError, ErasureCoder, RsConfig};
 use ec_wire::crc32;
+use ec_wire::merkle::{leaf_count, root_over_roots, Hash, MerkleTree};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -167,6 +169,10 @@ pub struct GetReport {
     pub missing: Vec<usize>,
     /// Every shard fetch of the read, with outcome and timing.
     pub shards: Vec<ShardFetch>,
+    /// Whether every served shard was verified against its manifest
+    /// Merkle root (version-4 manifests). `false` means the object
+    /// predates the hash fields and only CRC-32 vouched for the bytes.
+    pub hash_verified: bool,
 }
 
 impl GetReport {
@@ -274,6 +280,11 @@ pub enum ShardHealth {
     /// Retrieved (or stored) bytes that fail the manifest checksum or
     /// the node's own frame check.
     Corrupt(String),
+    /// The shard payload verifies against its manifest Merkle root but
+    /// its stored `t:` hash blob is missing, damaged, or disagrees with
+    /// the manifest — repair rewrites the blob from the verified
+    /// payload without touching the shard itself.
+    BadHashes(String),
 }
 
 impl ShardHealth {
@@ -290,7 +301,26 @@ pub struct ObjectScrub {
     /// `Some(false)` when every shard is individually intact yet data
     /// and parity disagree (possible only if the manifest itself lies);
     /// `None` when damage prevented the chunk-wise re-encode check.
+    ///
+    /// On the incremental (Merkle) scrub path a healthy object infers
+    /// `Some(true)` without re-encoding: every shard's bytes still hash
+    /// to the roots recorded when parity *was* consistent (at encode
+    /// time), and unchanged bytes cannot have become inconsistent.
     pub parity_consistent: Option<bool>,
+    /// Hash bytes fetched to scrub this object (roots plus any descent
+    /// levels) — the incremental scrub's entire read cost for a healthy
+    /// object.
+    pub hash_bytes_read: u64,
+    /// Shard payload bytes fetched. Zero on the incremental path for a
+    /// healthy object; the full-read path (pre-hash manifests, or
+    /// [`Cluster::scrub_deep`]) pays `(n + p) · shard_len` here.
+    pub payload_bytes_read: u64,
+    /// Per damaged shard, the exact leaf indices (at the manifest's
+    /// `hash_leaf_size` granularity) where the node's computed tree and
+    /// the trusted stored tree disagree — the descent's damage
+    /// attribution. Empty for shards whose damage could not be
+    /// localized (missing shard, untrusted hash blob, pre-hash object).
+    pub damaged_leaves: Vec<(usize, Vec<usize>)>,
 }
 
 impl ObjectScrub {
@@ -320,6 +350,12 @@ pub struct ClusterScrubReport {
     pub generations_collected: u64,
     /// Payload bytes freed by the GC deletions.
     pub bytes_reclaimed: u64,
+    /// Total hash bytes fetched across all objects (see
+    /// [`ObjectScrub::hash_bytes_read`]).
+    pub hash_bytes_read: u64,
+    /// Total shard payload bytes fetched across all objects (see
+    /// [`ObjectScrub::payload_bytes_read`]).
+    pub payload_bytes_read: u64,
 }
 
 impl ClusterScrubReport {
@@ -345,6 +381,11 @@ pub struct ObjectRepairReport {
     /// Shard indices that were rebuilt but whose node did not accept
     /// the write.
     pub unplaced: Vec<usize>,
+    /// Shard indices whose `t:` hash blob was re-derived from verified
+    /// payload bytes and rewritten — covers both blobs beside repaired
+    /// shards and blobs that were themselves the only damage
+    /// ([`ShardHealth::BadHashes`]).
+    pub hash_blobs_rewritten: Vec<usize>,
 }
 
 /// Per-object outcome of a [`Cluster::scrub_and_repair`] pass: the
@@ -575,6 +616,14 @@ impl Cluster {
         let shards = self.codec.encode(data)?;
         let placement = self.placement_for(object);
         let spec = self.codec.spec();
+        // Hash every shard once at write time: the per-shard Merkle
+        // roots (and the object root over them) ride in the manifest as
+        // the end-to-end ground truth, and the leaf hashes ship beside
+        // each shard as its `t:` blob so scrub can descend without
+        // re-reading payloads.
+        let hash_blobs: Vec<HashBlob> =
+            shards.iter().map(|s| HashBlob::from_shard(s, HASH_LEAF_SIZE)).collect();
+        let shard_root: Vec<Hash> = hash_blobs.iter().map(HashBlob::root).collect();
         let manifest = Manifest {
             data_shards: spec.data_shards as u16,
             parity_shards: spec.parity_shards as u16,
@@ -586,23 +635,39 @@ impl Cluster {
             placement: placement.clone(),
             shard_crc: shards.iter().map(|s| crc32(s)).collect(),
             shard_gen: vec![generation; shards.len()],
+            hash_leaf_size: HASH_LEAF_SIZE,
+            object_root: root_over_roots(&shard_root),
+            shard_root,
         };
-        // Prepare: all n + p shards ship in one concurrent round under
-        // the new generation's keys — beside the live generation, never
-        // over it — so the put costs ~max(per-node RTT), not the sum.
-        // All must land before the manifest publishes; any failure here
-        // aborts with the prior generation untouched and the partial
-        // shards left for GC.
-        let jobs: Vec<_> = shards
+        // Prepare: all n + p shards (each with its hash blob) ship in
+        // one concurrent round under the new generation's keys — beside
+        // the live generation, never over it — so the put costs
+        // ~max(per-node RTT), not the sum. All must land before the
+        // manifest publishes; any failure here aborts with the prior
+        // generation untouched and the partial shards left for GC.
+        let tree_bytes: Vec<Vec<u8>> =
+            hash_blobs.iter().map(HashBlob::to_bytes).collect();
+        let ships: Vec<(usize, &String, String, &[u8])> = shards
             .iter()
             .enumerate()
             .map(|(i, shard)| {
-                let key = manifest.shard_key(object, i);
-                let shard: &[u8] = shard;
+                (i, &placement[i], manifest.shard_key(object, i), shard.as_slice())
+            })
+            .chain(tree_bytes.iter().enumerate().map(|(i, bytes)| {
+                (i, &placement[i], tree_key(object, i, generation), bytes.as_slice())
+            }))
+            .collect();
+        let jobs: Vec<_> = ships
+            .iter()
+            .map(|(i, addr, key, bytes)| {
+                let (i, key, bytes) = (*i, key, *bytes);
                 let fp = self.failpoint.clone();
-                (placement[i].clone(), move |c: &mut NodeClient| {
+                (addr.to_string(), move |c: &mut NodeClient| {
+                    // The hash blob trips at its shard's index, so a
+                    // simulated crash after k shard writes strands at
+                    // most k shard/hash pairs.
                     trip(&fp, "put.shard", i)?;
-                    c.put(&key, shard)
+                    c.put(key, bytes)
                 })
             })
             .collect();
@@ -685,22 +750,30 @@ impl Cluster {
                 "no node accepted the delete tombstone",
             )));
         }
-        // Best-effort eager reclaim of the shard keys the manifest
-        // referenced; whatever this misses (unreachable nodes, older
-        // generations) the GC collects after the grace window.
-        let jobs: Vec<_> = manifest
-            .placement
+        // Best-effort eager reclaim of the shard keys (and their `t:`
+        // hash-blob twins) the manifest referenced; whatever this misses
+        // (unreachable nodes, older generations) the GC collects after
+        // the grace window.
+        let mut doomed: Vec<(String, String, bool)> = Vec::new();
+        for (i, addr) in manifest.placement.iter().enumerate() {
+            doomed.push((addr.clone(), manifest.shard_key(object, i), true));
+            if manifest.has_hashes() {
+                let gen = manifest.shard_gen.get(i).copied().unwrap_or(0);
+                doomed.push((addr.clone(), tree_key(object, i, gen), false));
+            }
+        }
+        let jobs: Vec<_> = doomed
             .iter()
-            .enumerate()
-            .map(|(i, addr)| {
-                let key = manifest.shard_key(object, i);
-                (addr.clone(), move |c: &mut NodeClient| c.delete(&key))
+            .map(|(addr, key, _)| {
+                (addr.clone(), move |c: &mut NodeClient| c.delete(key))
             })
             .collect();
-        let removed = conns
-            .run_batch(jobs)
-            .into_iter()
-            .filter(|r| matches!(r, Ok(true)))
+        // The returned count stays what it always was: *shard* blobs
+        // removed (hash blobs are bookkeeping, not payload).
+        let removed = doomed
+            .iter()
+            .zip(conns.run_batch(jobs))
+            .filter(|((_, _, is_shard), r)| *is_shard && matches!(r, Ok(true)))
             .count();
         Ok(removed)
     }
@@ -914,7 +987,12 @@ impl Cluster {
             });
         }
         let data = self.codec.decode(&shards, manifest.object_len as usize)?;
-        Ok((data, GetReport { missing, shards: fetches }))
+        let report = GetReport {
+            missing,
+            shards: fetches,
+            hash_verified: manifest.has_hashes(),
+        };
+        Ok((data, report))
     }
 
     // ------------------------------------------------------------------
@@ -1047,13 +1125,37 @@ impl Cluster {
         // could leave more than `p` published shards clobbered, losing
         // both generations.)
         let new_gen = manifest.generation + 1;
-        let ships: Vec<(String, String, &[u8])> = changed
+        // The delta path holds every post-overwrite shard byte (new
+        // data + updated parity), so it recomputes all n + p Merkle
+        // roots — and thereby *upgrades* a pre-hash object to a
+        // version-4 manifest as a side effect. Hash blobs for every
+        // shard ship alongside: changed shards under the new
+        // generation's keys, unchanged shards under their existing keys
+        // (the blob content is a pure function of bytes already
+        // published, so rewriting it is idempotent).
+        let hash_blobs: Vec<HashBlob> = new
             .iter()
-            .map(|&i| {
+            .map(|s| HashBlob::from_shard(s, HASH_LEAF_SIZE))
+            .chain(parity.iter().map(|s| HashBlob::from_shard(s, HASH_LEAF_SIZE)))
+            .collect();
+        let tree_bytes: Vec<Vec<u8>> =
+            hash_blobs.iter().map(HashBlob::to_bytes).collect();
+        let tree_gen = |i: usize| {
+            if changed.contains(&i) || i >= n {
+                new_gen
+            } else {
+                manifest.shard_gen[i]
+            }
+        };
+        let ships: Vec<(String, String, &[u8], Option<usize>)> = changed
+            .iter()
+            .enumerate()
+            .map(|(ship_idx, &i)| {
                 (
                     manifest.placement[i].clone(),
                     manifest::shard_key(object, i, new_gen),
                     new[i].as_slice(),
+                    Some(ship_idx),
                 )
             })
             .chain(parity.iter().enumerate().map(|(j, shard)| {
@@ -1061,17 +1163,27 @@ impl Cluster {
                     manifest.placement[n + j].clone(),
                     manifest::shard_key(object, n + j, new_gen),
                     shard.as_slice(),
+                    Some(changed.len() + j),
+                )
+            }))
+            .chain(tree_bytes.iter().enumerate().map(|(i, bytes)| {
+                (
+                    manifest.placement[i].clone(),
+                    tree_key(object, i, tree_gen(i)),
+                    bytes.as_slice(),
+                    None,
                 )
             }))
             .collect();
         let jobs: Vec<_> = ships
             .iter()
-            .enumerate()
-            .map(|(ship_idx, (addr, key, bytes))| {
-                let (key, bytes) = (key, *bytes);
+            .map(|(addr, key, bytes, fail_idx)| {
+                let (key, bytes, fail_idx) = (key, *bytes, *fail_idx);
                 let fp = self.failpoint.clone();
                 (addr.clone(), move |c: &mut NodeClient| {
-                    trip(&fp, "overwrite.shard", ship_idx)?;
+                    if let Some(ship_idx) = fail_idx {
+                        trip(&fp, "overwrite.shard", ship_idx)?;
+                    }
                     c.put(key, bytes)
                 })
             })
@@ -1087,6 +1199,9 @@ impl Cluster {
             manifest.shard_crc[n + j] = crc32(shard);
             manifest.shard_gen[n + j] = new_gen;
         }
+        manifest.hash_leaf_size = HASH_LEAF_SIZE;
+        manifest.shard_root = hash_blobs.iter().map(HashBlob::root).collect();
+        manifest.object_root = root_over_roots(&manifest.shard_root);
         manifest.object_len = data.len() as u64;
         manifest.generation = new_gen;
         // Publish: the commit point of the delta.
@@ -1249,12 +1364,30 @@ impl Cluster {
         self.scrub_via(&mut self.conns())
     }
 
+    /// [`Cluster::scrub`] forcing the full-read path for every object:
+    /// fetch all shards, verify CRCs and Merkle roots over the actual
+    /// payload bytes, and re-encode data↔parity chunk-wise. The
+    /// incremental scrub proves bytes unchanged in O(log) hash traffic;
+    /// the deep scrub is the periodic belt-and-suspenders pass that
+    /// additionally exercises the codec identity end to end.
+    pub fn scrub_deep(&self) -> Result<ClusterScrubReport, StoreError> {
+        self.scrub_via_opts(&mut self.conns(), true)
+    }
+
+    fn scrub_via(&self, conns: &mut ParallelConnSet) -> Result<ClusterScrubReport, StoreError> {
+        self.scrub_via_opts(conns, false)
+    }
+
     /// One connection set for the whole sweep: the opening health probe
     /// fans out to every node at once, and a node it finds dead is
     /// marked dead *once* in the shared state — every later touch this
     /// cycle fast-fails instead of paying a fresh connect timeout per
     /// damaged object.
-    fn scrub_via(&self, conns: &mut ParallelConnSet) -> Result<ClusterScrubReport, StoreError> {
+    fn scrub_via_opts(
+        &self,
+        conns: &mut ParallelConnSet,
+        deep: bool,
+    ) -> Result<ClusterScrubReport, StoreError> {
         let jobs: Vec<_> = self
             .nodes
             .iter()
@@ -1273,10 +1406,16 @@ impl Cluster {
             failed_objects: Vec::new(),
             generations_collected: 0,
             bytes_reclaimed: 0,
+            hash_bytes_read: 0,
+            payload_bytes_read: 0,
         };
         for object in self.objects_via(conns, &[])? {
-            match self.scrub_object(conns, &object) {
-                Ok(scrub) => report.objects.push(scrub),
+            match self.scrub_object_opts(conns, &object, deep) {
+                Ok(scrub) => {
+                    report.hash_bytes_read += scrub.hash_bytes_read;
+                    report.payload_bytes_read += scrub.payload_bytes_read;
+                    report.objects.push(scrub);
+                }
                 // Tombstoned (deleted) — the key listing can't filter
                 // these; they are not damage.
                 Err(StoreError::NotFound(_)) => {}
@@ -1321,14 +1460,20 @@ impl Cluster {
         type AgedListing = Vec<(String, u64, u64)>; // (key, age_secs, len)
         let mut listings: Vec<(String, AgedListing)> = Vec::new();
         for addr in &self.nodes {
-            if let Ok(entries) = conns.with(addr, |c| c.list_aged("s:")) {
+            // Shard keys and their `t:` hash-blob twins are collected by
+            // the same rule; a node that answers one listing answers the
+            // other (same opcode), so the extension cannot half-apply.
+            if let Ok(mut entries) = conns.with(addr, |c| c.list_aged("s:")) {
+                if let Ok(trees) = conns.with(addr, |c| c.list_aged("t:")) {
+                    entries.extend(trees);
+                }
                 listings.push((addr.clone(), entries));
             }
         }
         let mut objects = BTreeSet::new();
         for (_, entries) in &listings {
             for (key, _, _) in entries {
-                if let Some((object, _, _)) = parse_shard_key(key) {
+                if let Some((object, _, _)) = parse_gc_key(key) {
                     objects.insert(object.to_string());
                 }
             }
@@ -1350,7 +1495,7 @@ impl Cluster {
             let doomed: Vec<&(String, u64, u64)> = entries
                 .iter()
                 .filter(|(key, age_secs, _)| {
-                    let Some((object, idx, gen)) = parse_shard_key(key) else {
+                    let Some((object, idx, gen)) = parse_gc_key(key) else {
                         return false; // not ours to judge
                     };
                     let is_live = match live.get(object) {
@@ -1359,6 +1504,11 @@ impl Cluster {
                         Some(Some(m)) => {
                             m.placement.get(idx) == Some(addr)
                                 && m.shard_gen.get(idx) == Some(&gen)
+                                // A `t:` blob is live only for manifests
+                                // that actually carry hashes — a stray
+                                // one beside a pre-hash object is
+                                // garbage even at the live generation.
+                                && (!key.starts_with("t:") || m.has_hashes())
                         }
                     };
                     !is_live && *age_secs >= grace_secs
@@ -1374,7 +1524,7 @@ impl Cluster {
                 if matches!(result, Ok(true)) {
                     let (key, _, len) = entry;
                     let (object, _, gen) =
-                        parse_shard_key(key).expect("filtered above");
+                        parse_gc_key(key).expect("filtered above");
                     collected.insert((object.to_string(), gen));
                     report.bytes_reclaimed += len;
                 }
@@ -1383,24 +1533,46 @@ impl Cluster {
         report.generations_collected = collected.len() as u64;
     }
 
-    fn scrub_object(
+    fn scrub_object_opts(
         &self,
         conns: &mut ParallelConnSet,
         object: &str,
+        deep: bool,
     ) -> Result<ObjectScrub, StoreError> {
         let manifest = self.fetch_manifest(conns, object, &[])?;
         self.check_geometry(object, &manifest)?;
+        if manifest.has_hashes() && !deep {
+            // Incremental path: O(p · log leaves) hash bytes, zero
+            // payload bytes for a healthy object. `None` means some
+            // node predates `HASH_SUBTREE` — fall back to full reads.
+            if let Some(scrub) = self.scrub_object_incremental(conns, object, &manifest)? {
+                return Ok(scrub);
+            }
+        }
+        self.scrub_object_full(conns, object, &manifest)
+    }
+
+    /// The full-read scrub: fetch every shard (CRC- and root-verified by
+    /// the fetch job), then re-encode data↔parity chunk-wise.
+    fn scrub_object_full(
+        &self,
+        conns: &mut ParallelConnSet,
+        object: &str,
+        manifest: &Manifest,
+    ) -> Result<ObjectScrub, StoreError> {
         let total = manifest.total_shards();
         let all: Vec<usize> = (0..total).collect();
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; total];
         let mut health = Vec::with_capacity(total);
+        let mut payload_bytes_read = 0u64;
         for (i, result) in self
-            .fetch_shards_attributed(conns, object, &manifest, &all)
+            .fetch_shards_attributed(conns, object, manifest, &all)
             .into_iter()
             .enumerate()
         {
             match result {
                 Ok(bytes) => {
+                    payload_bytes_read += bytes.len() as u64;
                     shards[i] = Some(bytes);
                     health.push(ShardHealth::Ok);
                 }
@@ -1414,7 +1586,208 @@ impl Cluster {
         } else {
             None
         };
-        Ok(ObjectScrub { object: object.to_string(), shards: health, parity_consistent })
+        Ok(ObjectScrub {
+            object: object.to_string(),
+            shards: health,
+            parity_consistent,
+            hash_bytes_read: 0,
+            payload_bytes_read,
+            damaged_leaves: Vec::new(),
+        })
+    }
+
+    /// The incremental (Merkle) scrub of one version-4 object.
+    ///
+    /// Round 1 fetches two 32-byte roots per shard over `HASH_SUBTREE`:
+    /// the node's *computed* root (re-hashed from the shard blob as it
+    /// is right now) and the *stored* root (from the `t:` hash blob).
+    /// A shard whose computed root equals the manifest root provably
+    /// holds the exact bytes recorded at write time — no payload read
+    /// needed, and since parity was consistent when those roots were
+    /// recorded, unchanged bytes mean parity still holds. A computed
+    /// mismatch descends the two trees level by level, fetching only
+    /// the children of mismatching nodes, to name the exact damaged
+    /// leaves in O(damaged · log leaves) hash transfers.
+    ///
+    /// Returns `Ok(None)` when a node does not speak `HASH_SUBTREE`
+    /// (pre-hash build): the caller falls back to the full-read path.
+    fn scrub_object_incremental(
+        &self,
+        conns: &mut ParallelConnSet,
+        object: &str,
+        manifest: &Manifest,
+    ) -> Result<Option<ObjectScrub>, StoreError> {
+        let total = manifest.total_shards();
+        let leaf_size = manifest.hash_leaf_size;
+        let widths =
+            MerkleTree::level_widths(leaf_count(manifest.shard_len, leaf_size as u64));
+        let top = (widths.len() - 1) as u8;
+        type RootPair = (Result<Hash, StoreError>, Result<Hash, StoreError>);
+        let jobs: Vec<_> = (0..total)
+            .map(|i| {
+                let skey = manifest.shard_key(object, i);
+                let tkey =
+                    tree_key(object, i, manifest.shard_gen.get(i).copied().unwrap_or(0));
+                let job = move |c: &mut NodeClient| -> Result<RootPair, StoreError> {
+                    let computed =
+                        c.hash_subtree(&skey, leaf_size, false, top, 0, 1).map(|v| v[0]);
+                    let stored =
+                        c.hash_subtree(&tkey, leaf_size, true, top, 0, 1).map(|v| v[0]);
+                    Ok((computed, stored))
+                };
+                (manifest.placement[i].clone(), job)
+            })
+            .collect();
+        let mut health = Vec::with_capacity(total);
+        let mut hash_bytes_read = 0u64;
+        let mut damaged_leaves = Vec::new();
+        let is_unsupported = |e: &StoreError| {
+            matches!(e, StoreError::Remote { code: RemoteErrorCode::BadRequest, .. })
+        };
+        for (i, result) in conns.run_batch(jobs).into_iter().enumerate() {
+            let addr = &manifest.placement[i];
+            let (computed, stored) = match result {
+                Ok(pair) => pair,
+                Err(e) => {
+                    health.push(ShardHealth::Missing(format!("{addr}: {e}")));
+                    continue;
+                }
+            };
+            match &computed {
+                Ok(_) => hash_bytes_read += 32,
+                Err(e) if is_unsupported(e) => return Ok(None),
+                _ => {}
+            }
+            match &stored {
+                Ok(_) => hash_bytes_read += 32,
+                Err(e) if is_unsupported(e) => return Ok(None),
+                _ => {}
+            }
+            let computed = match computed {
+                Ok(root) => root,
+                Err(StoreError::Remote { code: RemoteErrorCode::NotFound, .. }) => {
+                    health.push(ShardHealth::Missing(format!(
+                        "{addr}: shard blob absent"
+                    )));
+                    continue;
+                }
+                Err(e) => {
+                    health.push(ShardHealth::Corrupt(format!("{addr}: {e}")));
+                    continue;
+                }
+            };
+            if computed == manifest.shard_root[i] {
+                // Payload proven byte-exact. The stored hash blob is a
+                // cache — audit it so descent stays possible next time.
+                match stored {
+                    Ok(root) if root == manifest.shard_root[i] => {
+                        health.push(ShardHealth::Ok)
+                    }
+                    Ok(_) => health.push(ShardHealth::BadHashes(format!(
+                        "{addr}: stored hash blob disagrees with the manifest root"
+                    ))),
+                    Err(e) => health.push(ShardHealth::BadHashes(format!(
+                        "{addr}: stored hash blob unusable: {e}"
+                    ))),
+                }
+                continue;
+            }
+            // Computed ≠ manifest: the shard's bytes changed since the
+            // write. Attribute the damage by descending computed vs
+            // stored — valid only when the stored tree re-hashes to the
+            // trusted manifest root.
+            let trusted_cache = matches!(&stored, Ok(r) if *r == manifest.shard_root[i]);
+            if !trusted_cache {
+                health.push(ShardHealth::Corrupt(format!(
+                    "{addr}: shard fails its manifest Merkle root and the stored \
+                     hash blob is unusable for attribution"
+                )));
+                continue;
+            }
+            match self.descend(
+                conns,
+                object,
+                manifest,
+                i,
+                &widths,
+                &mut hash_bytes_read,
+            ) {
+                Ok(leaves) => {
+                    health.push(ShardHealth::Corrupt(format!(
+                        "{addr}: shard fails its manifest Merkle root; damaged \
+                         {leaf_size}-byte leaves {leaves:?}"
+                    )));
+                    damaged_leaves.push((i, leaves));
+                }
+                Err(e) => health.push(ShardHealth::Corrupt(format!(
+                    "{addr}: shard fails its manifest Merkle root (descent \
+                     failed: {e})"
+                ))),
+            }
+        }
+        // Healthy bytes are *unchanged* bytes: the roots were recorded
+        // when data and parity were consistent by construction, so the
+        // re-encode check is implied. (A hash-blob audit failure does
+        // not make parity unknown — the payload roots all verified.)
+        let payload_healthy = health
+            .iter()
+            .all(|h| matches!(h, ShardHealth::Ok | ShardHealth::BadHashes(_)));
+        Ok(Some(ObjectScrub {
+            object: object.to_string(),
+            shards: health,
+            parity_consistent: if payload_healthy { Some(true) } else { None },
+            hash_bytes_read,
+            payload_bytes_read: 0,
+            damaged_leaves,
+        }))
+    }
+
+    /// Walk shard `i`'s computed and stored trees from the root's
+    /// children down, fetching only the children of mismatching nodes,
+    /// and return the leaf indices where the two disagree.
+    fn descend(
+        &self,
+        conns: &mut ParallelConnSet,
+        object: &str,
+        manifest: &Manifest,
+        i: usize,
+        widths: &[u64],
+        hash_bytes_read: &mut u64,
+    ) -> Result<Vec<usize>, StoreError> {
+        let addr = &manifest.placement[i];
+        let skey = manifest.shard_key(object, i);
+        let tkey = tree_key(object, i, manifest.shard_gen.get(i).copied().unwrap_or(0));
+        let leaf_size = manifest.hash_leaf_size;
+        let top = widths.len() - 1;
+        let mut suspects = vec![0usize];
+        for level in (0..top).rev() {
+            let width = widths[level] as usize;
+            let mut next = Vec::with_capacity(suspects.len() * 2);
+            for &parent in &suspects {
+                let start = parent * 2;
+                let count = 2.min(width - start) as u32;
+                let computed = conns.with(addr, |c| {
+                    c.hash_subtree(&skey, leaf_size, false, level as u8, start as u32, count)
+                })?;
+                let stored = conns.with(addr, |c| {
+                    c.hash_subtree(&tkey, leaf_size, true, level as u8, start as u32, count)
+                })?;
+                *hash_bytes_read += 32 * (computed.len() + stored.len()) as u64;
+                for k in 0..count as usize {
+                    if computed[k] != stored[k] {
+                        next.push(start + k);
+                    }
+                }
+            }
+            if next.is_empty() {
+                // The trees disagree at the root but nowhere below — the
+                // damage is in interior bookkeeping, not leaf data;
+                // nothing finer to report.
+                return Ok(suspects);
+            }
+            suspects = next;
+        }
+        Ok(suspects)
     }
 
     /// Rebuild every damaged shard of `object` from the survivors and
@@ -1436,8 +1809,16 @@ impl Cluster {
         let mut shards: Vec<Option<Vec<u8>>> =
             self.fetch_shards(conns, object, &manifest, &all);
         let damaged: Vec<usize> = (0..total).filter(|&i| shards[i].is_none()).collect();
+        let mut report = ObjectRepairReport::default();
+        // Hash-blob audit first, and unconditionally: an object whose
+        // only damage is a lost/rotted `t:` blob ([`ShardHealth::
+        // BadHashes`]) has zero payload damage, so the early return
+        // below would otherwise skip the one thing that needs fixing.
+        if manifest.has_hashes() {
+            self.audit_hash_blobs(conns, object, &manifest, &shards, &mut report);
+        }
         if damaged.is_empty() {
-            return Ok(ObjectRepairReport::default());
+            return Ok(report);
         }
         let have = total - damaged.len();
         if have < self.codec.data_shards() {
@@ -1449,7 +1830,6 @@ impl Cluster {
         }
         self.codec.reconstruct(&mut shards)?;
         let mut manifest = manifest;
-        let mut report = ObjectRepairReport::default();
         let mut retargeted = Vec::new();
         for &i in &damaged {
             // A damaged shard placed on an address that is no longer a
@@ -1471,10 +1851,45 @@ impl Cluster {
             // new generation is needed because nothing is *changing* —
             // damage is being restored to the published state.
             let shard = shards[i].as_deref().expect("reconstructed");
+            // Root proof before publish: the reconstruction consumed
+            // root-verified survivors, so a mismatch here means a codec
+            // fault or an internally inconsistent manifest — publishing
+            // would overwrite a (possibly recoverable) shard with bytes
+            // the manifest itself disowns.
+            if manifest.has_hashes()
+                && MerkleTree::from_payload(shard, manifest.hash_leaf_size as usize)
+                    .root()
+                    != manifest.shard_root[i]
+            {
+                return Err(StoreError::Manifest(format!(
+                    "repair of `{object}` shard {i}: reconstructed bytes fail \
+                     the manifest Merkle root — refusing to publish"
+                )));
+            }
             match conns.with(&manifest.placement[i], |c| {
                 c.put(&manifest.shard_key(object, i), shard)
             }) {
-                Ok(()) => report.repaired.push(i),
+                Ok(()) => {
+                    report.repaired.push(i);
+                    // The shard's bytes were just re-derived; refresh
+                    // the leaf cache beside them so the next scrub can
+                    // descend again. Best-effort: a missed rewrite is
+                    // re-flagged as `BadHashes` next cycle.
+                    if manifest.has_hashes()
+                        && conns
+                            .with(&manifest.placement[i], |c| {
+                                c.put(
+                                    &tree_key(object, i, manifest.shard_gen[i]),
+                                    &HashBlob::from_shard(shard, manifest.hash_leaf_size)
+                                        .to_bytes(),
+                                )
+                            })
+                            .is_ok()
+                        && !report.hash_blobs_rewritten.contains(&i)
+                    {
+                        report.hash_blobs_rewritten.push(i);
+                    }
+                }
                 Err(_) => report.unplaced.push(i),
             }
         }
@@ -1498,6 +1913,61 @@ impl Cluster {
             }
         }
         Ok(report)
+    }
+
+    /// Check each intact shard's stored `t:` hash blob against the
+    /// trusted manifest root and rewrite the ones that are absent,
+    /// damaged, or disagree — re-derived from payload bytes the fetch
+    /// already proved against that same root. Best-effort per blob: a
+    /// blob that cannot be fixed now is re-flagged by the next scrub.
+    fn audit_hash_blobs(
+        &self,
+        conns: &mut ParallelConnSet,
+        object: &str,
+        manifest: &Manifest,
+        shards: &[Option<Vec<u8>>],
+        report: &mut ObjectRepairReport,
+    ) {
+        let widths = MerkleTree::level_widths(leaf_count(
+            manifest.shard_len,
+            manifest.hash_leaf_size as u64,
+        ));
+        let top = (widths.len() - 1) as u8;
+        for (i, shard) in shards.iter().enumerate() {
+            let Some(shard) = shard else { continue };
+            let addr = &manifest.placement[i];
+            let tkey = tree_key(object, i, manifest.shard_gen[i]);
+            let stored = conns.with(addr, |c| {
+                c.hash_subtree(&tkey, manifest.hash_leaf_size, true, top, 0, 1)
+            });
+            let needs_rewrite = match stored {
+                // A stored root that re-hashes to the manifest root
+                // proves the whole blob (the node derives it from the
+                // stored leaves).
+                Ok(roots) => roots[0] != manifest.shard_root[i],
+                // Pre-hash node: it can hold the blob but not answer
+                // for it; leave it alone.
+                Err(StoreError::Remote {
+                    code: RemoteErrorCode::BadRequest, ..
+                }) => continue,
+                Err(StoreError::Remote { .. }) => true,
+                // Transport failure — nothing to rewrite onto.
+                Err(_) => continue,
+            };
+            if needs_rewrite
+                && conns
+                    .with(addr, |c| {
+                        c.put(
+                            &tkey,
+                            &HashBlob::from_shard(shard, manifest.hash_leaf_size)
+                                .to_bytes(),
+                        )
+                    })
+                    .is_ok()
+            {
+                report.hash_blobs_rewritten.push(i);
+            }
+        }
     }
 
     /// The highest-ranked member (for `object`'s rendezvous ordering)
@@ -1743,25 +2213,82 @@ impl Cluster {
         if !affected.is_empty() {
             let shards =
                 self.rebuild_lost(conns, object, &manifest, dead, &affected, report)?;
-            // Prepare: one concurrent round places every rebuilt shard
+            // Root proof before publish: the survivors that fed the
+            // reconstruction were root-verified on fetch, so a mismatch
+            // here is a codec fault or a lying manifest — either way
+            // these bytes must not become the object's new truth.
+            if manifest.has_hashes() {
+                for &i in &affected {
+                    let shard = shards[i].as_deref().expect("reconstructed");
+                    if MerkleTree::from_payload(shard, manifest.hash_leaf_size as usize)
+                        .root()
+                        != manifest.shard_root[i]
+                    {
+                        return Err(StoreError::Manifest(format!(
+                            "repair of `{object}` shard {i}: reconstructed bytes \
+                             fail the manifest Merkle root — refusing to publish"
+                        )));
+                    }
+                }
+            }
+            // Prepare: one concurrent round places every rebuilt shard —
+            // and, for hashed objects, its regenerated `t:` leaf cache —
             // on its replacement node, under the new generation's keys.
-            let jobs: Vec<_> = affected
-                .iter()
-                .enumerate()
-                .map(|(write_idx, &i)| {
-                    let target = replacements[manifest.placement[i].as_str()];
-                    let key = manifest::shard_key(object, i, new_gen);
-                    let shard: &[u8] = shards[i].as_deref().expect("reconstructed");
+            let tree_bytes: Vec<Vec<u8>> = if manifest.has_hashes() {
+                affected
+                    .iter()
+                    .map(|&i| {
+                        HashBlob::from_shard(
+                            shards[i].as_deref().expect("reconstructed"),
+                            manifest.hash_leaf_size,
+                        )
+                        .to_bytes()
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            // Uniform ship tuples (one closure type per batch): the
+            // failpoint index is `Some(write_idx)` only for shard
+            // writes, so `repair.shard` trip semantics are unchanged;
+            // the parallel `shard_of` vec maps each ship back to the
+            // shard index it publishes (None = hash blob).
+            let mut ships: Vec<(String, String, &[u8], Option<usize>)> = Vec::new();
+            let mut shard_of: Vec<Option<usize>> = Vec::new();
+            for (write_idx, &i) in affected.iter().enumerate() {
+                let target = replacements[manifest.placement[i].as_str()].to_string();
+                ships.push((
+                    target.clone(),
+                    manifest::shard_key(object, i, new_gen),
+                    shards[i].as_deref().expect("reconstructed"),
+                    Some(write_idx),
+                ));
+                shard_of.push(Some(i));
+                if manifest.has_hashes() {
+                    ships.push((
+                        target,
+                        tree_key(object, i, new_gen),
+                        &tree_bytes[write_idx],
+                        None,
+                    ));
+                    shard_of.push(None);
+                }
+            }
+            let jobs: Vec<_> = ships
+                .into_iter()
+                .map(|(target, key, bytes, fail_idx)| {
                     let fp = self.failpoint.clone();
-                    (target.to_string(), move |c: &mut NodeClient| {
-                        trip(&fp, "repair.shard", write_idx)?;
-                        c.put(&key, shard)
+                    (target, move |c: &mut NodeClient| {
+                        if let Some(idx) = fail_idx {
+                            trip(&fp, "repair.shard", idx)?;
+                        }
+                        c.put(&key, bytes)
                     })
                 })
                 .collect();
-            let placed = conns.run_batch(jobs);
-            for (&i, result) in affected.iter().zip(placed) {
+            for (meta, result) in shard_of.iter().zip(conns.run_batch(jobs)) {
                 result?;
+                let Some(i) = *meta else { continue };
                 let target = replacements[manifest.placement[i].as_str()];
                 manifest.placement[i] = target.to_string();
                 manifest.shard_gen[i] = new_gen;
@@ -1823,6 +2350,13 @@ impl Cluster {
     }
 }
 
+/// Parse a GC-able per-shard key — a shard blob (`s:`) or its hash-blob
+/// twin (`t:`) — into `(object, index, generation)`. The two families
+/// share one suffix grammar, so one liveness rule judges both.
+fn parse_gc_key(key: &str) -> Option<(&str, usize, u64)> {
+    parse_shard_key(key).or_else(|| crate::tree::parse_tree_key(key))
+}
+
 /// A self-contained (`'static`) fetch-and-validate job for shard `i` of
 /// `object`: suitable for both barrier batches and detached first-n
 /// workers. The outer `Err` is a transport failure (the fan-out layer
@@ -1838,6 +2372,13 @@ fn shard_fetch_job(
     let addr = manifest.placement[i].clone();
     let want_len = manifest.shard_len;
     let want_crc = manifest.shard_crc[i];
+    // Version-4 manifests carry per-shard Merkle roots: every consumer
+    // of this job — get, overwrite's old-shard fetch, repair's survivor
+    // fetch, the full-read scrub — gets end-to-end hash verification
+    // for free, so even a CRC-colliding flip cannot slip into a decode.
+    let want_root = manifest
+        .has_hashes()
+        .then(|| (manifest.shard_root[i], manifest.hash_leaf_size as usize));
     move |c| match c.get(&key) {
         Ok(bytes) => {
             if bytes.len() as u64 != want_len {
@@ -1850,6 +2391,14 @@ fn shard_fetch_job(
                 return Ok(Err(ShardFault::Corrupt(format!(
                     "shard bytes from {addr} fail the manifest checksum"
                 ))));
+            }
+            if let Some((root, leaf_size)) = want_root {
+                if MerkleTree::from_payload(&bytes, leaf_size).root() != root {
+                    return Ok(Err(ShardFault::Corrupt(format!(
+                        "shard bytes from {addr} fail the manifest Merkle root \
+                         (CRC-32 passes — checksum-colliding damage)"
+                    ))));
+                }
             }
             Ok(Ok(bytes))
         }

@@ -26,9 +26,18 @@
 //!   exchange fans out concurrently over pipelined request-id framed
 //!   connections, so operations cost ~max(per-node RTT), not the sum,
 //!   and an optional per-op deadline surfaces as a typed timeout;
+//! * **integrity** ([`Manifest`] v4 + [`HashBlob`]): every object
+//!   carries per-shard SHA-256 Merkle roots and an object root in its
+//!   manifest, with the leaf hashes cached beside each shard as a `t:`
+//!   blob — so scrub verifies a healthy object by comparing 32-byte
+//!   roots (zero payload bytes moved) and descends the tree over the
+//!   `HASH_SUBTREE` opcode to name the exact damaged 64 KiB leaves,
+//!   catching even CRC-colliding tampering end-to-end;
 //! * **scrub** ([`ScrubScheduler`]): periodic end-to-end verification —
-//!   per-shard manifest CRCs plus chunk-wise data↔parity re-encode —
-//!   with automatic repair of what it finds;
+//!   per-shard manifest CRCs plus Merkle-root comparison (full
+//!   data↔parity re-encode for pre-hash objects or on demand) — with
+//!   automatic repair of what it finds, each rebuilt shard proven
+//!   against its manifest root before it is published;
 //! * the `xorslp-store` CLI wiring `serve` / `put` / `get` / `overwrite`
 //!   / `delete` / `list` / `health` / `repair` / `scrub`.
 //!
@@ -68,6 +77,7 @@ mod node;
 mod placement;
 pub mod proto;
 mod scrub;
+mod tree;
 
 pub use blob::{BlobError, BlobStat, BlobStore, BLOB_MAGIC, BLOB_OVERHEAD};
 pub use client::{BatchOp, NodeClient, NodeHealth};
@@ -86,3 +96,7 @@ pub use manifest::{
 pub use node::{NodeHandle, NodeOptions};
 pub use placement::{rank_nodes, score};
 pub use scrub::{ScrubCycle, ScrubScheduler};
+pub use tree::{
+    parse_tree_key, tree_key, HashBlob, HASH_BLOB_VERSION, HASH_LEAF_SIZE,
+    HASH_MAGIC,
+};

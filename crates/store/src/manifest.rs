@@ -24,15 +24,21 @@ use crate::error::StoreError;
 use crate::proto::{put_str, PayloadReader, MAX_KEY};
 use ec_core::{CodecId, CodecSpec, EcError};
 use ec_wire::crc32;
+use ec_wire::merkle::{root_over_roots, Hash};
+use ec_wire::SHA256_LEN;
 
 /// Magic prefix of the serialized manifest.
 pub const MANIFEST_MAGIC: [u8; 8] = *b"XSLPECM1";
 
-/// Serialization version this build writes. Version 1 (no codec
-/// identity) is still read and normalizes to the RS codec it implied;
-/// version 2 (no per-shard generations) reads with every `shard_gen`
-/// zero, i.e. the legacy un-suffixed shard keys.
-pub const MANIFEST_VERSION: u8 = 3;
+/// Serialization version this build writes *when the manifest carries
+/// hash roots* ([`Manifest::has_hashes`]); a rootless manifest still
+/// writes version 3, so repairing a pre-hash object never silently
+/// upgrades its record. Version 1 (no codec identity) is still read and
+/// normalizes to the RS codec it implied; version 2 (no per-shard
+/// generations) reads with every `shard_gen` zero, i.e. the legacy
+/// un-suffixed shard keys; version 3 predates the Merkle fields and
+/// reads with `hash_leaf_size == 0` (CRC-only integrity).
+pub const MANIFEST_VERSION: u8 = 4;
 
 /// Oldest manifest/tombstone version this build still reads.
 pub const MIN_MANIFEST_VERSION: u8 = 1;
@@ -70,7 +76,16 @@ pub fn shard_key(object: &str, index: usize, generation: u64) -> String {
 /// inverse of [`shard_key`]. `None` for keys that are not shard keys
 /// (callers list with prefix `s:` but must not trip over foreign keys).
 pub fn parse_shard_key(key: &str) -> Option<(&str, usize, u64)> {
-    let rest = key.strip_prefix("s:")?;
+    parse_prefixed_key(key, "s:")
+}
+
+/// The shared grammar behind [`parse_shard_key`] and
+/// [`crate::tree::parse_tree_key`]: `<prefix><iii>[g<16 hex>]:<object>`.
+pub(crate) fn parse_prefixed_key<'a>(
+    key: &'a str,
+    prefix: &str,
+) -> Option<(&'a str, usize, u64)> {
+    let rest = key.strip_prefix(prefix)?;
     let (idx_digits, rest) = rest.split_at_checked(3)?;
     let index = idx_digits.parse::<usize>().ok()?;
     if let Some(object) = rest.strip_prefix(':') {
@@ -187,12 +202,32 @@ pub struct Manifest {
     /// under the new generation while unchanged data shards keep their
     /// existing immutable keys.
     pub shard_gen: Vec<u64>,
+    /// Leaf granularity of the Merkle fields below; `0` means this
+    /// manifest predates them (read from a version ≤ 3 record) and the
+    /// object is CRC-only.
+    pub hash_leaf_size: u32,
+    /// `shard_root[i]` is the SHA-256 Merkle root of shard `i`'s exact
+    /// bytes at [`Manifest::hash_leaf_size`] leaves — the end-to-end
+    /// ground truth that, unlike [`Manifest::shard_crc`], cannot be
+    /// forged by a CRC-preserving flip. Empty when `hash_leaf_size == 0`.
+    pub shard_root: Vec<Hash>,
+    /// Merkle root over [`Manifest::shard_root`]
+    /// ([`ec_wire::merkle::root_over_roots`]) — one 32-byte commitment
+    /// to the whole object. All zeros when `hash_leaf_size == 0`.
+    pub object_root: Hash,
 }
 
 impl Manifest {
     /// Total shards `n + p`.
     pub fn total_shards(&self) -> usize {
         self.data_shards as usize + self.parity_shards as usize
+    }
+
+    /// Whether this manifest carries Merkle roots (version-4 records);
+    /// `false` for objects written or last repaired by a pre-hash build,
+    /// which stay CRC-only until an overwrite recomputes their roots.
+    pub fn has_hashes(&self) -> bool {
+        self.hash_leaf_size != 0
     }
 
     /// Key of shard `index` as this manifest references it: the
@@ -217,9 +252,9 @@ impl Manifest {
     /// Serialize to the wire/blob form (little-endian fields, trailing
     /// CRC-32 over everything before it).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.placement.len() * 32);
+        let mut out = Vec::with_capacity(64 + self.placement.len() * 64);
         out.extend_from_slice(&MANIFEST_MAGIC);
-        out.push(MANIFEST_VERSION);
+        out.push(if self.has_hashes() { MANIFEST_VERSION } else { 3 });
         out.extend_from_slice(&self.data_shards.to_le_bytes());
         out.extend_from_slice(&self.parity_shards.to_le_bytes());
         out.extend_from_slice(&self.codec_id.to_le_bytes());
@@ -227,11 +262,20 @@ impl Manifest {
         out.extend_from_slice(&self.generation.to_le_bytes());
         out.extend_from_slice(&self.object_len.to_le_bytes());
         out.extend_from_slice(&self.shard_len.to_le_bytes());
+        if self.has_hashes() {
+            out.extend_from_slice(&self.hash_leaf_size.to_le_bytes());
+        }
         for (i, (addr, crc)) in self.placement.iter().zip(&self.shard_crc).enumerate() {
             put_str(&mut out, addr);
             out.extend_from_slice(&crc.to_le_bytes());
             let gen = self.shard_gen.get(i).copied().unwrap_or(0);
             out.extend_from_slice(&gen.to_le_bytes());
+            if self.has_hashes() {
+                out.extend_from_slice(&self.shard_root[i]);
+            }
+        }
+        if self.has_hashes() {
+            out.extend_from_slice(&self.object_root);
         }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -276,6 +320,12 @@ impl Manifest {
             let generation = r.u64()?;
             let object_len = r.u64()?;
             let shard_len = r.u64()?;
+            // Version 4 added the Merkle fields; a v4 writer never emits
+            // a zero leaf size (rootless manifests stay version 3).
+            let hash_leaf_size = if version >= 4 { r.u32()? } else { 0 };
+            if version >= 4 && hash_leaf_size == 0 {
+                return Err("version 4 manifest with zero hash leaf size".into());
+            }
             let total = data_shards as usize + parity_shards as usize;
             if data_shards == 0 || parity_shards == 0 || total > 255 {
                 return Err(format!(
@@ -291,12 +341,26 @@ impl Manifest {
             let mut placement = Vec::with_capacity(total);
             let mut shard_crc = Vec::with_capacity(total);
             let mut shard_gen = Vec::with_capacity(total);
+            let mut shard_root = Vec::with_capacity(if version >= 4 { total } else { 0 });
             for _ in 0..total {
                 placement.push(r.str_bounded(MAX_ADDR, "node address")?.to_string());
                 shard_crc.push(r.u32()?);
                 // Versions 1–2 predate per-shard generations; their
                 // shards live under the legacy un-suffixed keys.
                 shard_gen.push(if version >= 3 { r.u64()? } else { 0 });
+                if version >= 4 {
+                    let mut root = [0u8; SHA256_LEN];
+                    for b in &mut root {
+                        *b = r.u8()?;
+                    }
+                    shard_root.push(root);
+                }
+            }
+            let mut object_root = [0u8; SHA256_LEN];
+            if version >= 4 {
+                for b in &mut object_root {
+                    *b = r.u8()?;
+                }
             }
             Ok(Manifest {
                 data_shards,
@@ -309,6 +373,9 @@ impl Manifest {
                 placement,
                 shard_crc,
                 shard_gen,
+                hash_leaf_size,
+                shard_root,
+                object_root,
             })
         };
         let manifest = parse(&mut r).map_err(bad)?;
@@ -325,6 +392,15 @@ impl Manifest {
                 manifest.shard_len,
                 spec.name()
             )));
+        }
+        // The object root is *derived* from the shard roots; a record
+        // where the two disagree was corrupted in a CRC-colliding way or
+        // hand-forged, and trusting either half would let scrub and get
+        // validate against different ground truths.
+        if manifest.has_hashes()
+            && manifest.object_root != root_over_roots(&manifest.shard_root)
+        {
+            return Err(bad("object root does not commit to the shard roots".into()));
         }
         Ok(manifest)
     }
@@ -346,6 +422,21 @@ mod tests {
             placement: (0..6).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect(),
             shard_crc: (0..6).map(|i| 0xDEAD_0000 + i).collect(),
             shard_gen: vec![3, 3, 1, 3, 3, 3],
+            hash_leaf_size: 0,
+            shard_root: Vec::new(),
+            object_root: [0u8; SHA256_LEN],
+        }
+    }
+
+    fn hashed_sample() -> Manifest {
+        let shard_root: Vec<Hash> = (0..6u8)
+            .map(|i| ec_wire::merkle::leaf_hash(&[i; 16]))
+            .collect();
+        Manifest {
+            hash_leaf_size: 65536,
+            object_root: root_over_roots(&shard_root),
+            shard_root,
+            ..sample()
         }
     }
 
@@ -353,6 +444,27 @@ mod tests {
     fn roundtrips() {
         let m = sample();
         assert_eq!(Manifest::from_bytes(&m.to_bytes()).unwrap(), m);
+        // Rootless manifests serialize as version 3, hashed as 4 — so a
+        // repair of a pre-hash object never silently upgrades its record.
+        assert_eq!(m.to_bytes()[MANIFEST_MAGIC.len()], 3);
+        let h = hashed_sample();
+        assert_eq!(Manifest::from_bytes(&h.to_bytes()).unwrap(), h);
+        assert_eq!(h.to_bytes()[MANIFEST_MAGIC.len()], MANIFEST_VERSION);
+    }
+
+    #[test]
+    fn forged_hash_fields_rejected() {
+        // A manifest whose object root does not commit to its shard
+        // roots must be refused even though its CRC is self-consistent.
+        let mut m = hashed_sample();
+        m.shard_root[2][0] ^= 0x01;
+        assert!(matches!(
+            Manifest::from_bytes(&m.to_bytes()),
+            Err(StoreError::Manifest(_))
+        ));
+        m = hashed_sample();
+        m.object_root[31] ^= 0x80;
+        assert!(Manifest::from_bytes(&m.to_bytes()).is_err());
     }
 
     #[test]
@@ -363,14 +475,15 @@ mod tests {
 
     #[test]
     fn every_bit_flip_is_detected() {
-        let bytes = sample().to_bytes();
-        for i in 0..bytes.len() {
-            let mut bad = bytes.clone();
-            bad[i] ^= 0x10;
-            assert!(
-                Manifest::from_bytes(&bad).is_err(),
-                "flip at byte {i} went undetected"
-            );
+        for bytes in [sample().to_bytes(), hashed_sample().to_bytes()] {
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x10;
+                assert!(
+                    Manifest::from_bytes(&bad).is_err(),
+                    "flip at byte {i} went undetected"
+                );
+            }
         }
     }
 
@@ -397,10 +510,39 @@ mod tests {
 
     #[test]
     fn truncation_rejected() {
-        let bytes = sample().to_bytes();
-        for cut in 0..bytes.len() {
-            assert!(Manifest::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        for bytes in [sample().to_bytes(), hashed_sample().to_bytes()] {
+            for cut in 0..bytes.len() {
+                assert!(Manifest::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            }
         }
+    }
+
+    #[test]
+    fn v3_manifests_read_as_crc_only() {
+        // Fabricate the version-3 wire form: per-shard generations but
+        // no Merkle fields. The parse must come back rootless
+        // (`hash_leaf_size == 0`), never invent hashes.
+        let m = sample();
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.push(3);
+        out.extend_from_slice(&m.data_shards.to_le_bytes());
+        out.extend_from_slice(&m.parity_shards.to_le_bytes());
+        out.extend_from_slice(&m.codec_id.to_le_bytes());
+        out.extend_from_slice(&m.group_size.to_le_bytes());
+        out.extend_from_slice(&m.generation.to_le_bytes());
+        out.extend_from_slice(&m.object_len.to_le_bytes());
+        out.extend_from_slice(&m.shard_len.to_le_bytes());
+        for (i, (addr, crc)) in m.placement.iter().zip(&m.shard_crc).enumerate() {
+            put_str(&mut out, addr);
+            out.extend_from_slice(&crc.to_le_bytes());
+            out.extend_from_slice(&m.shard_gen[i].to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        let parsed = Manifest::from_bytes(&out).unwrap();
+        assert_eq!(parsed, m);
+        assert!(!parsed.has_hashes());
     }
 
     #[test]

@@ -21,6 +21,8 @@ use crate::proto::{
     self, err_payload, op, read_frame, status, write_frame, Frame, FrameError,
     PayloadReader,
 };
+use crate::tree::HashBlob;
+use ec_wire::merkle::MerkleTree;
 use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -506,6 +508,68 @@ fn handle(frame: &Frame, store: &BlobStore) -> Handled {
             let mut payload = Vec::with_capacity(16);
             payload.extend_from_slice(&blobs.to_le_bytes());
             payload.extend_from_slice(&bytes.to_le_bytes());
+            Ok(payload)
+        }
+        op::HASH_SUBTREE => {
+            let key = r.key().map_err(bad_req)?;
+            let leaf_size = r.u32().map_err(bad_req)?;
+            let source = r.u8().map_err(bad_req)?;
+            let level = r.u8().map_err(bad_req)?;
+            let start = r.u32().map_err(bad_req)? as usize;
+            let count = r.u32().map_err(bad_req)? as usize;
+            r.finish().map_err(bad_req)?;
+            if leaf_size == 0 {
+                return Err(bad_req("zero leaf size".into()));
+            }
+            // Both trees are rebuilt on demand rather than cached: a
+            // scrub asks for a handful of levels per shard, and
+            // recomputation is what makes the *computed* answer reflect
+            // the blob bytes as they are right now — the whole point.
+            let tree = match source {
+                0 => {
+                    let shard = store.get(key).map_err(blob_err)?;
+                    MerkleTree::from_payload(&shard, leaf_size as usize)
+                }
+                1 => {
+                    let blob = store.get(key).map_err(blob_err)?;
+                    let hashes = HashBlob::from_bytes(&blob).map_err(|e| {
+                        (RemoteErrorCode::CorruptBlob, e.to_string())
+                    })?;
+                    if hashes.leaf_size != leaf_size {
+                        return Err((
+                            RemoteErrorCode::CorruptBlob,
+                            format!(
+                                "stored hash blob is at leaf size {}, requested {leaf_size}",
+                                hashes.leaf_size
+                            ),
+                        ));
+                    }
+                    MerkleTree::from_leaves(hashes.leaves)
+                }
+                other => return Err(bad_req(format!("unknown hash source {other}"))),
+            };
+            let nodes = tree
+                .level(level as usize)
+                .ok_or_else(|| bad_req(format!("level {level} above the root")))?;
+            let end = start
+                .checked_add(count)
+                .filter(|&e| e <= nodes.len())
+                .ok_or_else(|| {
+                    bad_req(format!(
+                        "slice [{start}, {start}+{count}) outside level {level} of \
+                         width {}",
+                        nodes.len()
+                    ))
+                })?;
+            let slice = &nodes[start..end];
+            let mut payload = Vec::with_capacity(4 + slice.len() * 32);
+            payload.extend_from_slice(&(slice.len() as u32).to_le_bytes());
+            for node in slice {
+                payload.extend_from_slice(node);
+            }
+            if payload.len() + 6 > proto::MAX_BODY {
+                return Err(bad_req("hash slice exceeds the frame cap".into()));
+            }
             Ok(payload)
         }
         other => Err(bad_req(format!("unknown opcode {other:#04x}"))),

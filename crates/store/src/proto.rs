@@ -67,6 +67,20 @@ pub mod op {
     /// window without any cross-node clock agreement. A pre-GC node
     /// answers `ERR BadRequest` (unknown opcode) and the GC skips it.
     pub const LIST_AGED: u8 = 0x07;
+    /// Read a slice of one level of a shard's Merkle tree:
+    /// `[u16 key_len][key][u32 leaf_size][u8 source][u8 level]
+    /// [u32 start][u32 count]` → OK payload `[u32 count][count × 32]`.
+    /// `source` 0 re-hashes the shard blob under `key` at `leaf_size`
+    /// (the node's *computed* tree); 1 parses the stored `t:` hash blob
+    /// named by `key` and rebuilds the tree from its leaves. Level 0 is
+    /// the leaves, the top level is the root — widths are a pure
+    /// function of the leaf count, so both ends derive the same
+    /// coordinates with no tree bytes on the wire. This is what lets
+    /// scrub verify a healthy shard in 32 bytes and descend into a
+    /// damaged one fetching O(log leaves) hashes instead of the payload.
+    /// A pre-hash node answers `ERR BadRequest` (unknown opcode) and
+    /// the scrub falls back to a full read.
+    pub const HASH_SUBTREE: u8 = 0x08;
 }
 
 /// Response tags (node → client).

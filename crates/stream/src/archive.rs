@@ -11,12 +11,13 @@
 use crate::decode::{refill_shards, ChunkScanner, ExtractReport, StreamDecoder};
 use crate::encode::StreamEncoder;
 use crate::error::StreamError;
-use crate::format::{ArchiveMeta, ShardHeader};
+use crate::format::{ArchiveMeta, HashTrailer, ShardHeader};
 use ec_wire::crc32;
+use ec_wire::merkle::{leaf_hash, Hash, MerkleTree};
 use ec_core::{codec_for, codec_for_with, CodecSpec, EcError, ErasureCoder, RsConfig};
 use std::collections::HashMap;
 use std::fs::{self, File};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// File name of shard `index` within an archive directory.
@@ -47,8 +48,16 @@ pub enum ShardState {
     /// The file length does not match the header's geometry (truncation,
     /// or trailing garbage).
     WrongLength { expected: u64, actual: u64 },
-    /// One or more chunk payloads fail their CRC-32.
+    /// One or more chunk payloads fail their CRC-32 — or, on a v3
+    /// archive with an elected root vector, their trusted SHA-256 leaf
+    /// (CRC-preserving tampering lands here, attributed to exact
+    /// chunks).
     Corrupt { chunks: Vec<u64> },
+    /// v3 only: the shard's hash trailer is unreadable, inconsistent
+    /// with itself, or disagrees with the root vector a majority of
+    /// shards voted for. The payload may read clean, but nothing can
+    /// vouch for it — repair rewrites the file and re-proves its root.
+    BadHashes,
 }
 
 impl ShardState {
@@ -70,6 +79,7 @@ impl std::fmt::Display for ShardState {
             ShardState::Corrupt { chunks } => {
                 write!(f, "corrupt ({} bad chunks: {chunks:?})", chunks.len())
             }
+            ShardState::BadHashes => write!(f, "bad hash trailer"),
         }
     }
 }
@@ -79,6 +89,10 @@ impl std::fmt::Display for ShardState {
 pub struct VerifyReport {
     /// `shards[i]` is the state of shard file `i`.
     pub shards: Vec<ShardState>,
+    /// True iff the walk verified frames against an elected Merkle root
+    /// vector (v3), not just CRC-32. False for pre-v3 archives and for
+    /// a v3 archive whose trailers could not elect a majority.
+    pub hash_checked: bool,
 }
 
 impl VerifyReport {
@@ -122,6 +136,15 @@ pub struct RepairReport {
     /// locality-aware codec repairs a single loss from its group, so
     /// this drops below the read-everything cost of an MDS repair.
     pub bytes_read: u64,
+}
+
+/// The elected hash truth of a v3 archive: the majority root vector,
+/// the object root it implies, and — per shard — the trusted leaf
+/// hashes of every shard whose trailer matched the election.
+struct HashContext {
+    trusted: Vec<Option<Vec<Hash>>>,
+    shard_roots: Vec<Hash>,
+    object_root: Hash,
 }
 
 /// A streaming erasure-coded archive rooted at a directory.
@@ -261,6 +284,58 @@ impl Archive {
         (h.meta == self.meta && h.shard_index as usize == index).then_some(r)
     }
 
+    /// Read and parse shard `index`'s hash trailer, keeping it only if
+    /// it is self-consistent (its leaves build its own recorded root and
+    /// its object root matches its root vector).
+    fn read_trailer(&self, index: usize) -> Option<HashTrailer> {
+        let offset = self.meta.hash_trailer_offset()?;
+        let len = HashTrailer::wire_len(&self.meta)? as usize;
+        let mut f = File::open(self.shard_path(index)).ok()?;
+        f.seek(SeekFrom::Start(offset)).ok()?;
+        let mut b = vec![0u8; len];
+        f.read_exact(&mut b).ok()?;
+        HashTrailer::from_bytes(&b, &self.meta)
+            .ok()
+            .filter(|t| t.self_consistent(index))
+    }
+
+    /// Elect the authoritative hash context of a v3 archive: every
+    /// self-consistent trailer votes for its root vector, the plurality
+    /// wins (a tie is no election — like `open`'s header vote, two
+    /// equally supported truths cannot be told apart). Shards whose
+    /// trailer matched the winner contribute *trusted leaves*: per-chunk
+    /// hashes authenticated, via the shard root and SHA-256 collision
+    /// resistance, by the election itself.
+    fn hash_context(&self) -> Option<HashContext> {
+        if !self.meta.hash_trailer {
+            return None;
+        }
+        let t = self.meta.total_shards();
+        let trailers: Vec<Option<HashTrailer>> = (0..t).map(|i| self.read_trailer(i)).collect();
+        let mut votes: HashMap<Vec<Hash>, usize> = HashMap::new();
+        for tr in trailers.iter().flatten() {
+            *votes.entry(tr.shard_roots.clone()).or_insert(0) += 1;
+        }
+        let best = votes.values().copied().max()?;
+        let mut leaders = votes.into_iter().filter(|&(_, c)| c == best).map(|(r, _)| r);
+        let shard_roots = leaders.next().expect("max came from the map");
+        if leaders.next().is_some() {
+            return None;
+        }
+        let object_root = HashTrailer::object_root_of(&shard_roots);
+        let trusted = trailers
+            .into_iter()
+            .map(|tr| tr.filter(|tr| tr.shard_roots == shard_roots).map(|tr| tr.leaves))
+            .collect();
+        Some(HashContext { trusted, shard_roots, object_root })
+    }
+
+    /// The elected per-shard Merkle roots and object root of a v3
+    /// archive (`None` for pre-v3 archives or when no majority exists).
+    pub fn elected_roots(&self) -> Option<(Vec<Hash>, Hash)> {
+        self.hash_context().map(|c| (c.shard_roots, c.object_root))
+    }
+
     /// Extract the archived data to `output`, decoding around any
     /// missing or corrupt shards (up to `p` per chunk).
     ///
@@ -272,6 +347,18 @@ impl Archive {
     pub fn extract(&self, output: &Path) -> Result<ExtractReport, StreamError> {
         let sources = (0..self.meta.total_shards()).map(|i| self.open_source(i)).collect();
         let mut dec = StreamDecoder::new(&*self.codec, self.meta, sources)?;
+        // Arm Merkle verification where the election vouches for a
+        // shard's leaves: frames that pass CRC but fail their leaf hash
+        // are decoded around, exactly like bit-rot. Sources without
+        // trusted leaves still serve (CRC-only) — the report's
+        // `hash_verified` says which regime ran.
+        if let Some(ctx) = self.hash_context() {
+            for (i, leaves) in ctx.trusted.into_iter().enumerate() {
+                if let Some(leaves) = leaves {
+                    dec.set_trusted_leaves(i, leaves);
+                }
+            }
+        }
         let mut tmp = output.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
@@ -312,8 +399,8 @@ impl Archive {
     fn scan(&self, consistency: bool) -> Result<(VerifyReport, Vec<u64>), StreamError> {
         let t = self.meta.total_shards();
         let expected = self.meta.shard_file_len();
-        // `None` state = structurally sound so far; the CRC walk decides
-        // between `Ok` and `Corrupt`.
+        // `None` state = structurally sound so far; the CRC/hash walk
+        // decides between `Ok` and `Corrupt`.
         let mut states: Vec<Option<ShardState>> = Vec::with_capacity(t);
         let mut readers: Vec<Option<BufReader<File>>> = Vec::with_capacity(t);
         for i in 0..t {
@@ -338,7 +425,21 @@ impl Archive {
             states.push(state);
             readers.push(reader);
         }
+        // Elect the Merkle truth before the walk so frame hashes are
+        // checked in the same pass as the CRCs. A structurally sound
+        // shard whose trailer failed the election is `BadHashes`: its
+        // payload may read clean, but nothing vouches for it.
+        let ctx = self.hash_context();
+        let mut hash_bad = vec![false; t];
+        if let Some(ctx) = &ctx {
+            for i in 0..t {
+                if states[i].is_none() && ctx.trusted[i].is_none() {
+                    hash_bad[i] = true;
+                }
+            }
+        }
         let present: Vec<bool> = readers.iter().map(Option::is_some).collect();
+        let hash_checked = ctx.is_some();
         let mut bad_chunks: Vec<Vec<u64>> = vec![Vec::new(); t];
         let mut inconsistent = Vec::new();
         if !present.iter().any(|&p| p) {
@@ -346,9 +447,16 @@ impl Archive {
             // hostile header claiming astronomical chunk counts must not
             // spin the empty loop.
             let shards = states.into_iter().map(|s| s.expect("all diagnosed")).collect();
-            return Ok((VerifyReport { shards }, inconsistent));
+            return Ok((VerifyReport { shards, hash_checked }, inconsistent));
         }
         let mut scanner = ChunkScanner::new(self.meta, readers);
+        if let Some(ctx) = ctx {
+            for (i, leaves) in ctx.trusted.into_iter().enumerate() {
+                if let Some(leaves) = leaves {
+                    scanner.set_trusted_leaves(i, leaves);
+                }
+            }
+        }
         for c in 0..self.meta.chunk_count {
             scanner.read_chunk(c);
             for i in 0..t {
@@ -366,13 +474,15 @@ impl Archive {
         let shards = states
             .into_iter()
             .zip(bad_chunks)
-            .map(|(state, bad)| match state {
+            .zip(hash_bad)
+            .map(|((state, bad), hash_bad)| match state {
                 Some(s) => s,
+                None if hash_bad => ShardState::BadHashes,
                 None if bad.is_empty() => ShardState::Ok,
                 None => ShardState::Corrupt { chunks: bad },
             })
             .collect();
-        Ok((VerifyReport { shards }, inconsistent))
+        Ok((VerifyReport { shards, hash_checked }, inconsistent))
     }
 
     /// Rewrite every damaged shard file from the survivors.
@@ -402,11 +512,18 @@ impl Archive {
         if damaged.is_empty() {
             return Ok(RepairReport::default());
         }
-        if let Ok(plan) = self.codec.repair_sources(&damaged) {
-            if plan.len() + damaged.len() < self.meta.total_shards() {
-                match self.repair_pass(&damaged, Some(&plan)) {
-                    Err(StreamError::Codec(EcError::MissingSource { .. })) => {}
-                    other => return other,
+        // A repair plan reads only a subset of shards, so on a v3
+        // archive it needs the elected root vector to fill in the
+        // unread shards' roots (and to prove the rebuild). No election
+        // ⇒ full pass, which can recompute every root from scratch.
+        let plan_viable = !self.meta.hash_trailer || self.hash_context().is_some();
+        if plan_viable {
+            if let Ok(plan) = self.codec.repair_sources(&damaged) {
+                if plan.len() + damaged.len() < self.meta.total_shards() {
+                    match self.repair_pass(&damaged, Some(&plan)) {
+                        Err(StreamError::Codec(EcError::MissingSource { .. })) => {}
+                        other => return other,
+                    }
                 }
             }
         }
@@ -419,21 +536,43 @@ impl Archive {
         plan: Option<&[usize]>,
     ) -> Result<RepairReport, StreamError> {
         let damaged = damaged.to_vec();
+        let t = self.meta.total_shards();
         let p = self.meta.parity_shards as usize;
+        let ctx = self.hash_context();
+        // No election on a v3 archive ⇒ the trailer must be rebuilt
+        // from every shard's actual bytes, so every shard's leaves are
+        // tracked (full pass only; `repair` gates plans on the
+        // election).
+        let track_all = self.meta.hash_trailer && ctx.is_none();
 
         // Every file with a trusted header feeds the scan — including
         // damaged ones, whose surviving chunks still count as sources
         // and must be re-framed into the replacement file. A repair
         // plan only prunes *healthy* files it does not need to read.
-        let sources = (0..self.meta.total_shards())
+        // Exception: under an election, a damaged shard *without*
+        // trusted leaves (bad trailer) is not a source at all — its
+        // frames may be CRC-forged and nothing can vouch for them, so
+        // it is rebuilt wholesale from shards that can be verified.
+        let sources = (0..t)
             .map(|i| {
                 let wanted = plan
                     .map(|plan| plan.contains(&i) || damaged.contains(&i))
                     .unwrap_or(true);
-                wanted.then(|| self.open_source(i)).flatten()
+                let vouched = match &ctx {
+                    Some(ctx) => ctx.trusted[i].is_some() || !damaged.contains(&i),
+                    None => true,
+                };
+                (wanted && vouched).then(|| self.open_source(i)).flatten()
             })
             .collect();
         let mut scanner = ChunkScanner::new(self.meta, sources);
+        if let Some(ctx) = &ctx {
+            for (i, leaves) in ctx.trusted.iter().enumerate() {
+                if let Some(leaves) = leaves {
+                    scanner.set_trusted_leaves(i, leaves.clone());
+                }
+            }
+        }
 
         let tmp_path = |i: usize| self.dir.join(format!("{}.tmp", shard_file_name(i)));
         let mut writers = damaged
@@ -448,8 +587,9 @@ impl Archive {
 
         let mut chunks_rebuilt = 0u64;
         let mut bytes_read = 0u64;
-        let mut shards: Vec<Option<Vec<u8>>> = vec![None; self.meta.total_shards()];
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; t];
         let mut spare: Vec<Vec<u8>> = Vec::new();
+        let mut new_leaves: Vec<Vec<Hash>> = vec![Vec::new(); t];
         for c in 0..self.meta.chunk_count {
             let live = scanner.live_count() as u64;
             scanner.read_chunk(c);
@@ -469,7 +609,7 @@ impl Archive {
                         chunks_rebuilt += 1;
                     }
                 } else {
-                    let missing = self.meta.total_shards() - scanner.good_count();
+                    let missing = t - scanner.good_count();
                     if missing > 0 {
                         if missing > p {
                             return Err(StreamError::TooDamaged { chunk: c, missing, parity: p });
@@ -479,18 +619,63 @@ impl Archive {
                         chunks_rebuilt += 1;
                     }
                 }
-                for &mut (i, ref mut w) in &mut writers {
-                    let slice: &[u8] = if scanner.good[i] {
+                let slice_of = |i: usize| -> &[u8] {
+                    if scanner.good[i] {
                         &scanner.slices[i]
                     } else {
                         shards[i].as_deref().expect("reconstructed above")
-                    };
+                    }
+                };
+                for &mut (i, ref mut w) in &mut writers {
+                    let slice = slice_of(i);
                     w.write_all(slice)?;
                     w.write_all(&crc32(slice).to_le_bytes())?;
+                }
+                if self.meta.hash_trailer {
+                    for (i, leaves) in new_leaves.iter_mut().enumerate().take(t) {
+                        if track_all || damaged.contains(&i) {
+                            leaves.push(leaf_hash(slice_of(i)));
+                        }
+                    }
                 }
                 Ok(())
             })();
             if let Err(e) = result {
+                drop(writers);
+                self.discard_tmps(&damaged, tmp_path);
+                return Err(e);
+            }
+        }
+
+        // v3: finish each replacement file with its hash trailer — and
+        // prove the restoration first. Under an election the rebuilt
+        // shard's root must equal the elected root: reconstruction from
+        // verified sources is byte-exact, so a mismatch means the walk
+        // was fed something unprovable and the file must not publish.
+        if self.meta.hash_trailer {
+            let shard_roots: Vec<Hash> = match &ctx {
+                Some(ctx) => ctx.shard_roots.clone(),
+                None => new_leaves
+                    .iter()
+                    .map(|ls| MerkleTree::from_leaves(ls.clone()).root())
+                    .collect(),
+            };
+            let mut failure: Option<StreamError> = None;
+            for &mut (i, ref mut w) in &mut writers {
+                let trailer = HashTrailer::new(new_leaves[i].clone(), shard_roots.clone());
+                if trailer.own_root() != shard_roots[i] {
+                    failure = Some(StreamError::Format(format!(
+                        "restored shard {i} hashes to a different Merkle root than \
+                         the elected vector — refusing to publish it"
+                    )));
+                    break;
+                }
+                if let Err(e) = w.write_all(&trailer.to_bytes()) {
+                    failure = Some(e.into());
+                    break;
+                }
+            }
+            if let Some(e) = failure {
                 drop(writers);
                 self.discard_tmps(&damaged, tmp_path);
                 return Err(e);
@@ -618,6 +803,29 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Rewrite a freshly created (v3) archive as what an older writer
+    /// produced: strip every hash trailer, stamp `version` into each
+    /// header (zeroing the codec fields for v1), refresh the CRCs.
+    fn downgrade(shards: &Path, total: usize, version: u32) {
+        for i in 0..total {
+            let path = shards.join(shard_file_name(i));
+            let mut bytes = fs::read(&path).unwrap();
+            let h = ShardHeader::from_bytes(bytes[..crate::format::HEADER_LEN].try_into().unwrap())
+                .unwrap();
+            let mut plain = h.meta;
+            plain.hash_trailer = false;
+            bytes.truncate(plain.shard_file_len() as usize);
+            bytes[8..12].copy_from_slice(&version.to_le_bytes());
+            if version == 1 {
+                bytes[18..20].copy_from_slice(&[0, 0]);
+                bytes[40..42].copy_from_slice(&[0, 0]);
+            }
+            let crc = crc32(&bytes[..crate::format::HEADER_LEN - 4]);
+            bytes[60..64].copy_from_slice(&crc.to_le_bytes());
+            fs::write(&path, bytes).unwrap();
+        }
+    }
+
     #[test]
     fn v1_archive_opens_as_rs() {
         let dir = tmp_dir("v1_compat");
@@ -625,40 +833,142 @@ mod tests {
         let shards = dir.join("shards");
         let a = Archive::create(&input, &shards, 4, 2, 4096).unwrap();
         drop(a);
-
-        // Downgrade every shard header to version 1: zero the codec
-        // fields (reserved in v1) and refresh the CRC — byte-identical
-        // to what a v1 writer produced.
-        for i in 0..6 {
-            let path = shards.join(shard_file_name(i));
-            let mut bytes = fs::read(&path).unwrap();
-            bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
-            bytes[18..20].copy_from_slice(&[0, 0]);
-            bytes[40..42].copy_from_slice(&[0, 0]);
-            let crc = crc32(&bytes[..crate::format::HEADER_LEN - 4]);
-            bytes[60..64].copy_from_slice(&crc.to_le_bytes());
-            fs::write(&path, bytes).unwrap();
-        }
+        downgrade(&shards, 6, 1);
 
         let a = Archive::open(&shards).unwrap();
         assert_eq!(a.codec().spec(), CodecSpec::rs(4, 2));
-        assert!(a.verify().unwrap().all_ok());
+        assert!(!a.meta().hash_trailer);
+        let report = a.verify().unwrap();
+        assert!(report.all_ok());
+        // Pre-v3: nothing to hash-check, and the report says so.
+        assert!(!report.hash_checked);
+        assert!(a.elected_roots().is_none());
         let restored = dir.join("restored.bin");
-        a.extract(&restored).unwrap();
+        let rep = a.extract(&restored).unwrap();
+        assert!(!rep.hash_verified);
         assert_eq!(fs::read(&input).unwrap(), fs::read(&restored).unwrap());
 
-        // And a repaired (rewritten) shard comes back as version 2
-        // while the survivors stay v1 — mixed generations agree on the
-        // same metadata, so open still votes unanimously.
+        // And a repaired (rewritten) shard comes back as version 2 —
+        // not silently upgraded to 3, since its siblings carry no
+        // trailer — while the survivors stay v1. Mixed generations
+        // agree on the same metadata, so open still votes unanimously.
         fs::remove_file(a.shard_path(3)).unwrap();
         let a = Archive::open(&shards).unwrap();
         a.repair().unwrap();
         assert!(a.verify().unwrap().all_ok());
         let rewritten = fs::read(a.shard_path(3)).unwrap();
-        assert_eq!(
-            u32::from_le_bytes(rewritten[8..12].try_into().unwrap()),
-            FORMAT_VERSION
-        );
+        assert_eq!(u32::from_le_bytes(rewritten[8..12].try_into().unwrap()), 2);
+        const { assert!(FORMAT_VERSION > 2) };
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_archive_roundtrips_without_hashes() {
+        let dir = tmp_dir("v2_compat");
+        let input = write_input(&dir, 25_000);
+        let shards = dir.join("shards");
+        let spec = CodecSpec::lrc(4, 3, 2);
+        let a = Archive::create_with_spec(&input, &shards, &spec, 4096).unwrap();
+        drop(a);
+        downgrade(&shards, 7, 2);
+
+        // The codec identity survives (v2 carried it); the hash layer
+        // reports itself absent rather than failing.
+        let a = Archive::open(&shards).unwrap();
+        assert_eq!(a.codec().spec(), spec);
+        assert!(!a.meta().hash_trailer);
+        let report = a.verify().unwrap();
+        assert!(report.all_ok() && !report.hash_checked);
+        let restored = dir.join("restored.bin");
+        let rep = a.extract(&restored).unwrap();
+        assert!(!rep.hash_verified);
+        assert_eq!(fs::read(&input).unwrap(), fs::read(&restored).unwrap());
+        // Repair keeps writing v2: no trailer appears on the rewrite.
+        fs::remove_file(a.shard_path(1)).unwrap();
+        let a = Archive::open(&shards).unwrap();
+        a.repair().unwrap();
+        assert!(a.verify().unwrap().all_ok());
+        let rewritten = fs::read(a.shard_path(1)).unwrap();
+        assert_eq!(u32::from_le_bytes(rewritten[8..12].try_into().unwrap()), 2);
+        assert_eq!(rewritten.len() as u64, a.meta().shard_file_len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_forged_tamper_is_caught_and_localized() {
+        use ec_wire::crc_preserving_flip;
+        let dir = tmp_dir("crc_forged");
+        let input = write_input(&dir, 40_000);
+        let shards = dir.join("shards");
+        let a = Archive::create(&input, &shards, 4, 2, 4096).unwrap();
+        let (roots_before, object_before) = a.elected_roots().unwrap();
+
+        // Forge chunk 2 of shard 1: a 5-byte XOR of the generator
+        // polynomial that leaves the frame's CRC-32 — and any CRC over
+        // the whole file — unchanged. A checksum walk calls this clean.
+        let path = a.shard_path(1);
+        let mut bytes = fs::read(&path).unwrap();
+        let off = crate::format::HEADER_LEN
+            + 2 * (a.meta().slice_len(0) + crate::format::FRAME_TRAILER_LEN)
+            + 7;
+        let before = crc32(&bytes);
+        crc_preserving_flip(&mut bytes, off);
+        assert_eq!(crc32(&bytes), before, "the forgery must be CRC-invisible");
+        fs::write(&path, bytes).unwrap();
+
+        // The Merkle walk attributes it to the exact shard and chunk.
+        let report = a.verify().unwrap();
+        assert!(report.hash_checked);
+        assert_eq!(report.shards[1], ShardState::Corrupt { chunks: vec![2] });
+        assert!(!a.scrub().unwrap().clean());
+
+        // Extraction decodes around the forged frame.
+        let restored = dir.join("restored.bin");
+        let rep = a.extract(&restored).unwrap();
+        assert!(rep.hash_verified);
+        assert!(rep.chunks_repaired >= 1);
+        assert_eq!(fs::read(&input).unwrap(), fs::read(&restored).unwrap());
+
+        // Repair heals it, and the healed archive proves the same roots
+        // it was created with.
+        let report = a.repair().unwrap();
+        assert_eq!(report.repaired, vec![1]);
+        assert!(a.verify().unwrap().all_ok());
+        assert_eq!(a.elected_roots().unwrap(), (roots_before, object_before));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_trailer_is_attributed_and_healed() {
+        let dir = tmp_dir("bad_trailer");
+        let input = write_input(&dir, 20_000);
+        let shards = dir.join("shards");
+        let a = Archive::create(&input, &shards, 3, 2, 2048).unwrap();
+        let roots_before = a.elected_roots().unwrap();
+
+        // Scribble over shard 4's trailer (payload untouched). The
+        // remaining four trailers still elect the root vector; shard 4
+        // can no longer prove its bytes, so it is flagged and rebuilt.
+        let path = a.shard_path(4);
+        let mut bytes = fs::read(&path).unwrap();
+        let off = a.meta().hash_trailer_offset().unwrap() as usize;
+        for b in &mut bytes[off + 10..off + 20] {
+            *b ^= 0xFF;
+        }
+        fs::write(&path, bytes).unwrap();
+
+        let report = a.verify().unwrap();
+        assert!(report.hash_checked);
+        assert_eq!(report.shards[4], ShardState::BadHashes);
+        assert_eq!(report.damaged(), vec![4]);
+
+        let report = a.repair().unwrap();
+        assert_eq!(report.repaired, vec![4]);
+        assert!(a.verify().unwrap().all_ok());
+        assert_eq!(a.elected_roots().unwrap(), roots_before);
+        let restored = dir.join("restored.bin");
+        assert!(a.extract(&restored).unwrap().hash_verified);
+        assert_eq!(fs::read(&input).unwrap(), fs::read(&restored).unwrap());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -2,6 +2,7 @@
 //! shard streams survive, chunk by chunk, in bounded memory.
 
 use ec_wire::crc32;
+use ec_wire::merkle::{leaf_hash, Hash};
 use crate::error::StreamError;
 use crate::format::{ArchiveMeta, FRAME_TRAILER_LEN};
 use ec_core::ErasureCoder;
@@ -18,6 +19,11 @@ use std::io::{Read, Write};
 pub(crate) struct ChunkScanner<R: Read> {
     meta: ArchiveMeta,
     sources: Vec<Option<R>>,
+    /// Per-shard trusted leaf hashes (from an elected hash trailer).
+    /// When present for a shard, each frame must *also* hash to its
+    /// leaf — catching CRC-preserving tampering the checksum walk
+    /// cannot.
+    trusted: Vec<Option<Vec<Hash>>>,
     /// Per-shard payload of the chunk last read (valid iff `good`).
     pub slices: Vec<Vec<u8>>,
     /// Per-shard integrity of the chunk last read.
@@ -33,9 +39,33 @@ impl<R: Read> ChunkScanner<R> {
         ChunkScanner {
             meta,
             sources,
+            trusted: vec![None; t],
             slices: vec![Vec::new(); t],
             good: vec![false; t],
         }
+    }
+
+    /// Arm per-frame hash verification for shard `i` with its trusted
+    /// leaf vector (one hash per chunk, authenticated against the
+    /// elected root before being handed here).
+    pub fn set_trusted_leaves(&mut self, i: usize, leaves: Vec<Hash>) {
+        self.trusted[i] = Some(leaves);
+    }
+
+    /// True iff every live source is hash-verified (has trusted leaves)
+    /// and at least one source is live — i.e. everything this scanner
+    /// will read is covered by the Merkle layer, not just CRC-32.
+    pub fn fully_trusted(&self) -> bool {
+        let mut any = false;
+        for (src, t) in self.sources.iter().zip(&self.trusted) {
+            if src.is_some() {
+                any = true;
+                if t.is_none() {
+                    return false;
+                }
+            }
+        }
+        any
     }
 
     /// Read chunk `chunk`'s frame from every live source. Chunks must be
@@ -56,6 +86,12 @@ impl<R: Read> ChunkScanner<R> {
                 continue;
             }
             self.good[i] = u32::from_le_bytes(trailer) == crc32(&self.slices[i]);
+            if self.good[i] {
+                if let Some(leaves) = &self.trusted[i] {
+                    self.good[i] =
+                        leaves.get(chunk as usize) == Some(&leaf_hash(&self.slices[i]));
+                }
+            }
         }
     }
 
@@ -104,6 +140,11 @@ pub struct ExtractReport {
     pub chunks_repaired: u64,
     /// Original-data bytes written out.
     pub bytes_written: u64,
+    /// True iff every frame that fed the output was verified against
+    /// the archive's Merkle leaves (v3 archives with an elected root
+    /// vector); false means CRC-only — bit-rot evidence, not tamper
+    /// evidence.
+    pub hash_verified: bool,
 }
 
 /// A chunked streaming decoder over `n + p` shard sources.
@@ -160,6 +201,14 @@ impl<'c, R: Read> StreamDecoder<'c, R> {
         })
     }
 
+    /// Arm per-frame Merkle verification for shard `i` (see
+    /// [`ChunkScanner::set_trusted_leaves`]). Frames that fail their
+    /// leaf hash are treated exactly like CRC failures: the chunk is
+    /// erasure-decoded around them.
+    pub fn set_trusted_leaves(&mut self, i: usize, leaves: Vec<Hash>) {
+        self.scanner.set_trusted_leaves(i, leaves);
+    }
+
     /// Decode the whole stream into `out`.
     ///
     /// Fails with [`StreamError::TooDamaged`] if any chunk has more than
@@ -168,7 +217,13 @@ impl<'c, R: Read> StreamDecoder<'c, R> {
         let meta = self.scanner.meta;
         let n = meta.data_shards as usize;
         let p = meta.parity_shards as usize;
-        let mut report = ExtractReport { chunks: meta.chunk_count, ..Default::default() };
+        let mut report = ExtractReport {
+            chunks: meta.chunk_count,
+            // Decided up front, while every source that will serve
+            // frames is still live.
+            hash_verified: self.scanner.fully_trusted(),
+            ..Default::default()
+        };
         for c in 0..meta.chunk_count {
             self.scanner.read_chunk(c);
             let data_len = meta.chunk_data_len(c);

@@ -10,8 +10,9 @@
 //! program across the striped execution engine.
 
 use ec_wire::crc32;
+use ec_wire::merkle::{leaf_hash, Hash, MerkleTree};
 use crate::error::StreamError;
-use crate::format::{ArchiveMeta, ShardHeader, HEADER_LEN};
+use crate::format::{ArchiveMeta, HashTrailer, ShardHeader, HEADER_LEN};
 use ec_core::ErasureCoder;
 use std::io::{Read, Seek, SeekFrom, Write};
 
@@ -49,6 +50,11 @@ pub struct StreamEncoder<'c, W: Write + Seek> {
     fill: usize,
     /// Reusable per-shard slice buffers (`encode_into` targets).
     shard_bufs: Vec<Vec<u8>>,
+    /// `leaves[i]` accumulates shard `i`'s per-chunk SHA-256 leaf hashes
+    /// for the version-3 hash trailer (32 bytes per shard per chunk —
+    /// the only state that grows with the stream, and only
+    /// logarithmically relative to the data).
+    leaves: Vec<Vec<Hash>>,
     chunks_written: u64,
     total_in: u64,
 }
@@ -84,6 +90,7 @@ impl<'c, W: Write + Seek> StreamEncoder<'c, W> {
             buf: vec![0u8; chunk_size],
             fill: 0,
             shard_bufs: vec![Vec::new(); codec.total_shards()],
+            leaves: vec![Vec::new(); codec.total_shards()],
             chunks_written: 0,
             total_in: 0,
         })
@@ -131,9 +138,12 @@ impl<'c, W: Write + Seek> StreamEncoder<'c, W> {
             return Ok(());
         }
         self.codec.encode_into(&self.buf[..self.fill], &mut self.shard_bufs)?;
-        for (shard, sink) in self.shard_bufs.iter().zip(&mut self.sinks) {
+        for ((shard, sink), leaves) in
+            self.shard_bufs.iter().zip(&mut self.sinks).zip(&mut self.leaves)
+        {
             sink.write_all(shard)?;
             sink.write_all(&crc32(shard).to_le_bytes())?;
+            leaves.push(leaf_hash(shard));
         }
         self.total_in += self.fill as u64;
         self.chunks_written += 1;
@@ -141,9 +151,9 @@ impl<'c, W: Write + Seek> StreamEncoder<'c, W> {
         Ok(())
     }
 
-    /// Flush the (possibly short) tail chunk, then seek back and write
-    /// the real header into every sink. Returns the archive metadata and
-    /// the sinks.
+    /// Flush the (possibly short) tail chunk, append the hash trailer to
+    /// every sink, then seek back and write the real header. Returns the
+    /// archive metadata and the sinks.
     pub fn finalize(mut self) -> Result<(ArchiveMeta, Vec<W>), StreamError> {
         self.flush_chunk()?;
         let meta = ArchiveMeta::with_spec(
@@ -152,7 +162,15 @@ impl<'c, W: Write + Seek> StreamEncoder<'c, W> {
             self.total_in,
         );
         debug_assert_eq!(meta.chunk_count, self.chunks_written);
-        for (i, sink) in self.sinks.iter_mut().enumerate() {
+        // Every trailer carries the full root vector; only the leaf
+        // section differs per shard.
+        let all_leaves = std::mem::take(&mut self.leaves);
+        let shard_roots: Vec<Hash> = all_leaves
+            .iter()
+            .map(|ls| MerkleTree::from_leaves(ls.clone()).root())
+            .collect();
+        for ((i, sink), leaves) in self.sinks.iter_mut().enumerate().zip(all_leaves) {
+            sink.write_all(&HashTrailer::new(leaves, shard_roots.clone()).to_bytes())?;
             sink.seek(SeekFrom::Start(0))?;
             ShardHeader { meta, shard_index: i as u16 }.write_to(sink)?;
             sink.flush()?;
@@ -213,6 +231,30 @@ mod tests {
             }
             offset += slen + FRAME_TRAILER_LEN;
         }
+        // The hash trailer starts right after the last frame, and each
+        // shard's stored leaves are the leaf hashes of its frames.
+        assert_eq!(meta.hash_trailer_offset(), Some(offset as u64));
+        for (i, file) in files.iter().enumerate() {
+            let t = HashTrailer::from_bytes(&file[offset..], &meta).unwrap();
+            assert!(t.self_consistent(i), "shard {i}");
+            let mut off = HEADER_LEN;
+            for c in 0..meta.chunk_count {
+                let slen = meta.slice_len(c);
+                assert_eq!(
+                    t.leaves[c as usize],
+                    ec_wire::merkle::leaf_hash(&file[off..off + slen]),
+                    "shard {i} chunk {c}"
+                );
+                off += slen + FRAME_TRAILER_LEN;
+            }
+        }
+        // All shards agree on the root vector and object root.
+        let t0 = HashTrailer::from_bytes(&files[0][offset..], &meta).unwrap();
+        for file in &files[1..] {
+            let t = HashTrailer::from_bytes(&file[offset..], &meta).unwrap();
+            assert_eq!(t.shard_roots, t0.shard_roots);
+            assert_eq!(t.object_root, t0.object_root);
+        }
     }
 
     #[test]
@@ -242,15 +284,21 @@ mod tests {
     }
 
     #[test]
-    fn empty_stream_produces_header_only_shards() {
+    fn empty_stream_produces_header_and_trailer_only_shards() {
         let codec = rs(4, 2);
         let (meta, files) = encode_all(&*codec, 1024, &[]);
         assert_eq!(meta.chunk_count, 0);
         assert_eq!(meta.original_len, 0);
+        let expect = HEADER_LEN as u64 + HashTrailer::wire_len(&meta).unwrap();
         for (i, f) in files.iter().enumerate() {
-            assert_eq!(f.len(), HEADER_LEN, "shard {i}");
-            let h = ShardHeader::from_bytes(f[..].try_into().unwrap()).unwrap();
+            assert_eq!(f.len() as u64, expect, "shard {i}");
+            let h = ShardHeader::from_bytes(f[..HEADER_LEN].try_into().unwrap()).unwrap();
             assert_eq!(h.shard_index, i as u16);
+            // Zero-leaf trees: every shard root is the empty-tree root.
+            let t = HashTrailer::from_bytes(&f[HEADER_LEN..], &meta).unwrap();
+            assert!(t.leaves.is_empty());
+            assert!(t.shard_roots.iter().all(|r| *r == ec_wire::merkle::empty_root()));
+            assert!(t.self_consistent(i));
         }
     }
 

@@ -7,8 +7,18 @@
 //! lengths, the total file length — is derivable from the header alone,
 //! so shards are recoverable without side-channel files and truncation is
 //! detectable from the length.
+//!
+//! Version 3 appends a [`HashTrailer`] after the last frame: this
+//! shard's per-chunk SHA-256 leaf hashes, the Merkle roots of **all**
+//! `n + p` shards, and the object root over those roots. CRC-32 catches
+//! bit-rot; the trailer catches what CRC-32 cannot — a slice rewritten
+//! together with its checksum — and, because every shard carries every
+//! root, a majority of surviving trailers can prove which shard was
+//! tampered with and what a repaired shard's bytes must hash to.
 
 use ec_wire::crc32;
+use ec_wire::merkle::{Hash, MerkleTree};
+use ec_wire::SHA256_LEN;
 use crate::error::StreamError;
 use ec_core::{CodecId, CodecSpec, EcError};
 use std::io::{Read, Write};
@@ -16,10 +26,12 @@ use std::io::{Read, Write};
 /// The 8-byte magic at offset 0: `xorslp_ec` shard, format generation 1.
 pub const MAGIC: [u8; 8] = *b"XSLPECS1";
 
-/// The header format version this implementation writes. Version 1 (no
-/// codec identity; the fields at offsets 18 and 40 were reserved-zero)
-/// is still read, and normalizes to the RS codec it implied.
-pub const FORMAT_VERSION: u32 = 2;
+/// The header format version this implementation writes for new
+/// archives. Version 1 (no codec identity; the fields at offsets 18 and
+/// 40 were reserved-zero) and version 2 (codec identity, no hash
+/// trailer) are still read; a v1/v2 archive round-trips at its own
+/// version — repair never silently upgrades a file's format.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest header version this implementation still reads.
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -60,6 +72,12 @@ pub struct ArchiveMeta {
     pub chunk_count: u64,
     /// Exact byte length of the archived data.
     pub original_len: u64,
+    /// Whether each shard file ends in a [`HashTrailer`] (version 3).
+    /// Not a wire field of its own — it is carried by the header's
+    /// version number — but it changes the file length, so it must take
+    /// part in header voting: a v2 and a v3 shard set are different
+    /// archives even when every other parameter agrees.
+    pub hash_trailer: bool,
 }
 
 /// The format-level slice length: the smallest `align`-multiple length
@@ -103,6 +121,7 @@ impl ArchiveMeta {
             chunk_size,
             chunk_count,
             original_len,
+            hash_trailer: true,
         }
     }
 
@@ -171,7 +190,17 @@ impl ArchiveMeta {
                 .checked_add(self.slice_len(self.chunk_count - 1) as u64)?
                 .checked_add(FRAME_TRAILER_LEN as u64)?;
         }
+        if self.hash_trailer {
+            len = len.checked_add(HashTrailer::wire_len(self)?)?;
+        }
         Some(len)
+    }
+
+    /// Byte offset of the hash trailer within an intact shard file
+    /// (`None` for pre-v3 archives, which have no trailer).
+    pub fn hash_trailer_offset(&self) -> Option<u64> {
+        self.hash_trailer
+            .then(|| self.shard_file_len() - HashTrailer::wire_len(self).expect("validated"))
     }
 
     /// Internal consistency checks shared by the reader and the writer.
@@ -217,6 +246,112 @@ impl ArchiveMeta {
     }
 }
 
+/// The version-3 hash trailer at the end of every shard file:
+///
+/// ```text
+/// [chunk_count × 32] this shard's per-chunk SHA-256 leaf hashes
+/// [(n + p)    × 32] Merkle root of every shard in the archive
+/// [            32 ] object root (Merkle root over the shard roots)
+/// [             4 ] CRC-32 of all trailer bytes above
+/// ```
+///
+/// Leaves hash the shard's *frame payloads* (`leaf_hash(slice)`, see
+/// [`ec_wire::merkle`]); a shard's root is the Merkle root of its
+/// leaves. Every shard carries the full root vector so that a majority
+/// of surviving trailers elects the authoritative roots even when a
+/// shard's payload and trailer were tampered with together, and so a
+/// repair can prove a rebuilt shard's bytes correct from any single
+/// trusted survivor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HashTrailer {
+    /// `leaf_hash` of each of this shard's chunk slices, in chunk order.
+    pub leaves: Vec<Hash>,
+    /// `shard_roots[i]` is the Merkle root of shard `i`'s leaves.
+    pub shard_roots: Vec<Hash>,
+    /// Merkle root over `shard_roots` (as pre-hashed leaves).
+    pub object_root: Hash,
+}
+
+impl HashTrailer {
+    /// Serialized trailer length for `meta`'s geometry, with overflow
+    /// checked (a hostile header must not wrap the file-length math).
+    pub fn wire_len(meta: &ArchiveMeta) -> Option<u64> {
+        let hashes = meta
+            .chunk_count
+            .checked_add(meta.total_shards() as u64)?
+            .checked_add(1)?;
+        hashes.checked_mul(SHA256_LEN as u64)?.checked_add(4)
+    }
+
+    /// The object root implied by a shard-root vector: the Merkle root
+    /// over the roots, treated as pre-hashed leaves. Shared with the
+    /// object store's manifest ([`ec_wire::merkle::root_over_roots`]),
+    /// so the two surfaces commit to identical bytes identically.
+    pub fn object_root_of(shard_roots: &[Hash]) -> Hash {
+        ec_wire::merkle::root_over_roots(shard_roots)
+    }
+
+    /// Build the trailer for one shard from its own leaves and the
+    /// archive-wide root vector.
+    pub fn new(leaves: Vec<Hash>, shard_roots: Vec<Hash>) -> HashTrailer {
+        let object_root = HashTrailer::object_root_of(&shard_roots);
+        HashTrailer { leaves, shard_roots, object_root }
+    }
+
+    /// This shard's Merkle root, recomputed from its stored leaves.
+    pub fn own_root(&self) -> Hash {
+        MerkleTree::from_leaves(self.leaves.clone()).root()
+    }
+
+    /// Structural + semantic self-consistency: the stored leaves build
+    /// `shard_roots[shard_index]`, and the stored object root is the
+    /// root over the stored shard roots. A trailer that passes this and
+    /// matches the elected root vector transitively authenticates every
+    /// leaf (SHA-256 collision resistance).
+    pub fn self_consistent(&self, shard_index: usize) -> bool {
+        self.shard_roots.get(shard_index) == Some(&self.own_root())
+            && self.object_root == HashTrailer::object_root_of(&self.shard_roots)
+    }
+
+    /// Serialize to the wire form described in the type docs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(
+            (self.leaves.len() + self.shard_roots.len() + 1) * SHA256_LEN + 4,
+        );
+        for h in self.leaves.iter().chain(&self.shard_roots) {
+            b.extend_from_slice(h);
+        }
+        b.extend_from_slice(&self.object_root);
+        let crc = crc32(&b);
+        b.extend_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    /// Parse a trailer cut to exactly [`HashTrailer::wire_len`] bytes.
+    pub fn from_bytes(b: &[u8], meta: &ArchiveMeta) -> Result<HashTrailer, StreamError> {
+        let expect = HashTrailer::wire_len(meta)
+            .ok_or_else(|| StreamError::Format("trailer length overflows".into()))?;
+        if b.len() as u64 != expect {
+            return Err(StreamError::Format(format!(
+                "hash trailer is {} bytes, geometry demands {expect}",
+                b.len()
+            )));
+        }
+        let (body, crc) = b.split_at(b.len() - 4);
+        if u32::from_le_bytes(crc.try_into().expect("4 bytes")) != crc32(body) {
+            return Err(StreamError::Format("hash trailer checksum mismatch".into()));
+        }
+        let mut hashes = body.chunks_exact(SHA256_LEN);
+        let mut take = |n: usize| -> Vec<Hash> {
+            hashes.by_ref().take(n).map(|h| h.try_into().expect("32 bytes")).collect()
+        };
+        let leaves = take(meta.chunk_count as usize);
+        let shard_roots = take(meta.total_shards());
+        let object_root = take(1)[0];
+        Ok(HashTrailer { leaves, shard_roots, object_root })
+    }
+}
+
 /// One shard file's header: the archive metadata plus this shard's index.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardHeader {
@@ -233,7 +368,11 @@ impl ShardHeader {
         let m = &self.meta;
         let mut b = [0u8; HEADER_LEN];
         b[0..8].copy_from_slice(&MAGIC);
-        b[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // The version is a property of the archive on disk, not of this
+        // build: a trailerless (v2) archive keeps writing v2 headers
+        // under repair, so mixed-generation shard sets stay unanimous.
+        let version: u32 = if m.hash_trailer { 3 } else { 2 };
+        b[8..12].copy_from_slice(&version.to_le_bytes());
         b[12..14].copy_from_slice(&m.data_shards.to_le_bytes());
         b[14..16].copy_from_slice(&m.parity_shards.to_le_bytes());
         b[16..18].copy_from_slice(&self.shard_index.to_le_bytes());
@@ -292,6 +431,7 @@ impl ShardHeader {
             chunk_size: le32(20),
             chunk_count: le64(24),
             original_len: le64(32),
+            hash_trailer: version >= 3,
         };
         // Typed rejection first: an unknown wire id or an unrealizable
         // family geometry is an `EcError`, not a generic format string.
@@ -372,10 +512,45 @@ mod tests {
         assert_eq!(m.slice_len(0), slice_len_for(1 << 20, 10, 8) as usize);
         assert_eq!(m.slice_len(3), slice_len_for(12345, 10, 8) as usize);
         assert_eq!(slice_len_for(12345, 10, 8), 1240); // ceil(1234.5)→1235, →8-align 1240
-        let expect = HEADER_LEN as u64
+        // v3: frames plus the hash trailer (4 leaves + 14 roots + object
+        // root, CRC'd).
+        let trailer = 32 * (4 + 14 + 1) + 4;
+        assert_eq!(HashTrailer::wire_len(&m), Some(trailer));
+        let frames_end = HEADER_LEN as u64
             + 3 * (slice_len_for(1 << 20, 10, 8) + 4)
             + (1240 + 4);
-        assert_eq!(m.shard_file_len(), expect);
+        assert_eq!(m.shard_file_len(), frames_end + trailer);
+        assert_eq!(m.hash_trailer_offset(), Some(frames_end));
+        // The same geometry without the trailer (a v2 archive) ends at
+        // the last frame.
+        let mut v2 = m;
+        v2.hash_trailer = false;
+        assert_eq!(v2.shard_file_len(), frames_end);
+        assert_eq!(v2.hash_trailer_offset(), None);
+    }
+
+    #[test]
+    fn hash_trailer_roundtrips_and_rejects_flips() {
+        use ec_wire::merkle::leaf_hash;
+        let m = ArchiveMeta::new(2, 1, 100, 250); // 3 chunks, 3 shards
+        let leaves: Vec<Hash> = (0..3u8).map(|i| leaf_hash(&[i])).collect();
+        let own = MerkleTree::from_leaves(leaves.clone()).root();
+        let others: Vec<Hash> = (0..3u8).map(|i| leaf_hash(&[i, i])).collect();
+        let roots = vec![own, others[1], others[2]];
+        let t = HashTrailer::new(leaves, roots);
+        assert!(t.self_consistent(0));
+        assert!(!t.self_consistent(1));
+        let b = t.to_bytes();
+        assert_eq!(b.len() as u64, HashTrailer::wire_len(&m).unwrap());
+        assert_eq!(HashTrailer::from_bytes(&b, &m).unwrap(), t);
+        // Any flipped byte is caught by the trailer CRC.
+        for at in [0usize, 33, 95, 100] {
+            let mut bad = b.clone();
+            bad[at] ^= 0x20;
+            assert!(HashTrailer::from_bytes(&bad, &m).is_err(), "flip at {at}");
+        }
+        // Wrong geometry (length) is a typed refusal, not a misparse.
+        assert!(HashTrailer::from_bytes(&b[..b.len() - 1], &m).is_err());
     }
 
     #[test]
@@ -412,10 +587,17 @@ mod tests {
         let crc = crc32(&b[..HEADER_LEN - 4]);
         b[60..64].copy_from_slice(&crc.to_le_bytes());
         let parsed = ShardHeader::from_bytes(&b).unwrap();
-        // Normalizes to the v2 RS meta — mixed v1/v2 shard sets vote
-        // for identical metadata.
-        assert_eq!(parsed, h);
+        // Normalizes to the v2 RS meta (same fields, no hash trailer) —
+        // mixed v1/v2 shard sets vote for identical metadata.
+        let mut expect = h;
+        expect.meta.hash_trailer = false;
+        assert_eq!(parsed, expect);
         assert_eq!(parsed.meta.codec_spec().unwrap(), CodecSpec::rs(10, 4));
+        // And a v2 meta writes version 2 back out, byte-identical modulo
+        // the version round-trip.
+        let again = ShardHeader::from_bytes(&parsed.to_bytes()).unwrap();
+        assert_eq!(again, parsed);
+        assert_eq!(u32::from_le_bytes(parsed.to_bytes()[8..12].try_into().unwrap()), 2);
     }
 
     #[test]
@@ -445,7 +627,12 @@ mod tests {
     fn empty_archive_geometry() {
         let m = ArchiveMeta::new(4, 2, 4096, 0);
         assert_eq!(m.chunk_count, 0);
-        assert_eq!(m.shard_file_len(), HEADER_LEN as u64);
+        // Header plus a zero-leaf trailer: 6 shard roots + object root.
+        assert_eq!(
+            m.shard_file_len(),
+            HEADER_LEN as u64 + HashTrailer::wire_len(&m).unwrap()
+        );
+        assert_eq!(HashTrailer::wire_len(&m), Some(32 * 7 + 4));
         let h = ShardHeader { meta: m, shard_index: 5 };
         assert_eq!(ShardHeader::from_bytes(&h.to_bytes()).unwrap(), h);
     }
@@ -463,6 +650,7 @@ mod tests {
             chunk_size: 1,
             chunk_count: u64::MAX,
             original_len: u64::MAX,
+            hash_trailer: true,
         };
         assert!(hostile.validate().is_err());
         // A chunk size beyond the implementation cap (would demand

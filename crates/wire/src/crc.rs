@@ -68,6 +68,24 @@ pub fn crc32(data: &[u8]) -> u32 {
     c.finish()
 }
 
+/// XOR a 5-byte pattern into `data` at `offset` that leaves **every**
+/// CRC-32 over any region containing it unchanged.
+///
+/// CRC-32 is linear over GF(2): XORing a multiple of the generator
+/// polynomial into the message leaves the checksum as it was. The
+/// pattern below is the generator itself (`x^32 + … + 1`,
+/// `0x104C11DB7`) in this CRC's reflected bit order. This is the
+/// checksum's documented blind spot — the tamper tests use it to build
+/// CRC-valid corruption that only the SHA-256 Merkle layer can catch.
+///
+/// Panics if fewer than 5 bytes remain at `offset`.
+pub fn crc_preserving_flip(data: &mut [u8], offset: usize) {
+    const PATTERN: [u8; 5] = [0x41, 0x06, 0x71, 0xDB, 0x01];
+    for (i, delta) in PATTERN.into_iter().enumerate() {
+        data[offset + i] ^= delta;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +107,20 @@ mod tests {
             c.update(part);
         }
         assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn crc_preserving_flip_preserves_any_containing_crc() {
+        let base: Vec<u8> = (0..300u32).map(|i| (i * 7 + 3) as u8).collect();
+        for offset in [0usize, 1, 7, 100, 295] {
+            let mut data = base.clone();
+            crc_preserving_flip(&mut data, offset);
+            assert_ne!(data, base, "offset {offset}");
+            assert_eq!(crc32(&data), crc32(&base), "offset {offset}");
+            // Also unchanged over any sub-region containing the pattern.
+            let lo = offset.saturating_sub(3);
+            assert_eq!(crc32(&data[lo..]), crc32(&base[lo..]), "offset {offset}");
+        }
     }
 
     #[test]

@@ -8,7 +8,19 @@
 //! mismatch names the damaged shard or the hostile frame instead of
 //! surfacing as garbage data. This crate is the single home of that
 //! checksum so the two formats can never drift apart.
+//!
+//! CRC-32 is bit-rot evidence, not tamper evidence: any mutation that
+//! XORs in a multiple of the generator polynomial passes the checksum.
+//! The [`sha256`] and [`merkle`] modules are the cryptographic layer on
+//! top — per-chunk SHA-256 leaf hashes rolled into Merkle roots, so a
+//! root comparison proves whole-shard integrity in 32 bytes and a
+//! subtree walk localizes damage to exact chunk indices. Both formats
+//! store these trees (shard-file hash trailer, manifest shard roots),
+//! again from this single home.
 
 mod crc;
+pub mod merkle;
+mod sha256;
 
-pub use crc::{crc32, Crc32};
+pub use crc::{crc32, crc_preserving_flip, Crc32};
+pub use sha256::{hash_hex, sha256, Sha256, SHA256_LEN};

@@ -1,0 +1,274 @@
+//! SHA-256 (FIPS 180-4), the cryptographic hash of the integrity
+//! subsystem: Merkle leaf/node hashes in the shard-file hash trailer
+//! (`docs/FORMAT.md`), the store manifest's per-shard roots
+//! (`docs/STORE.md`) and the `HASH_SUBTREE` opcode all hash with it.
+//!
+//! Implemented here rather than pulled in as a dependency for the same
+//! reason as the CRC: the workspace builds offline, and the durable
+//! formats pin the exact algorithm. Where CRC-32 catches line noise and
+//! bit rot, SHA-256 is collision-resistant: a mutation crafted to
+//! preserve a CRC (any multiple of its generator polynomial) still
+//! changes the SHA-256 digest, which is what upgrades the stack from
+//! bit-rot-evidence to tamper-evidence.
+//!
+//! Validated against the NIST FIPS 180-4 example vectors (one-block,
+//! two-block, and the million-`a` stress vector) in the tests below.
+
+/// Digest size in bytes.
+pub const SHA256_LEN: usize = 32;
+
+/// The first 32 bits of the fractional parts of the cube roots of the
+/// first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash value: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+    0x1f83d9ab, 0x5be0cd19,
+];
+
+/// A running SHA-256 digest for incremental (streaming) updates.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Total message bytes fed so far (the padding encodes this in bits;
+    /// u64 bounds the message at 2^61 bytes, far beyond any shard).
+    len: u64,
+    /// Partial block awaiting 64 bytes.
+    block: [u8; 64],
+    fill: usize,
+}
+
+impl Sha256 {
+    /// Start a fresh digest.
+    pub fn new() -> Sha256 {
+        Sha256 { state: H0, len: 0, block: [0; 64], fill: 0 }
+    }
+
+    /// Feed bytes into the digest.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.fill > 0 {
+            let take = data.len().min(64 - self.fill);
+            self.block[self.fill..self.fill + take].copy_from_slice(&data[..take]);
+            self.fill += take;
+            data = &data[take..];
+            if self.fill < 64 {
+                // `data` is exhausted into the still-partial block; falling
+                // through would let the remainder bookkeeping below reset
+                // `fill` and drop these bytes.
+                return;
+            }
+            let block = self.block;
+            self.compress(&block);
+            self.fill = 0;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            self.compress(block.try_into().expect("exact chunk"));
+        }
+        let rest = chunks.remainder();
+        self.block[..rest.len()].copy_from_slice(rest);
+        self.fill = rest.len();
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finish(mut self) -> [u8; SHA256_LEN] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian
+        // message bit length.
+        self.update(&[0x80]);
+        while self.fill != 56 {
+            self.update(&[0]);
+        }
+        // Feed the length directly as the final 8 block bytes; `update`
+        // would wrongly count them into `len`, but `bit_len` is already
+        // captured.
+        self.block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.block;
+        self.compress(&block);
+        let mut out = [0u8; SHA256_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One compression round over a 64-byte block (FIPS 180-4 §6.2.2).
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (t, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes(
+                block[t * 4..t * 4 + 4].try_into().expect("fixed slice"),
+            );
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7)
+                ^ w[t - 15].rotate_right(18)
+                ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17)
+                ^ w[t - 2].rotate_right(19)
+                ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..64 {
+            let big_s1 =
+                e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let big_s0 =
+                a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+/// One-shot SHA-256 of a byte slice.
+pub fn sha256(data: &[u8]) -> [u8; SHA256_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Lower-case hex of a digest, for CLI/report display.
+pub fn hash_hex(digest: &[u8; SHA256_LEN]) -> String {
+    let mut s = String::with_capacity(SHA256_LEN * 2);
+    for b in digest {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: [u8; 32]) -> String {
+        hash_hex(&digest)
+    }
+
+    // NIST FIPS 180-4 / CAVP example vectors.
+
+    #[test]
+    fn nist_empty_message() {
+        assert_eq!(
+            hex(sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn nist_abc() {
+        assert_eq!(
+            hex(sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn nist_448_bit_message() {
+        // Two-block example: 56 bytes of input.
+        assert_eq!(
+            hex(sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn nist_896_bit_message() {
+        assert_eq!(
+            hex(sha256(
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+                  hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+            )),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn nist_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31 + 7) as u8).collect();
+        // Split at awkward boundaries (never block-aligned).
+        for step in [1usize, 13, 63, 64, 65, 1000] {
+            let mut h = Sha256::new();
+            for part in data.chunks(step) {
+                h.update(part);
+            }
+            assert_eq!(h.finish(), sha256(&data), "step {step}");
+        }
+    }
+
+    #[test]
+    fn crc_preserving_mutation_changes_digest() {
+        // XORing in a multiple of the CRC-32 generator polynomial leaves
+        // the CRC unchanged (linearity) — the exact blind spot SHA-256
+        // closes. 0x1DB710641 is poly << 1 in reflected bit order; as
+        // bytes (LSB-first per byte) that is 41 06 71 DB 01.
+        let mut data: Vec<u8> = (0..256u32).map(|i| (i * 7) as u8).collect();
+        let before_crc = crate::crc32(&data);
+        let before_sha = sha256(&data);
+        for (i, delta) in [0x41, 0x06, 0x71, 0xDB, 0x01].into_iter().enumerate() {
+            data[100 + i] ^= delta;
+        }
+        assert_eq!(crate::crc32(&data), before_crc, "mutation must evade CRC");
+        assert_ne!(sha256(&data), before_sha, "SHA-256 must catch it");
+    }
+}

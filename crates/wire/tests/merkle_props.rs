@@ -1,0 +1,83 @@
+//! Property tests of the Merkle layer: root stability, proof soundness
+//! and single-flip localization across the awkward shapes (1, powers of
+//! two, off-by-one around them, the 257 tail-promotion case).
+
+use ec_wire::merkle::{leaf_hash, MerkleTree};
+use proptest::prelude::*;
+
+fn leaves(count: usize, seed: u64) -> Vec<[u8; 32]> {
+    (0..count)
+        .map(|i| {
+            let mut bytes = [0u8; 16];
+            bytes[..8].copy_from_slice(&seed.to_le_bytes());
+            bytes[8..].copy_from_slice(&(i as u64).to_le_bytes());
+            leaf_hash(&bytes)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The root is a pure function of the leaf sequence: rebuilding the
+    /// tree from the same leaves yields the same root, and every chunk
+    /// count in 1..=257 has a well-defined, self-consistent shape.
+    #[test]
+    fn root_is_stable_for_every_chunk_count(
+        count in 1usize..=257,
+        seed in any::<u64>(),
+    ) {
+        let ls = leaves(count, seed);
+        let a = MerkleTree::from_leaves(ls.clone());
+        let b = MerkleTree::from_leaves(ls);
+        prop_assert_eq!(a.root(), b.root());
+        prop_assert_eq!(a.leaf_count(), count);
+        // The advertised shape matches the built tree at every level.
+        let widths = MerkleTree::level_widths(count as u64);
+        prop_assert_eq!(widths.len(), a.height() + 1);
+        for (l, w) in widths.iter().enumerate() {
+            prop_assert_eq!(a.level(l).unwrap().len() as u64, *w);
+        }
+    }
+
+    /// Every leaf's inclusion proof verifies against the root, and
+    /// stops verifying under a flipped leaf or a shifted position.
+    #[test]
+    fn inclusion_proofs_verify(
+        count in 1usize..=257,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let ls = leaves(count, seed);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        let root = tree.root();
+        let i = (pick % count as u64) as usize;
+        let proof = tree.proof(i).unwrap();
+        prop_assert!(MerkleTree::verify_proof(&root, i, &ls[i], &proof));
+        let mut wrong = ls[i];
+        wrong[0] ^= 1;
+        prop_assert!(!MerkleTree::verify_proof(&root, i, &wrong, &proof));
+        if count > 1 {
+            let j = (i + 1) % count;
+            prop_assert!(!MerkleTree::verify_proof(&root, j, &ls[i], &proof));
+        }
+    }
+
+    /// Flipping exactly one leaf changes the root, and the subtree diff
+    /// localizes the damage to exactly that leaf index.
+    #[test]
+    fn single_leaf_flip_localizes_exactly(
+        count in 1usize..=257,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let ls = leaves(count, seed);
+        let i = (pick % count as u64) as usize;
+        let mut flipped = ls.clone();
+        flipped[i][7] ^= 0x80;
+        let clean = MerkleTree::from_leaves(ls);
+        let damaged = MerkleTree::from_leaves(flipped);
+        prop_assert_ne!(clean.root(), damaged.root());
+        prop_assert_eq!(clean.diff(&damaged), vec![i]);
+    }
+}
