@@ -7,7 +7,7 @@ use slp_optimizer::{optimize, OptConfig};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
-use xor_runtime::{ExecProgram, Kernel, PoolChoice};
+use xor_runtime::{cpu_backend, ComputeBackend, ExecProgram, Kernel};
 
 /// Errors of the array codec.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,11 +57,12 @@ enum Kind {
 /// so shard lengths must be multiples of `w`; the convenience
 /// [`ArrayCodec::encode`] pads as needed.
 ///
-/// Execution is striped across an `ExecPool` — the same parallel engine
-/// the RS pipeline uses, since both share the SLP execution path. By
-/// default the machine-sized global pool is shared (or the
-/// `XORSLP_PARALLELISM` environment default); override per codec with
-/// [`ArrayCodec::with_parallelism`].
+/// Execution goes through a [`ComputeBackend`] — the same parallel
+/// engine the RS pipeline uses, since both share the SLP execution path.
+/// The engine knobs default to the machine's tuned `ec-tune` profile,
+/// refined by the `XORSLP_KERNEL`/`XORSLP_BLOCKSIZE`/
+/// `XORSLP_PARALLELISM` environment overrides; override per codec with
+/// [`ArrayCodec::with_parallelism`] or [`ArrayCodec::set_backend`].
 pub struct ArrayCodec {
     kind: Kind,
     k: usize,
@@ -74,7 +75,7 @@ pub struct ArrayCodec {
     blocksize: usize,
     kernel: Kernel,
     opt: OptConfig,
-    pool: PoolChoice,
+    backend: Arc<dyn ComputeBackend>,
     dec_cache: Mutex<HashMap<Vec<usize>, Arc<DecEntry>>>,
     /// Per-disk delta-update programs (domain is `0..k`, so a plain map
     /// is already bounded).
@@ -128,8 +129,11 @@ impl ArrayCodec {
             }
         }
         let opt = OptConfig::FULL_DFS;
-        let blocksize = 1024;
-        let kernel = Kernel::from_env().unwrap_or(Kernel::Auto);
+        // Same engine-knob precedence as RsConfig::new: tuned profile
+        // below, env overrides on top, builder calls above everything.
+        let tuned = ec_tune::engine_defaults();
+        let blocksize = xor_runtime::env_blocksize().unwrap_or(tuned.blocksize);
+        let kernel = Kernel::from_env().unwrap_or(tuned.kernel);
         let enc_slp = optimize(&binary_slp_from_bitmatrix(&parity), opt);
         let enc_prog = ExecProgram::compile(&enc_slp, blocksize, kernel);
         ArrayCodec {
@@ -143,8 +147,8 @@ impl ArrayCodec {
             blocksize,
             kernel,
             opt,
-            pool: PoolChoice::from_parallelism(
-                xor_runtime::env_parallelism().unwrap_or(0),
+            backend: cpu_backend(
+                xor_runtime::env_parallelism().unwrap_or(tuned.parallelism),
             ),
             dec_cache: Mutex::new(HashMap::new()),
             upd_cache: Mutex::new(HashMap::new()),
@@ -155,8 +159,14 @@ impl ArrayCodec {
     /// Builder-style parallelism override: `0` = auto (share the global
     /// machine-sized pool), `k ≥ 1` = a dedicated `k`-worker pool.
     pub fn with_parallelism(mut self, parallelism: usize) -> ArrayCodec {
-        self.pool = PoolChoice::from_parallelism(parallelism);
+        self.backend = cpu_backend(parallelism);
         self
+    }
+
+    /// Swap the execution substrate (the accelerator seam); the default
+    /// is the CPU backend.
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.backend = backend;
     }
 
     /// Number of data disks.
@@ -273,13 +283,8 @@ impl ArrayCodec {
                 .iter_mut()
                 .flat_map(|s| s.chunks_exact_mut(pl))
                 .collect();
-            self.enc_prog
-                .run_striped(
-                    &inputs,
-                    &mut outputs,
-                    self.pool.pool(),
-                    self.pool.workers(),
-                )
+            self.backend
+                .run(&self.enc_prog, &inputs, &mut outputs)
                 .expect("encode program shapes are fixed at construction");
         }
         Ok(())
@@ -339,8 +344,8 @@ impl ArrayCodec {
             .iter_mut()
             .flat_map(|s| s.chunks_exact_mut(pl))
             .collect();
-        self.enc_prog
-            .run_striped(&inputs, &mut outputs, self.pool.pool(), self.pool.workers())
+        self.backend
+            .run(&self.enc_prog, &inputs, &mut outputs)
             .expect("encode program shapes are fixed at construction");
         Ok(())
     }
@@ -398,9 +403,8 @@ impl ArrayCodec {
             .iter_mut()
             .flat_map(|s| s.chunks_exact_mut(pl))
             .collect();
-        entry
-            .prog
-            .run_striped(&inputs, &mut outputs, self.pool.pool(), self.pool.workers())
+        self.backend
+            .run(&entry.prog, &inputs, &mut outputs)
             .expect("row program shapes are fixed at construction");
         Ok(())
     }
@@ -472,16 +476,8 @@ impl ArrayCodec {
         }
         // Same delta discipline as `RsCodec::update_parity`, over the
         // array code's w-symbol striping (shared runtime helper).
-        self.update_entry(disk)
-            .prog
-            .run_delta_striped(
-                self.w,
-                old,
-                new,
-                parity,
-                self.pool.pool(),
-                self.pool.workers(),
-            )
+        self.backend
+            .run_delta(&self.update_entry(disk).prog, self.w, old, new, parity)
             .expect("update program shapes are fixed at construction");
         Ok(())
     }
@@ -603,13 +599,9 @@ impl ArrayCodec {
                     .iter_mut()
                     .flat_map(|s| s.chunks_exact_mut(pl))
                     .collect();
-                prog.run_striped(
-                    &inputs,
-                    &mut outputs,
-                    self.pool.pool(),
-                    self.pool.workers(),
-                )
-                .expect("decode program shapes are fixed at construction");
+                self.backend
+                    .run(prog, &inputs, &mut outputs)
+                    .expect("decode program shapes are fixed at construction");
             } else {
                 rebuilt = vec![Vec::new(); entry.lost_data.len()];
             }
@@ -736,13 +728,9 @@ impl ArrayCodec {
                         .iter_mut()
                         .flat_map(|s| s.chunks_exact_mut(pl))
                         .collect();
-                    prog.run_striped(
-                        &inputs,
-                        &mut outputs,
-                        self.pool.pool(),
-                        self.pool.workers(),
-                    )
-                    .expect("decode program shapes are fixed at construction");
+                    self.backend
+                        .run(prog, &inputs, &mut outputs)
+                        .expect("decode program shapes are fixed at construction");
                 }
                 for (&d, shard) in entry.lost_data.iter().zip(rebuilt) {
                     shards[d] = Some(shard);

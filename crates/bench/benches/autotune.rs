@@ -1,0 +1,114 @@
+//! Autotuner validation bench (plain main, harness = false): proves the
+//! two properties the subsystem sells.
+//!
+//! 1. **The tuned configuration is never a regression.** Re-measure the
+//!    full fixed (kernel × blocksize) grid with the real optimized
+//!    RS(10, 4) encode program and assert the tuned pick's throughput is
+//!    at least `1 - NOISE` of the best fixed cell. The tuned pick *is* a
+//!    grid cell, so this can only fail if the tuner picked badly or the
+//!    measurement is unstable beyond the noise floor.
+//! 2. **A warm profile load is effectively free.** Loading a cached
+//!    profile must not re-run the micro-benchmark (asserted via the
+//!    `tune_count` probe) and must cost a vanishing fraction of a tune.
+//!
+//! ```text
+//! cargo bench --bench autotune
+//! ```
+
+use ec_bench::{enc_base_slp, print_env_header, reps, rule};
+use ec_tune::{load_or_tune_at, tune, tune_count, TuneOptions};
+use slp_optimizer::{optimize, OptConfig};
+use std::time::Instant;
+use xor_runtime::available_kernels;
+
+/// Accepted measurement noise between two runs of the same configuration
+/// (single-core CI boxes jitter; the assertion must not flake).
+const NOISE: f64 = 0.20;
+
+fn main() {
+    print_env_header("Autotuned configuration vs the fixed grid");
+
+    // --- 1. tune (timed: this is the price of a cold first use) -------
+    let t0 = Instant::now();
+    let profile = tune(&TuneOptions::default());
+    let tune_cost = t0.elapsed();
+    println!(
+        "cold tune: {:.1} ms across {} candidates -> kernel {} B={} stripes={}",
+        tune_cost.as_secs_f64() * 1e3,
+        profile.samples.len(),
+        profile.kernel.name(),
+        profile.blocksize,
+        profile.stripes,
+    );
+
+    // --- 2. re-measure the fixed grid with the production program -----
+    let slp = optimize(&enc_base_slp(10, 4), OptConfig::FULL_DFS);
+    let data_bytes = 10 * 64 * 1024;
+    let blocksizes = TuneOptions::default().blocksizes;
+    println!();
+    println!("{:>7} | {:>7} | {:>10}", "kernel", "B", "GB/s");
+    println!("{}", rule(30));
+    let mut best_fixed: Option<(f64, &'static str, usize)> = None;
+    let mut tuned_rate = 0.0f64;
+    for kernel in available_kernels() {
+        for &bs in &blocksizes {
+            let mut runner = ec_bench::BenchRunner::new(&slp, bs, kernel, data_bytes);
+            let rate = runner.throughput(reps());
+            let is_tuned = kernel == profile.kernel && bs == profile.blocksize;
+            if is_tuned {
+                tuned_rate = rate;
+            }
+            if best_fixed.is_none_or(|(r, ..)| rate > r) {
+                best_fixed = Some((rate, kernel.name(), bs));
+            }
+            println!(
+                "{:>7} | {:>7} | {:>10.2}{}",
+                kernel.name(),
+                bs,
+                rate,
+                if is_tuned { "  <- tuned pick" } else { "" }
+            );
+        }
+    }
+    let (best_rate, best_kernel, best_bs) = best_fixed.expect("grid is non-empty");
+    println!();
+    println!(
+        "tuned pick: {:.2} GB/s | best fixed cell: {:.2} GB/s ({best_kernel}, B={best_bs})",
+        tuned_rate, best_rate
+    );
+    assert!(
+        tuned_rate >= best_rate * (1.0 - NOISE),
+        "the tuned configuration must match the best fixed configuration \
+         within {:.0}% noise: tuned {tuned_rate:.2} GB/s vs best {best_rate:.2} GB/s",
+        NOISE * 100.0
+    );
+
+    // --- 3. warm profile load: no re-tune, vanishing cost -------------
+    let path = std::env::temp_dir().join(format!(
+        "xorslp-autotune-bench-{}.tune",
+        std::process::id()
+    ));
+    profile.store(&path).expect("write profile cache");
+    let before = tune_count();
+    let t0 = Instant::now();
+    let warm = load_or_tune_at(&path);
+    let load_cost = t0.elapsed();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        tune_count(),
+        before,
+        "a warm profile load must not re-run the micro-benchmark"
+    );
+    assert_eq!(*warm, profile, "the warm load must return the stored profile");
+    println!(
+        "warm profile load: {:.3} ms (cold tune was {:.1} ms, {:.0}x)",
+        load_cost.as_secs_f64() * 1e3,
+        tune_cost.as_secs_f64() * 1e3,
+        tune_cost.as_secs_f64() / load_cost.as_secs_f64().max(1e-9)
+    );
+    assert!(
+        load_cost.as_secs_f64() < tune_cost.as_secs_f64() / 10.0,
+        "a warm load must cost a small fraction of a tune: \
+         load {load_cost:?} vs tune {tune_cost:?}"
+    );
+}

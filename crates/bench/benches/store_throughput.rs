@@ -217,6 +217,55 @@ fn main() {
     first_n_straggler();
     batch_repair_traffic();
     scrub_cost();
+    tuned_vs_paper_defaults();
+}
+
+/// Autotuned engine defaults vs the static paper defaults, end to end
+/// through the cluster PUT path (encode + shard ships + manifest
+/// replication). `RsConfig::new` already starts from the tuned profile;
+/// the paper rows pin the pre-autotuner `B = 1024` / auto-kernel
+/// configuration explicitly.
+fn tuned_vs_paper_defaults() {
+    const OPS: usize = 12;
+    let fx = Fixture::spawn_with(
+        "tuned",
+        N + P,
+        |_| NodeOptions { workers: 4, ..NodeOptions::default() },
+    );
+    let defaults = ec_tune::engine_defaults();
+    println!(
+        "\nTUNED vs paper defaults, PUT path (RS({N}, {P}), {OPS} x {} MiB):",
+        OBJECT_BYTES >> 20
+    );
+    let configs = [
+        ("paper (B=1024, auto kernel)", {
+            let d = ec_tune::EngineDefaults::PAPER;
+            RsConfig::new(N, P).blocksize(d.blocksize).kernel(d.kernel).parallelism(d.parallelism)
+        }),
+        (
+            if defaults == ec_tune::EngineDefaults::PAPER {
+                "tuned   (autotuner off: same as paper)"
+            } else {
+                "tuned   (profile-fed RsConfig::new)"
+            },
+            RsConfig::new(N, P),
+        ),
+    ];
+    for (tag, (label, cfg)) in configs.into_iter().enumerate() {
+        let cluster = Arc::new(
+            Cluster::new(fx.addrs.clone(), cfg)
+                .expect("cluster")
+                .with_timeout(Duration::from_secs(10)),
+        );
+        let row = timed(label, 1, OPS, OBJECT_BYTES, &cluster, move |c, k| {
+            c.put(&format!("tune-{tag}-{k:03}"), &payload(k)).expect("put");
+        });
+        println!(
+            "  {:<40} {:>7.1} MB/s",
+            row.label,
+            row.bytes as f64 / row.elapsed.as_secs_f64() / 1e6
+        );
+    }
 }
 
 /// Uniform 20 ms service delay on every node of a 14-node RS(10, 4)

@@ -89,4 +89,43 @@ fn main() {
         "single = parallelism(1) (inline, allocation-free steady state); \
          pooled = parallelism(0) (striped across the global pool)"
     );
+
+    tuned_vs_paper_defaults(n, p, &input, total);
+}
+
+/// Autotuned engine defaults vs the static paper defaults, end to end
+/// through the streaming encoder. `RsConfig::new` already starts from
+/// the tuned profile; the paper-default rows pin `B = 1024` and kernel
+/// auto-resolution explicitly, which is exactly what the engine shipped
+/// before the autotuner existed.
+fn tuned_vs_paper_defaults(n: usize, p: usize, input: &[u8], total: usize) {
+    let chunk = 1 << 20;
+    println!();
+    println!("TUNED vs paper defaults (1 MiB chunks):");
+    let defaults = ec_tune::engine_defaults();
+    let configs = [
+        ("paper (B=1024, auto kernel)", {
+            let d = ec_tune::EngineDefaults::PAPER;
+            RsConfig::new(n, p).blocksize(d.blocksize).kernel(d.kernel).parallelism(d.parallelism)
+        }),
+        (
+            if defaults == ec_tune::EngineDefaults::PAPER {
+                "tuned   (autotuner off: same as paper)"
+            } else {
+                "tuned   (profile-fed RsConfig::new)"
+            },
+            RsConfig::new(n, p),
+        ),
+    ];
+    for (label, cfg) in configs {
+        let codec = RsCodec::with_config(cfg).expect("valid params");
+        let secs = time_per_rep(reps(), || {
+            let sinks: Vec<NullSink> =
+                (0..codec.total_shards()).map(|_| NullSink(0)).collect();
+            let mut enc = StreamEncoder::new(&codec, chunk, sinks).expect("encoder");
+            enc.write_all(input).expect("stream");
+            enc.finalize().expect("finalize");
+        });
+        println!("  {label:<40} {:>8.0} MB/s", total as f64 / secs / 1e6);
+    }
 }

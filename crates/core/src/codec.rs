@@ -10,7 +10,7 @@ use std::sync::Mutex;
 use slp::Slp;
 use slp_optimizer::optimize;
 use std::sync::Arc;
-use xor_runtime::{lock_unpoisoned as lock, ExecPool, ExecProgram, PoolChoice};
+use xor_runtime::{cpu_backend, lock_unpoisoned as lock, ComputeBackend, ExecPool, ExecProgram};
 
 /// A compiled decode pipeline for one erasure pattern.
 struct DecProgram {
@@ -63,10 +63,13 @@ struct PartialProgram {
 /// bounded LRU cache ([`RsConfig::decode_cache_cap`]). All methods take
 /// `&self` and the codec is `Send + Sync`.
 ///
-/// Execution is striped across an [`ExecPool`] (the
+/// Execution goes through a [`ComputeBackend`] — by default the CPU
+/// backend, which stripes across an [`ExecPool`] (the
 /// [`RsConfig::parallelism`] knob): every worker owns a persistent
 /// grow-on-demand arena, so concurrent callers never serialize on shared
-/// scratch buffers and steady-state encode/decode allocates nothing.
+/// scratch buffers and steady-state encode/decode allocates nothing. An
+/// accelerator backend slots in via [`RsCodec::set_backend`] without any
+/// codec changes.
 pub struct RsCodec {
     cfg: RsConfig,
     /// The full `(n+p) × n` systematic coding matrix.
@@ -78,8 +81,8 @@ pub struct RsCodec {
     groups: Vec<Vec<usize>>,
     enc_slp: Slp,
     enc_prog: ExecProgram,
-    /// The execution pool (shared global or codec-owned, per config).
-    pool: PoolChoice,
+    /// The execution substrate (CPU pool by default, per config).
+    backend: Arc<dyn ComputeBackend>,
     dec_cache: Mutex<LruCache<Vec<usize>, Arc<DecProgram>>>,
     /// Column/row-subset programs for delta updates and partial repair,
     /// bounded by [`RsConfig::partial_cache_cap`].
@@ -158,10 +161,24 @@ impl RsCodec {
             groups,
             enc_slp,
             enc_prog,
-            pool: PoolChoice::from_parallelism(cfg.parallelism),
+            backend: cpu_backend(cfg.parallelism),
             dec_cache: Mutex::new(LruCache::new(cache_cap)),
             partial_cache: Mutex::new(LruCache::new(partial_cap)),
         })
+    }
+
+    /// Swap the execution substrate: every encode/decode/update/verify
+    /// after this call runs on `backend`. This is the accelerator seam —
+    /// a GPU backend implements [`ComputeBackend`] and slots in here
+    /// without any codec changes. The default is the CPU backend built
+    /// from [`RsConfig::parallelism`].
+    pub fn set_backend(&mut self, backend: Arc<dyn ComputeBackend>) {
+        self.backend = backend;
+    }
+
+    /// The execution substrate this codec runs on.
+    pub fn backend(&self) -> &Arc<dyn ComputeBackend> {
+        &self.backend
     }
 
     /// Number of data shards `n`.
@@ -288,12 +305,7 @@ impl RsCodec {
             .iter_mut()
             .flat_map(|s| layout::packets_mut(s))
             .collect();
-        self.enc_prog.run_striped(
-            &inputs,
-            &mut outputs,
-            self.pool.pool(),
-            self.pool.workers(),
-        )?;
+        self.backend.run(&self.enc_prog, &inputs, &mut outputs)?;
         Ok(())
     }
 
@@ -364,8 +376,7 @@ impl RsCodec {
         xor_runtime::with_ref_scratch(|inputs, outputs| {
             inputs.extend(data_part.iter().flat_map(|s| s.chunks_exact(pl)));
             outputs.extend(parity_part.iter_mut().flat_map(|s| s.chunks_exact_mut(pl)));
-            self.enc_prog
-                .run_striped(inputs, outputs, self.pool.pool(), self.pool.workers())
+            self.backend.run(&self.enc_prog, inputs, outputs)
         })?;
         Ok(())
     }
@@ -510,14 +521,8 @@ impl RsCodec {
         // the globals, so the untouched rows are skipped here.
         let entry = self.partial_program(PartialKey::Column(shard_index));
         if entry.rows.len() == p {
-            entry.prog.run_delta_striped(
-                layout::PACKETS_PER_SHARD,
-                old,
-                new,
-                parity,
-                self.pool.pool(),
-                self.pool.workers(),
-            )?;
+            self.backend
+                .run_delta(&entry.prog, layout::PACKETS_PER_SHARD, old, new, parity)?;
         } else if !entry.rows.is_empty() {
             let mut touched: Vec<&mut [u8]> = parity
                 .iter_mut()
@@ -525,13 +530,12 @@ impl RsCodec {
                 .filter(|(j, _)| entry.rows.contains(j))
                 .map(|(_, s)| &mut **s)
                 .collect();
-            entry.prog.run_delta_striped(
+            self.backend.run_delta(
+                &entry.prog,
                 layout::PACKETS_PER_SHARD,
                 old,
                 new,
                 &mut touched,
-                self.pool.pool(),
-                self.pool.workers(),
             )?;
         }
         Ok(())
@@ -566,12 +570,7 @@ impl RsCodec {
             .iter_mut()
             .flat_map(|s| layout::packets_mut(s))
             .collect();
-        entry.prog.run_striped(
-            &inputs,
-            &mut outputs,
-            self.pool.pool(),
-            self.pool.workers(),
-        )?;
+        self.backend.run(&entry.prog, &inputs, &mut outputs)?;
         Ok(())
     }
 
@@ -782,12 +781,7 @@ impl RsCodec {
                         .iter_mut()
                         .flat_map(|s| layout::packets_mut(s))
                         .collect();
-                    prog.run_striped(
-                        &inputs,
-                        &mut outputs,
-                        self.pool.pool(),
-                        self.pool.workers(),
-                    )?;
+                    self.backend.run(prog, &inputs, &mut outputs)?;
                 }
                 for (&i, shard) in dec.lost_data.iter().zip(rebuilt) {
                     shards[i] = Some(shard);
@@ -877,12 +871,7 @@ impl RsCodec {
                     .iter_mut()
                     .flat_map(|s| layout::packets_mut(s))
                     .collect();
-                prog.run_striped(
-                    &inputs,
-                    &mut outputs,
-                    self.pool.pool(),
-                    self.pool.workers(),
-                )?;
+                self.backend.run(prog, &inputs, &mut outputs)?;
             }
         }
 
@@ -926,10 +915,10 @@ impl RsCodec {
         let parity_packets: Vec<&[u8]> =
             shards[n..].iter().flat_map(|s| layout::packets(s)).collect();
 
-        // Chunk width: one compiled block per pool worker, so each chunk
+        // Chunk width: one compiled block per backend lane, so each chunk
         // re-encodes at full engine parallelism while the scratch (and
         // the early-exit granularity) stays a bounded, reusable strip.
-        let workers = self.pool.workers();
+        let workers = self.backend.lanes();
         let step = self
             .enc_prog
             .blocksize()
@@ -947,8 +936,7 @@ impl RsCodec {
                     .chunks_exact_mut(step)
                     .map(|c| &mut c[..width])
                     .collect();
-                self.enc_prog
-                    .run_striped(&inputs, &mut outputs, self.pool.pool(), workers)?;
+                self.backend.run(&self.enc_prog, &inputs, &mut outputs)?;
                 let mismatch = parity_packets
                     .iter()
                     .zip(scratch.chunks_exact(step))

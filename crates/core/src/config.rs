@@ -6,19 +6,25 @@ use xor_runtime::Kernel;
 
 /// Full configuration of an [`crate::RsCodec`].
 ///
-/// The defaults reproduce the paper's best setting on its Intel testbed:
-/// ISA-L's power coding matrix, `Dfs(Fu(XorRePair(P)))` optimization,
-/// 1 KiB blocks (§7.4 picks `B = 1K` on Intel, `B = 2K` on AMD), and the
-/// fastest XOR kernel the CPU offers — executed striped across every
-/// available core through the shared [`xor_runtime::ExecPool`].
+/// The engine knobs (kernel, blocksize, parallelism) default to the
+/// machine's **tuned profile**: on first use `ec-tune` micro-benchmarks
+/// kernel × blocksize × stripe-count on the actual CPU and caches the
+/// winner per machine (§7's tables, made live). Without a profile
+/// (`XORSLP_TUNE=off`), the defaults are the paper's Intel testbed
+/// setting: ISA-L's power coding matrix, `Dfs(Fu(XorRePair(P)))`
+/// optimization, 1 KiB blocks (§7.4 picks `B = 1K` on Intel, `B = 2K`
+/// on AMD), and the fastest XOR kernel the CPU offers.
 ///
-/// Two environment variables override the *defaults* (explicit builder
-/// calls still win); CI uses them to force the whole suite through each
-/// engine configuration:
+/// Precedence, lowest to highest — the profile never overrides anything
+/// a human asked for:
 ///
-/// * `XORSLP_KERNEL` — `scalar` | `wide64` | `avx2` | `auto`;
-/// * `XORSLP_PARALLELISM` — `0` (auto: machine-sized pool) or a worker
-///   count.
+/// 1. static paper defaults;
+/// 2. the tuned profile ([`ec_tune::engine_defaults`]);
+/// 3. environment: `XORSLP_KERNEL` (`scalar` | `wide64` | `avx2` |
+///    `avx512` | `neon` | `auto`), `XORSLP_BLOCKSIZE` (bytes),
+///    `XORSLP_PARALLELISM` (`0` = auto or a worker count) — CI uses
+///    these to force the whole suite through each engine configuration;
+/// 4. explicit builder calls.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RsConfig {
     /// Number of data shards `n`.
@@ -49,16 +55,20 @@ pub struct RsConfig {
 }
 
 impl RsConfig {
-    /// The paper's default configuration for an RS(n, p) codec.
+    /// The default configuration for an RS(n, p) codec: the machine's
+    /// tuned profile, refined by env overrides (see the type docs for
+    /// the full precedence chain). The first call on a cold machine runs
+    /// the `ec-tune` micro-benchmark once and caches it.
     pub fn new(data_shards: usize, parity_shards: usize) -> RsConfig {
+        let tuned = ec_tune::engine_defaults();
         RsConfig {
             data_shards,
             parity_shards,
             matrix: MatrixKind::IsalPower,
             opt: OptConfig::default(),
-            blocksize: 1024,
-            kernel: Kernel::from_env().unwrap_or(Kernel::Auto),
-            parallelism: xor_runtime::env_parallelism().unwrap_or(0),
+            blocksize: xor_runtime::env_blocksize().unwrap_or(tuned.blocksize),
+            kernel: Kernel::from_env().unwrap_or(tuned.kernel),
+            parallelism: xor_runtime::env_parallelism().unwrap_or(tuned.parallelism),
             decode_cache_cap: 0,
             partial_cache_cap: 0,
         }
@@ -112,20 +122,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_match_the_paper() {
+    fn defaults_follow_the_precedence_chain() {
         let c = RsConfig::new(10, 4);
         assert_eq!(c.matrix, MatrixKind::IsalPower);
-        assert_eq!(c.blocksize, 1024);
         assert_eq!(c.opt, OptConfig::FULL_DFS);
-        // Env vars may legitimately override these defaults (that is how
-        // CI forces every engine configuration through the suite).
-        assert_eq!(c.kernel, Kernel::from_env().unwrap_or(Kernel::Auto));
+        // Engine knobs mirror profile-then-env precedence exactly (env
+        // vars are how CI forces every engine configuration through the
+        // suite; the tuned profile fills whatever env leaves unset).
+        let tuned = ec_tune::engine_defaults();
+        assert_eq!(
+            c.blocksize,
+            xor_runtime::env_blocksize().unwrap_or(tuned.blocksize)
+        );
+        assert_eq!(c.kernel, Kernel::from_env().unwrap_or(tuned.kernel));
         assert_eq!(
             c.parallelism,
-            xor_runtime::env_parallelism().unwrap_or(0)
+            xor_runtime::env_parallelism().unwrap_or(tuned.parallelism)
         );
         assert_eq!(c.decode_cache_cap, 0);
         assert_eq!(c.partial_cache_cap, 0);
+    }
+
+    #[test]
+    fn paper_defaults_hold_when_tuning_is_off() {
+        // The static bottom of the precedence chain is still the paper's
+        // configuration.
+        assert_eq!(ec_tune::EngineDefaults::PAPER.blocksize, 1024);
+        assert_eq!(ec_tune::EngineDefaults::PAPER.kernel, Kernel::Auto);
+        assert_eq!(ec_tune::EngineDefaults::PAPER.parallelism, 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! for **every codec family in the registry** through the
 //! [`ErasureCoder`] boundary.
 
-use crate::{codec_for, CodecSpec, EcError, ErasureCoder, Kernel, OptConfig, RsCodec, RsConfig};
+use crate::{codec_for, CodecSpec, EcError, ErasureCoder, OptConfig, RsCodec, RsConfig};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -110,13 +110,7 @@ proptest! {
             (0..shard_len).map(|i| *bytes.get(i).unwrap_or(&0x5A)).collect()
         };
 
-        #[allow(unused_mut)]
-        let mut kernels = vec![Kernel::Scalar, Kernel::Wide64];
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            kernels.push(Kernel::Avx2);
-        }
-        for kernel in kernels {
+        for kernel in xor_runtime::available_kernels() {
             for parallelism in [1usize, 0] {
                 let codec = RsCodec::with_config(
                     RsConfig::new(n, p)

@@ -311,12 +311,7 @@ mod tests {
     use slp::Term::{Const, Var};
 
     fn kernels() -> Vec<Kernel> {
-        let mut ks = vec![Kernel::Scalar, Kernel::Wide64];
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            ks.push(Kernel::Avx2);
-        }
-        ks
+        crate::kernels::available_kernels()
     }
 
     fn inputs(n: usize, len: usize) -> Vec<Vec<u8>> {

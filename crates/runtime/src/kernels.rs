@@ -1,12 +1,21 @@
 //! XOR kernels: `dst[i] = s1[i] ^ s2[i] ^ … ^ sk[i]` for one chunk.
 //!
-//! Three implementations, mirroring §7.2's `xor1`/`xor32` comparison plus a
-//! portable middle ground:
+//! Five implementations, mirroring §7.2's `xor1`/`xor32` comparison plus a
+//! portable middle ground and the wider SIMD tiers:
 //!
 //! * [`Kernel::Scalar`] — byte-at-a-time (`xor1`);
 //! * [`Kernel::Wide64`] — eight bytes per step via unaligned `u64`s;
 //! * [`Kernel::Avx2`] — 32 bytes per step via `_mm256_xor_si256`
-//!   (`xor32`), with a 2× unrolled main loop.
+//!   (`xor32`), with a 2× unrolled main loop;
+//! * [`Kernel::Avx512`] — 64 bytes per step via `_mm512_xor_si512`
+//!   (`xor64`), 2× unrolled, on CPUs with AVX-512F;
+//! * [`Kernel::Neon`] — 16 bytes per step via `veorq_u8` (`xor16`),
+//!   4× unrolled, on aarch64.
+//!
+//! Every kernel produces byte-identical output (asserted by the
+//! equivalence matrix in `tests/kernel_equivalence.rs`); they differ only
+//! in throughput, which is exactly what the `ec-tune` autotuner measures
+//! per machine.
 //!
 //! # Aliasing contract
 //!
@@ -25,20 +34,38 @@ pub enum Kernel {
     /// AVX2 32-byte loop — the paper's `xor32`.
     #[cfg(target_arch = "x86_64")]
     Avx2,
+    /// AVX-512 64-byte loop (`xor64`); needs AVX-512F.
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    /// NEON 16-byte loop (`xor16`) on aarch64.
+    #[cfg(target_arch = "aarch64")]
+    Neon,
     /// Detect the best available kernel at first use.
     #[default]
     Auto,
 }
 
 impl Kernel {
-    /// Resolve [`Kernel::Auto`] to a concrete kernel for this CPU.
+    /// Resolve [`Kernel::Auto`] to a concrete kernel for this CPU:
+    /// AVX-512 > AVX2 > `u64` on x86-64, NEON on aarch64. "Best" here
+    /// means *widest*; the per-machine throughput winner (wider is not
+    /// always faster) is what the `ec-tune` profile records.
     pub fn resolve(self) -> Kernel {
         match self {
             Kernel::Auto => {
                 #[cfg(target_arch = "x86_64")]
                 {
+                    if std::arch::is_x86_feature_detected!("avx512f") {
+                        return Kernel::Avx512;
+                    }
                     if std::arch::is_x86_feature_detected!("avx2") {
                         return Kernel::Avx2;
+                    }
+                }
+                #[cfg(target_arch = "aarch64")]
+                {
+                    if std::arch::is_aarch64_feature_detected!("neon") {
+                        return Kernel::Neon;
                     }
                 }
                 Kernel::Wide64
@@ -47,27 +74,65 @@ impl Kernel {
         }
     }
 
-    /// The `XORSLP_KERNEL` environment override, if set and recognised
-    /// (`scalar`, `wide64`, `avx2`, `auto`). Codec constructors use this
-    /// as their *default* kernel; an explicit builder call still wins.
-    /// CI uses it to force the whole suite through each implementation.
-    pub fn from_env() -> Option<Kernel> {
-        match std::env::var("XORSLP_KERNEL").ok()?.trim().to_ascii_lowercase().as_str() {
+    /// Whether this CPU can execute the kernel ([`Kernel::Auto`] always
+    /// can — it resolves to something available).
+    pub fn is_available(self) -> bool {
+        match self {
+            Kernel::Scalar | Kernel::Wide64 | Kernel::Auto => true,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "aarch64")]
+            Kernel::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+        }
+    }
+
+    /// Parse a kernel name (`scalar`, `wide64`, `avx2`, `avx512`, `neon`,
+    /// `auto`, or the paper-style aliases `xor1`/`xor8`/`xor32`/`xor64`/
+    /// `xor16`). Names of kernels this *build* does not include (wrong
+    /// architecture) are unknown; availability on the running CPU is not
+    /// checked here — see [`Kernel::from_env`].
+    pub fn parse(name: &str) -> Option<Kernel> {
+        match name.trim().to_ascii_lowercase().as_str() {
             "scalar" | "xor1" => Some(Kernel::Scalar),
             "wide64" | "xor8" => Some(Kernel::Wide64),
             #[cfg(target_arch = "x86_64")]
-            "avx2" | "xor32" => {
-                // Never let an env var force AVX2 onto a CPU without it
-                // (calling the target_feature kernel would be UB); fall
-                // back to Auto, which picks the best *available* kernel.
-                if std::arch::is_x86_feature_detected!("avx2") {
-                    Some(Kernel::Avx2)
-                } else {
-                    Some(Kernel::Auto)
-                }
-            }
+            "avx2" | "xor32" => Some(Kernel::Avx2),
+            #[cfg(target_arch = "x86_64")]
+            "avx512" | "xor64" => Some(Kernel::Avx512),
+            #[cfg(target_arch = "aarch64")]
+            "neon" | "xor16" => Some(Kernel::Neon),
             "auto" => Some(Kernel::Auto),
             _ => None,
+        }
+    }
+
+    /// The `XORSLP_KERNEL` environment override, if set and recognised
+    /// (`scalar`, `wide64`, `avx2`, `avx512`, `neon`, `auto`). Codec
+    /// constructors use this as their *default* kernel; an explicit
+    /// builder call still wins. CI uses it to force the whole suite
+    /// through each implementation.
+    ///
+    /// An env var can never force a SIMD kernel onto a CPU without the
+    /// feature (calling the `target_feature` function would be UB): the
+    /// request falls back to `Auto` — which picks the best *available*
+    /// kernel — with a one-line warning on stderr so a misconfigured
+    /// deployment is visible instead of silently slower.
+    pub fn from_env() -> Option<Kernel> {
+        let raw = std::env::var("XORSLP_KERNEL").ok()?;
+        let k = Kernel::parse(&raw)?;
+        if k.is_available() {
+            Some(k)
+        } else {
+            eprintln!(
+                "xorslp: warning: XORSLP_KERNEL={} requests the {} kernel, \
+                 which this CPU does not support; falling back to auto ({})",
+                raw.trim(),
+                k.name(),
+                Kernel::Auto.resolve().name()
+            );
+            Some(Kernel::Auto)
         }
     }
 
@@ -78,9 +143,34 @@ impl Kernel {
             Kernel::Wide64 => "xor8",
             #[cfg(target_arch = "x86_64")]
             Kernel::Avx2 => "xor32",
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx512 => "xor64",
+            #[cfg(target_arch = "aarch64")]
+            Kernel::Neon => "xor16",
             Kernel::Auto => "auto",
         }
     }
+}
+
+/// Every concrete kernel this CPU can execute, slowest-lane first
+/// (scalar, wide64, then the SIMD tiers). This is the autotuner's
+/// candidate set and the equivalence tests' iteration domain.
+pub fn available_kernels() -> Vec<Kernel> {
+    let mut ks = vec![Kernel::Scalar, Kernel::Wide64];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if Kernel::Avx2.is_available() {
+            ks.push(Kernel::Avx2);
+        }
+        if Kernel::Avx512.is_available() {
+            ks.push(Kernel::Avx512);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    if Kernel::Neon.is_available() {
+        ks.push(Kernel::Neon);
+    }
+    ks
 }
 
 /// XOR `srcs` into `dst` for `len` bytes with the chosen kernel.
@@ -91,8 +181,9 @@ impl Kernel {
 /// * every pointer must be valid for `len` bytes;
 /// * `dst` may only alias a source at the *same* address (no partial
 ///   overlap);
-/// * for [`Kernel::Avx2`] the CPU must support AVX2 (use
-///   [`Kernel::resolve`]).
+/// * for the SIMD kernels ([`Kernel::Avx2`], [`Kernel::Avx512`],
+///   [`Kernel::Neon`]) the CPU must support the corresponding feature
+///   (check [`Kernel::is_available`] or use [`Kernel::resolve`]).
 ///
 /// # Panics
 /// Panics if `srcs` is empty.
@@ -109,6 +200,10 @@ pub unsafe fn xor_into(kernel: Kernel, dst: *mut u8, srcs: &[*const u8], len: us
         Kernel::Wide64 => xor_wide64(dst, srcs, 0, len),
         #[cfg(target_arch = "x86_64")]
         Kernel::Avx2 => xor_avx2(dst, srcs, len),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx512 => xor_avx512(dst, srcs, len),
+        #[cfg(target_arch = "aarch64")]
+        Kernel::Neon => xor_neon(dst, srcs, len),
         Kernel::Auto => xor_into(kernel.resolve(), dst, srcs, len),
     }
 }
@@ -173,6 +268,73 @@ unsafe fn xor_avx2(dst: *mut u8, srcs: &[*const u8], len: usize) {
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn xor_avx512(dst: *mut u8, srcs: &[*const u8], len: usize) {
+    use std::arch::x86_64::*;
+    let mut off = 0;
+    // 2× unrolled 64-byte lanes, mirroring the AVX2 kernel's shape.
+    while off + 128 <= len {
+        let mut a = _mm512_loadu_si512(srcs[0].add(off) as *const _);
+        let mut b = _mm512_loadu_si512(srcs[0].add(off + 64) as *const _);
+        for s in &srcs[1..] {
+            a = _mm512_xor_si512(a, _mm512_loadu_si512(s.add(off) as *const _));
+            b = _mm512_xor_si512(b, _mm512_loadu_si512(s.add(off + 64) as *const _));
+        }
+        _mm512_storeu_si512(dst.add(off) as *mut _, a);
+        _mm512_storeu_si512(dst.add(off + 64) as *mut _, b);
+        off += 128;
+    }
+    while off + 64 <= len {
+        let mut a = _mm512_loadu_si512(srcs[0].add(off) as *const _);
+        for s in &srcs[1..] {
+            a = _mm512_xor_si512(a, _mm512_loadu_si512(s.add(off) as *const _));
+        }
+        _mm512_storeu_si512(dst.add(off) as *mut _, a);
+        off += 64;
+    }
+    if off < len {
+        xor_wide64(dst, srcs, off, len - off);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn xor_neon(dst: *mut u8, srcs: &[*const u8], len: usize) {
+    use std::arch::aarch64::*;
+    let mut off = 0;
+    // 4× unrolled 16-byte lanes: NEON registers are narrow, so deeper
+    // unrolling is what buys instruction-level parallelism here.
+    while off + 64 <= len {
+        let mut a = vld1q_u8(srcs[0].add(off));
+        let mut b = vld1q_u8(srcs[0].add(off + 16));
+        let mut c = vld1q_u8(srcs[0].add(off + 32));
+        let mut d = vld1q_u8(srcs[0].add(off + 48));
+        for s in &srcs[1..] {
+            a = veorq_u8(a, vld1q_u8(s.add(off)));
+            b = veorq_u8(b, vld1q_u8(s.add(off + 16)));
+            c = veorq_u8(c, vld1q_u8(s.add(off + 32)));
+            d = veorq_u8(d, vld1q_u8(s.add(off + 48)));
+        }
+        vst1q_u8(dst.add(off), a);
+        vst1q_u8(dst.add(off + 16), b);
+        vst1q_u8(dst.add(off + 32), c);
+        vst1q_u8(dst.add(off + 48), d);
+        off += 64;
+    }
+    while off + 16 <= len {
+        let mut a = vld1q_u8(srcs[0].add(off));
+        for s in &srcs[1..] {
+            a = veorq_u8(a, vld1q_u8(s.add(off)));
+        }
+        vst1q_u8(dst.add(off), a);
+        off += 16;
+    }
+    if off < len {
+        xor_wide64(dst, srcs, off, len - off);
+    }
+}
+
 /// Safe convenience wrapper over slices, used by tests and small callers.
 ///
 /// # Panics
@@ -213,12 +375,7 @@ mod tests {
     use super::*;
 
     fn all_kernels() -> Vec<Kernel> {
-        let mut ks = vec![Kernel::Scalar, Kernel::Wide64];
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            ks.push(Kernel::Avx2);
-        }
-        ks
+        available_kernels()
     }
 
     fn reference_xor(srcs: &[&[u8]]) -> Vec<u8> {

@@ -8,8 +8,9 @@
 //! one chunk iteration fits in L1. Three ingredients matter for speed:
 //!
 //! * [`Kernel`] — how one `dst ← ⊕(s1, …, sk)` over a chunk is computed:
-//!   byte-wise (`xor1` of §7.2), `u64`-wide, or 32-byte AVX2
-//!   (`xor32`/`_mm256_xor_si256`), selected at runtime;
+//!   byte-wise (`xor1` of §7.2), `u64`-wide, 32-byte AVX2 (`xor32`),
+//!   64-byte AVX-512 (`xor64`) or 16-byte NEON (`xor16`), feature-detected
+//!   at runtime and interchangeable byte-for-byte;
 //! * [`VarArena`] — variable buffers allocated so that
 //!   `A(v_i) ≡ i·B (mod 4096)`, the anti-conflict staggering of §7.4 that
 //!   keeps blocks from colliding in L1 cache sets;
@@ -22,18 +23,24 @@
 //! persistent set of workers (one grow-on-demand [`VarArena`] each) and
 //! [`plan_stripes`] splits any byte range into blocksize-aligned stripes,
 //! so [`ExecProgram::run_striped`] executes one program across all cores
-//! with zero steady-state allocation.
+//! with zero steady-state allocation. Codecs reach all of this through
+//! the [`ComputeBackend`] trait — the seam at the compiled-program
+//! boundary that a non-CPU executor would implement; [`CpuBackend`] is
+//! the striped-pool implementation everything uses today.
 
 mod arena;
+mod backend;
 mod exec;
 mod kernels;
 mod partition;
 mod pool;
 
 pub use arena::{with_byte_scratch, with_ref_scratch, AlignedBuf, StripedBuf, VarArena, CACHE_PAGE};
+pub use backend::{cpu_backend, ComputeBackend, CpuBackend};
 pub use exec::{ExecError, ExecProgram};
-pub use kernels::{xor_accumulate, xor_into, xor_slices, Kernel};
+pub use kernels::{available_kernels, xor_accumulate, xor_into, xor_slices, Kernel};
 pub use partition::{plan_stripes, StripePlan};
 pub use pool::{
-    default_parallelism, env_parallelism, lock_unpoisoned, ExecPool, PoolChoice, ScopedTask,
+    default_parallelism, env_blocksize, env_parallelism, lock_unpoisoned, ExecPool, PoolChoice,
+    ScopedTask,
 };

@@ -1,0 +1,362 @@
+//! The on-disk tuning profile: a small versioned binary record protected
+//! by a CRC-32 trailer.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic        8  b"XSLPTUN1"
+//! version      u32   — bumped whenever the format or the tuner's
+//!                      methodology changes; old versions are re-tuned
+//! fingerprint  str   — arch + available kernels + worker count + build
+//! kernel       str   — winning kernel name ("xor64", …)
+//! blocksize    u32   — winning blocking parameter B
+//! stripes      u32   — winning stripe count
+//! n_samples    u32
+//! sample × n   str kernel, u32 blocksize, u32 stripes, u64 MiB/s
+//! crc32        u32   — ec-wire CRC-32 of every preceding byte
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes. The trust rules are strict:
+//! a profile is used only if the CRC matches, the magic and version are
+//! current, the fingerprint equals this machine's, and the winning
+//! kernel is available on this CPU. *Any* other outcome — corruption,
+//! truncation, a stale version, another machine's cache — re-tunes;
+//! a damaged profile is never an error the caller sees.
+
+use ec_wire::crc32;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use xor_runtime::Kernel;
+
+/// File magic, also serving as a human-greppable header.
+pub const MAGIC: [u8; 8] = *b"XSLPTUN1";
+
+/// Current profile format version.
+pub const VERSION: u32 = 1;
+
+/// One measured candidate configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TuneSample {
+    /// Kernel name (`Kernel::name` form: `xor1`, `xor8`, `xor32`, …).
+    pub kernel: String,
+    /// Blocking parameter `B` in bytes.
+    pub blocksize: u32,
+    /// Stripe count the sample ran with.
+    pub stripes: u32,
+    /// Measured encode throughput in MiB/s (data bytes / best run).
+    pub mib_per_s: u64,
+}
+
+/// A machine's tuning result: the winning configuration plus every
+/// sample that was measured (kept for `tune` subcommand reports and
+/// bench baselines).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile {
+    /// The machine fingerprint the profile was measured on.
+    pub fingerprint: String,
+    /// Winning kernel.
+    pub kernel: Kernel,
+    /// Winning blocksize in bytes.
+    pub blocksize: usize,
+    /// Winning stripe count.
+    pub stripes: usize,
+    /// All measured candidates, in measurement order.
+    pub samples: Vec<TuneSample>,
+}
+
+/// Why a profile file was rejected. Callers treat every variant the same
+/// way — re-tune — but the variant names the cause for diagnostics.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// CRC mismatch, truncation, bad magic, or a malformed field.
+    Corrupt(String),
+    /// A well-formed profile from a different format version.
+    StaleVersion(u32),
+    /// A well-formed profile from a different machine or build.
+    WrongMachine(String),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "cannot read profile: {e}"),
+            ProfileError::Corrupt(why) => write!(f, "profile corrupt: {why}"),
+            ProfileError::StaleVersion(v) => {
+                write!(f, "profile version {v} != current {VERSION}")
+            }
+            ProfileError::WrongMachine(fp) => {
+                write!(f, "profile fingerprint {fp:?} is not this machine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProfileError> {
+        if self.buf.len() - self.at < n {
+            return Err(ProfileError::Corrupt("truncated field".into()));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProfileError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProfileError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProfileError> {
+        let len = self.u32()? as usize;
+        // An absurd length is corruption, not an allocation request.
+        if len > 1 << 20 {
+            return Err(ProfileError::Corrupt(format!("string length {len}")));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ProfileError::Corrupt("non-UTF-8 string".into()))
+    }
+}
+
+impl Profile {
+    /// Serialize with the given format version (the current [`VERSION`]
+    /// in normal operation; tests pass other values to exercise the
+    /// version-bump invalidation path).
+    pub fn to_bytes_versioned(&self, version: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.samples.len() * 32);
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, version);
+        put_str(&mut out, &self.fingerprint);
+        put_str(&mut out, self.kernel.name());
+        put_u32(&mut out, self.blocksize as u32);
+        put_u32(&mut out, self.stripes as u32);
+        put_u32(&mut out, self.samples.len() as u32);
+        for s in &self.samples {
+            put_str(&mut out, &s.kernel);
+            put_u32(&mut out, s.blocksize);
+            put_u32(&mut out, s.stripes);
+            put_u64(&mut out, s.mib_per_s);
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Serialize at the current format version.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_versioned(VERSION)
+    }
+
+    /// Parse and validate a profile image. `expect_fingerprint` is this
+    /// machine's fingerprint; a mismatch is [`ProfileError::WrongMachine`].
+    pub fn from_bytes(buf: &[u8], expect_fingerprint: &str) -> Result<Profile, ProfileError> {
+        // CRC first: anything inside a damaged file is untrusted,
+        // including the fields that would name the damage.
+        if buf.len() < MAGIC.len() + 4 + 4 {
+            return Err(ProfileError::Corrupt("file too short".into()));
+        }
+        let (body, trailer) = buf.split_at(buf.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(ProfileError::Corrupt("CRC mismatch".into()));
+        }
+        let mut c = Cursor { buf: body, at: 0 };
+        if c.take(MAGIC.len())? != MAGIC {
+            return Err(ProfileError::Corrupt("bad magic".into()));
+        }
+        let version = c.u32()?;
+        if version != VERSION {
+            return Err(ProfileError::StaleVersion(version));
+        }
+        let fingerprint = c.str()?;
+        if fingerprint != expect_fingerprint {
+            return Err(ProfileError::WrongMachine(fingerprint));
+        }
+        let kernel_name = c.str()?;
+        let kernel = Kernel::parse(&kernel_name)
+            .ok_or_else(|| ProfileError::Corrupt(format!("unknown kernel {kernel_name:?}")))?;
+        if !kernel.is_available() {
+            // Fingerprint equality should already imply availability;
+            // belt and braces — never hand out a kernel we cannot run.
+            return Err(ProfileError::WrongMachine(fingerprint));
+        }
+        let blocksize = c.u32()? as usize;
+        let stripes = c.u32()? as usize;
+        if blocksize == 0 || stripes == 0 {
+            return Err(ProfileError::Corrupt("zero blocksize or stripes".into()));
+        }
+        let n = c.u32()? as usize;
+        if n > 4096 {
+            return Err(ProfileError::Corrupt(format!("sample count {n}")));
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(TuneSample {
+                kernel: c.str()?,
+                blocksize: c.u32()?,
+                stripes: c.u32()?,
+                mib_per_s: c.u64()?,
+            });
+        }
+        if c.at != body.len() {
+            return Err(ProfileError::Corrupt("trailing bytes".into()));
+        }
+        Ok(Profile {
+            fingerprint,
+            kernel,
+            blocksize,
+            stripes,
+            samples,
+        })
+    }
+
+    /// Load and validate the profile at `path`.
+    pub fn load(path: &Path, expect_fingerprint: &str) -> Result<Profile, ProfileError> {
+        let buf = std::fs::read(path).map_err(ProfileError::Io)?;
+        Profile::from_bytes(&buf, expect_fingerprint)
+    }
+
+    /// Atomically write the profile to `path` (tmp file + rename, so a
+    /// concurrent reader never observes a half-written cache). Creates
+    /// the parent directory if needed.
+    pub fn store(&self, path: &Path) -> std::io::Result<()> {
+        self.store_versioned(path, VERSION)
+    }
+
+    /// [`Profile::store`] with an explicit format version — the hook the
+    /// invalidation tests use to plant a stale-version cache with a
+    /// *valid* CRC.
+    pub fn store_versioned(&self, path: &Path, version: u32) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes_versioned(version))?;
+            f.sync_all()?;
+        }
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile(fp: &str) -> Profile {
+        Profile {
+            fingerprint: fp.to_string(),
+            kernel: Kernel::Wide64,
+            blocksize: 2048,
+            stripes: 1,
+            samples: vec![
+                TuneSample {
+                    kernel: "xor1".into(),
+                    blocksize: 1024,
+                    stripes: 1,
+                    mib_per_s: 900,
+                },
+                TuneSample {
+                    kernel: "xor8".into(),
+                    blocksize: 2048,
+                    stripes: 1,
+                    mib_per_s: 4200,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let p = sample_profile("fp");
+        let got = Profile::from_bytes(&p.to_bytes(), "fp").unwrap();
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let p = sample_profile("fp");
+        let bytes = p.to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Profile::from_bytes(&bad, "fp").is_err(),
+                "flip at byte {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let p = sample_profile("fp");
+        let bytes = p.to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                Profile::from_bytes(&bytes[..len], "fp").is_err(),
+                "truncation to {len} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn version_bump_with_valid_crc_is_stale() {
+        let p = sample_profile("fp");
+        let bytes = p.to_bytes_versioned(VERSION + 1);
+        match Profile::from_bytes(&bytes, "fp") {
+            Err(ProfileError::StaleVersion(v)) => assert_eq!(v, VERSION + 1),
+            other => panic!("expected StaleVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_rejected() {
+        let p = sample_profile("machine-a");
+        match Profile::from_bytes(&p.to_bytes(), "machine-b") {
+            Err(ProfileError::WrongMachine(fp)) => assert_eq!(fp, "machine-a"),
+            other => panic!("expected WrongMachine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_load_roundtrip_via_file() {
+        let dir = std::env::temp_dir().join(format!("xorslp-tune-test-{}", std::process::id()));
+        let path = dir.join("nested").join("cpu.profile");
+        let p = sample_profile("fp");
+        p.store(&path).unwrap();
+        assert_eq!(Profile::load(&path, "fp").unwrap(), p);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

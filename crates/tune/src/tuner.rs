@@ -1,0 +1,187 @@
+//! The micro-benchmark behind the profile: measure kernel × blocksize ×
+//! stripe-count on the machine's actual CPU and pick the winner.
+//!
+//! The workload is the real thing, not a synthetic loop: the RS(10,4)
+//! parity program — GF(2^8) matrix → bit matrix → SLP → `FULL_DFS`
+//! optimization — executed by the same blocked interpreter production
+//! encodes run through. §7's finding is that the best (kernel, B) pair
+//! is a *machine* property (cache sizes, SIMD width, core count), which
+//! is exactly why this runs once per machine and is cached.
+
+use crate::profile::{Profile, TuneSample};
+use gf256::{encoding_matrix, MatrixKind};
+use slp_optimizer::{optimize, OptConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use xor_runtime::{available_kernels, default_parallelism, ExecPool, ExecProgram, Kernel};
+
+/// Process-wide count of *actual* micro-bench runs (cache loads do not
+/// count). Tests and the `autotune` bench use it to prove that a warm
+/// profile load does not re-tune.
+static TUNE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times this process has run the micro-benchmark.
+pub fn tune_count() -> usize {
+    TUNE_COUNT.load(Ordering::SeqCst)
+}
+
+/// Tuning workload shape. The defaults measure the paper's headline
+/// RS(10,4) code over 64 KiB shards — large enough that the winner
+/// generalizes, small enough that a cold first use costs well under a
+/// second.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Data shards of the benchmark code.
+    pub data_shards: usize,
+    /// Parity shards of the benchmark code.
+    pub parity_shards: usize,
+    /// Shard length in bytes (must be a multiple of 8 for the bit-packet
+    /// layout).
+    pub shard_len: usize,
+    /// Candidate blocking parameters.
+    pub blocksizes: Vec<usize>,
+    /// Timed iterations per candidate (best-of; one extra warmup run).
+    pub iters: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> TuneOptions {
+        TuneOptions {
+            data_shards: 10,
+            parity_shards: 4,
+            shard_len: 64 * 1024,
+            blocksizes: vec![512, 1024, 2048, 4096, 8192],
+            iters: 3,
+        }
+    }
+}
+
+/// Stripe-count candidates for this machine: serial, plus the machine
+/// width when it has more than one core.
+fn stripe_candidates() -> Vec<usize> {
+    let w = default_parallelism();
+    if w > 1 {
+        vec![1, w]
+    } else {
+        vec![1]
+    }
+}
+
+/// Run the micro-benchmark and return the measured profile (pure
+/// compute: no files are read or written — see `load_or_tune_at` for the
+/// cached entry point).
+pub fn tune(opts: &TuneOptions) -> Profile {
+    TUNE_COUNT.fetch_add(1, Ordering::SeqCst);
+    let (n, p) = (opts.data_shards, opts.parity_shards);
+    assert!(
+        opts.shard_len > 0 && opts.shard_len.is_multiple_of(8),
+        "shard_len must be a positive multiple of 8"
+    );
+    assert!(!opts.blocksizes.is_empty(), "need at least one blocksize candidate");
+
+    // The real parity pipeline, same as codec construction.
+    let matrix = encoding_matrix(MatrixKind::IsalPower, n, p);
+    let parity_rows: Vec<usize> = (n..n + p).collect();
+    let bits = bitmatrix::BitMatrix::expand_gf_matrix(&matrix.select_rows(&parity_rows));
+    let slp = optimize(&slp::binary_slp_from_bitmatrix(&bits), OptConfig::FULL_DFS);
+
+    // Deterministic non-trivial inputs; 8 bit-packets per shard.
+    let pl = opts.shard_len / 8;
+    let data: Vec<Vec<u8>> = (0..n)
+        .map(|s| {
+            (0..opts.shard_len)
+                .map(|i| ((i * 131 + s * 239) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    let inputs: Vec<&[u8]> = data.iter().flat_map(|s| s.chunks_exact(pl)).collect();
+    let mut parity = vec![vec![0u8; opts.shard_len]; p];
+
+    let pool = ExecPool::global();
+    let data_bytes = (n * opts.shard_len) as f64;
+    let mut samples = Vec::new();
+    let mut best: Option<(u64, Kernel, usize, usize)> = None;
+
+    for kernel in available_kernels() {
+        for &bs in &opts.blocksizes {
+            let prog = ExecProgram::compile(&slp, bs, kernel);
+            for &stripes in &stripe_candidates() {
+                let mut best_elapsed = f64::INFINITY;
+                // One warmup (page in buffers, grow arenas), then timed.
+                for iter in 0..=opts.iters {
+                    let mut outputs: Vec<&mut [u8]> = parity
+                        .iter_mut()
+                        .flat_map(|s| s.chunks_exact_mut(pl))
+                        .collect();
+                    let t0 = Instant::now();
+                    prog.run_striped(&inputs, &mut outputs, pool, stripes)
+                        .expect("tuning workload shapes are valid by construction");
+                    let dt = t0.elapsed().as_secs_f64();
+                    if iter > 0 && dt < best_elapsed {
+                        best_elapsed = dt;
+                    }
+                }
+                let mib_per_s = (data_bytes / best_elapsed / (1024.0 * 1024.0)) as u64;
+                samples.push(TuneSample {
+                    kernel: kernel.name().to_string(),
+                    blocksize: bs as u32,
+                    stripes: stripes as u32,
+                    mib_per_s,
+                });
+                if best.is_none_or(|(b, ..)| mib_per_s > b) {
+                    best = Some((mib_per_s, kernel, bs, stripes));
+                }
+            }
+        }
+    }
+
+    let (_, kernel, blocksize, stripes) =
+        best.expect("at least one candidate was measured");
+    Profile {
+        fingerprint: crate::machine_fingerprint(),
+        kernel,
+        blocksize,
+        stripes,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> TuneOptions {
+        TuneOptions {
+            data_shards: 4,
+            parity_shards: 2,
+            shard_len: 4096,
+            blocksizes: vec![256, 512],
+            iters: 1,
+        }
+    }
+
+    #[test]
+    fn tune_measures_every_candidate_and_picks_a_winner() {
+        let before = tune_count();
+        let p = tune(&quick_opts());
+        assert_eq!(tune_count(), before + 1);
+        let expect = available_kernels().len() * 2 * stripe_candidates().len();
+        assert_eq!(p.samples.len(), expect);
+        assert!(p.kernel.is_available());
+        assert!([256, 512].contains(&p.blocksize));
+        assert!(p.stripes >= 1);
+        assert_eq!(p.fingerprint, crate::machine_fingerprint());
+        // The recorded winner really is the argmax of the samples.
+        let max = p.samples.iter().map(|s| s.mib_per_s).max().unwrap();
+        let winner = p
+            .samples
+            .iter()
+            .find(|s| {
+                s.kernel == p.kernel.name()
+                    && s.blocksize as usize == p.blocksize
+                    && s.stripes as usize == p.stripes
+            })
+            .expect("winner must be one of the samples");
+        assert_eq!(winner.mib_per_s, max);
+    }
+}

@@ -1,0 +1,149 @@
+//! Profile cache trust rules, end to end: a damaged, truncated or
+//! stale-version cache file must trigger a silent re-tune (never a panic,
+//! never a stale profile trusted), and concurrent first use must tune
+//! exactly once.
+//!
+//! Every test uses its own explicit cache path (no environment-variable
+//! mutation, which would race across the test harness's threads) and the
+//! process-wide [`tune_count`] probe to distinguish "loaded from disk"
+//! from "re-measured". The probe is global, so the tests serialize on a
+//! shared mutex.
+
+use ec_tune::{
+    load_or_tune_at_with, machine_fingerprint, tune, tune_count, Profile, TuneOptions, VERSION,
+};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// `tune_count()` is process-global; run the counting tests one at a
+/// time so a neighbour's re-tune cannot perturb a delta assertion.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// A workload small enough that a forced re-tune costs milliseconds.
+fn quick_opts() -> TuneOptions {
+    TuneOptions {
+        data_shards: 4,
+        parity_shards: 2,
+        shard_len: 4096,
+        blocksizes: vec![256, 512],
+        iters: 1,
+    }
+}
+
+/// A fresh cache path per scenario: `load_or_tune_at_with` memoizes per
+/// path in-process, so reusing a path would observe the memo, not the
+/// disk.
+fn fresh_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xorslp-profile-cache-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}.tune"))
+}
+
+#[test]
+fn valid_cache_file_loads_without_retuning() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = fresh_path("valid");
+    // Plant a genuine profile the way a previous process would have.
+    let planted = tune(&quick_opts());
+    planted.store(&path).unwrap();
+
+    let before = tune_count();
+    let loaded = load_or_tune_at_with(&path, &quick_opts());
+    assert_eq!(tune_count(), before, "a valid cache must not re-tune");
+    assert_eq!(*loaded, planted);
+}
+
+#[test]
+fn corrupt_byte_triggers_retune_and_rewrites_a_valid_cache() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = fresh_path("corrupt");
+    let planted = tune(&quick_opts());
+    planted.store(&path).unwrap();
+
+    // Flip one byte in the middle of the file.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let before = tune_count();
+    let p = load_or_tune_at_with(&path, &quick_opts());
+    assert_eq!(tune_count(), before + 1, "corruption must force a re-tune");
+    assert!(p.kernel.is_available());
+    // The damaged file was replaced with a loadable one.
+    let reread = Profile::load(&path, &machine_fingerprint()).unwrap();
+    assert_eq!(reread, *p);
+}
+
+#[test]
+fn truncation_triggers_retune() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = fresh_path("truncated");
+    let planted = tune(&quick_opts());
+    planted.store(&path).unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let before = tune_count();
+    let p = load_or_tune_at_with(&path, &quick_opts());
+    assert_eq!(tune_count(), before + 1, "truncation must force a re-tune");
+    assert_eq!(
+        Profile::load(&path, &machine_fingerprint()).unwrap(),
+        *p,
+        "the truncated file must be replaced with the fresh profile"
+    );
+}
+
+#[test]
+fn stale_version_triggers_retune_even_with_valid_crc() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = fresh_path("stale-version");
+    // A well-formed profile — CRC intact — from a future/old format.
+    tune(&quick_opts()).store_versioned(&path, VERSION + 1).unwrap();
+
+    let before = tune_count();
+    let p = load_or_tune_at_with(&path, &quick_opts());
+    assert_eq!(tune_count(), before + 1, "a stale version must force a re-tune");
+    // And the rewritten cache is at the *current* version.
+    assert_eq!(Profile::load(&path, &machine_fingerprint()).unwrap(), *p);
+}
+
+#[test]
+fn foreign_machine_profile_triggers_retune() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = fresh_path("foreign");
+    let mut foreign = tune(&quick_opts());
+    foreign.fingerprint = "some-other-arch|xor1|w64|rel".into();
+    foreign.store(&path).unwrap();
+
+    let before = tune_count();
+    let p = load_or_tune_at_with(&path, &quick_opts());
+    assert_eq!(tune_count(), before + 1, "another machine's cache must re-tune");
+    assert_eq!(p.fingerprint, machine_fingerprint());
+}
+
+#[test]
+fn concurrent_first_use_tunes_exactly_once() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = fresh_path("concurrent");
+    let before = tune_count();
+    let opts = quick_opts();
+
+    let profiles: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| s.spawn(|| load_or_tune_at_with(&path, &opts)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        tune_count(),
+        before + 1,
+        "16 concurrent first uses must run the micro-benchmark once"
+    );
+    // Everybody got the same measurement (the same Arc, in fact).
+    for p in &profiles[1..] {
+        assert!(std::sync::Arc::ptr_eq(p, &profiles[0]));
+    }
+}
